@@ -1,0 +1,77 @@
+"""Ablation (beyond the paper's figures, motivated by §I.2): Transformer
+encoder vs LSTM/GRU vs a summary-statistics MLP as the surrogate.
+
+Expected shape: the attention-based model is at least competitive with the
+recurrent models at equal budget, and the sequence models beat the MLP that
+only sees aggregate statistics of the window."""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core import (
+    DeepBATSurrogate,
+    MLPSurrogate,
+    RecurrentSurrogate,
+    TrainConfig,
+    generate_dataset,
+    train_surrogate,
+)
+from repro.evaluation import format_table
+
+SEQ_LEN = 32
+BUDGET = TrainConfig(epochs=10, batch_size=32, patience=None, seed=0)
+
+
+def _evaluate(model_factory, ds_train, ds_val):
+    t0 = time.perf_counter()
+    trained = train_surrogate(ds_train, model=model_factory(), config=BUDGET)
+    train_time = time.perf_counter() - t0
+    pred = trained.predict(ds_val.sequences, ds_val.features)
+    err = float(
+        np.mean(np.abs(pred - ds_val.targets) / np.maximum(np.abs(ds_val.targets), 1e-8))
+        * 100
+    )
+    t0 = time.perf_counter()
+    trained.predict(ds_val.sequences[:1], ds_val.features[:64])
+    pred_time = time.perf_counter() - t0
+    return err, train_time, pred_time
+
+
+def test_ablation_surrogate_architecture(wb, benchmark):
+    hist = wb.azure_training_history()
+    ds_train = generate_dataset(hist, n_samples=700, seq_len=SEQ_LEN,
+                                configs=wb.grid, platform=wb.platform, seed=3)
+    ds_val = generate_dataset(hist, n_samples=200, seq_len=SEQ_LEN,
+                              configs=wb.grid, platform=wb.platform, seed=4)
+
+    factories = {
+        "transformer": lambda: DeepBATSurrogate(seq_len=SEQ_LEN, seed=0),
+        "lstm": lambda: RecurrentSurrogate(seq_len=SEQ_LEN, cell="lstm", seed=0),
+        "gru": lambda: RecurrentSurrogate(seq_len=SEQ_LEN, cell="gru", seed=0),
+        "mlp": lambda: MLPSurrogate(seq_len=SEQ_LEN, seed=0),
+    }
+    rows, errs = [], {}
+    for name, factory in factories.items():
+        err, t_train, t_pred = _evaluate(factory, ds_train, ds_val)
+        errs[name] = err
+        rows.append([name, f"{err:.1f}", f"{t_train:.1f}", f"{t_pred * 1e3:.1f}"])
+
+    text = format_table(
+        ["architecture", "held-out MAPE %", "train time s", "predict 64 cfgs ms"],
+        rows,
+        title="Ablation: surrogate architecture at equal training budget",
+    )
+    write_result("ablation_architecture", text)
+
+    # Shape: the Transformer is competitive with the best recurrent model
+    # (within 25 %) and clearly better than the aggregate-statistics MLP.
+    best_rnn = min(errs["lstm"], errs["gru"])
+    assert errs["transformer"] <= 1.25 * best_rnn
+    assert errs["transformer"] < errs["mlp"]
+
+    model = DeepBATSurrogate(seq_len=SEQ_LEN, seed=0)
+    x = np.abs(np.random.default_rng(0).normal(size=(1, SEQ_LEN))) + 0.01
+    f = np.random.default_rng(1).normal(size=(16, 3))
+    benchmark(lambda: model.predict(x, f))

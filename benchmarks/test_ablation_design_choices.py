@@ -1,0 +1,71 @@
+"""Ablations of DeepBAT's design knobs (DESIGN.md §5, beyond the paper's
+figures):
+
+* the γ robustness margin (§III-D): larger γ trades cost for fewer
+  violations on the bursty OOD trace;
+* DeepBAT's intra-segment update frequency: more frequent re-optimization
+  is what buys the adaptivity of §IV-C/D.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core import DeepBATController
+from repro.evaluation import format_table, run_experiment
+
+SEGMENTS = range(2, 8)
+
+
+def test_ablation_gamma_margin(wb, benchmark):
+    trace = wb.trace("synthetic")
+    slo = wb.settings.slo
+    model = wb.finetuned_model("synthetic")
+    rows = []
+    outcomes = {}
+    for gamma in (0.0, 0.1, 0.3):
+        ctrl = DeepBATController(model, configs=wb.grid, gamma=gamma)
+        log = run_experiment(trace, ctrl, slo=slo, platform=wb.platform,
+                             segments=SEGMENTS, update_every=512,
+                             name=f"gamma={gamma}")
+        outcomes[gamma] = (log.vcr_series().mean(), np.nanmean(log.cost_series()))
+        rows.append([f"{gamma:.1f}", f"{outcomes[gamma][0]:.2f}",
+                     f"{outcomes[gamma][1] * 1e6:.4f}"])
+
+    text = format_table(
+        ["gamma", "mean VCR %", "cost $/1M"],
+        rows, title="Ablation: SLO-margin gamma on the synthetic trace",
+    )
+
+    # Shape: tightening the constraint does not increase violations.
+    assert outcomes[0.3][0] <= outcomes[0.0][0] + 1e-9
+
+    # ---- update-frequency ablation ------------------------------------
+    from benchmarks.conftest import deepbat_controller
+
+    rows2 = []
+    freq_outcomes = {}
+    for every in (None, 2048, 512):
+        ctrl = deepbat_controller(wb, model, trace.segment(0))
+        log = run_experiment(trace, ctrl, slo=slo, platform=wb.platform,
+                             segments=SEGMENTS, update_every=every,
+                             name=f"every={every}")
+        key = "per-segment" if every is None else str(every)
+        freq_outcomes[key] = log.vcr_series().mean()
+        rows2.append([key, f"{freq_outcomes[key]:.2f}",
+                      f"{np.nanmean(log.cost_series()) * 1e6:.4f}"])
+
+    text += "\n\n" + format_table(
+        ["re-optimize every N requests", "mean VCR %", "cost $/1M"],
+        rows2, title="Ablation: DeepBAT adaptation frequency",
+    )
+    write_result("ablation_design_choices", text)
+
+    # Shape: adapting within the segment does not hurt vs one decision per
+    # segment (it is the mechanism behind Figs. 8/10).
+    assert freq_outcomes["512"] <= freq_outcomes["per-segment"] + 5.0
+
+    from repro.arrival import interarrivals
+
+    hist = interarrivals(trace.segment(2))
+    ctrl = DeepBATController(model, configs=wb.grid)
+    benchmark(lambda: ctrl.choose(hist, slo))

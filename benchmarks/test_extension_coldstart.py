@@ -1,0 +1,54 @@
+"""Extension / failure injection: cold starts.
+
+The paper (like BATCH) assumes warm functions. This bench injects Lambda
+cold starts and measures how the DeepBAT-chosen configuration degrades —
+quantifying the gap a production deployment must budget for, and checking
+the simulator's cold-start machinery end to end."""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.arrival import interarrivals
+from repro.batching import simulate
+from repro.core import DeepBATController
+from repro.evaluation import format_table, vcr
+from repro.serverless import ColdStartModel, ServerlessPlatform
+
+
+def test_extension_cold_starts(wb, base_model, benchmark):
+    slo = wb.settings.slo
+    trace = wb.trace("azure")
+    hist = interarrivals(trace.segment(13))
+    future = trace.segment(14, relative=False)
+
+    ctrl = DeepBATController(base_model, configs=wb.grid)
+    cfg = ctrl.choose(hist, slo).config
+
+    rows = []
+    p95s = {}
+    for label, prob in [("warm", 0.0), ("1% cold", 0.01), ("5% cold", 0.05)]:
+        platform = ServerlessPlatform(
+            profile=wb.platform.profile,
+            pricing=wb.platform.pricing,
+            cold_start=ColdStartModel(cold_probability=prob, base_delay=0.25),
+            seed=0,
+        )
+        sim = simulate(future, cfg, platform)
+        p95s[label] = sim.latency_percentile(95)
+        rows.append([
+            label, f"{p95s[label] * 1e3:.1f}", f"{vcr(sim.latencies, slo):.1f}",
+            f"{sim.cost_per_request * 1e6:.4f}",
+        ])
+
+    text = format_table(
+        ["scenario", "p95 ms", "VCR %", "cost $/1M"],
+        rows,
+        title=f"Cold-start injection under the DeepBAT config {cfg}",
+    )
+    write_result("extension_coldstart", text)
+
+    # Shape: cold starts strictly degrade the tail, monotonically in the
+    # cold probability; the warm case matches the main evaluation.
+    assert p95s["warm"] <= p95s["1% cold"] <= p95s["5% cold"]
+
+    benchmark(lambda: simulate(future, cfg, wb.platform))

@@ -1,0 +1,63 @@
+"""Extension: multi-class batching (MBS, §VI related work).
+
+Two request classes with different SLOs share one deployed function; the
+decomposed exhaustive optimizer assigns per-class (B, T) under a shared
+memory tier. Shape: both SLOs met, the loose class batches more
+aggressively, and the shared optimum beats serving everything with the
+tight class's conservative parameters."""
+
+from benchmarks.conftest import write_result
+from repro.batching import (
+    MultiClassConfig,
+    RequestClass,
+    optimize_multiclass,
+    simulate_multiclass,
+)
+from repro.evaluation import format_table
+
+
+def test_extension_multiclass(wb, benchmark):
+    azure = wb.trace("azure")
+    twitter = wb.trace("twitter")
+    classes = [
+        RequestClass("interactive", azure.segment(14), slo=0.05),
+        RequestClass("analytics", twitter.segment(14), slo=0.3),
+    ]
+    cfg, result = optimize_multiclass(
+        classes, wb.platform,
+        memories=(512.0, 1024.0, 1792.0),
+        batch_sizes=(1, 2, 4, 8, 16, 32),
+        timeouts=(0.0, 0.025, 0.05, 0.1, 0.2),
+    )
+    naive = simulate_multiclass(
+        classes,
+        MultiClassConfig(cfg.memory_mb,
+                         {c.name: cfg.per_class["interactive"] for c in classes}),
+        wb.platform,
+    )
+
+    rows = []
+    for c in classes:
+        r = result.per_class[c.name]
+        b, t = cfg.per_class[c.name]
+        rows.append([
+            c.name, f"{c.slo * 1e3:.0f}", f"B={b}, T={t * 1e3:.0f}ms",
+            f"{r.latency_percentile(c.percentile) * 1e3:.1f}",
+            f"{r.cost_per_request * 1e6:.4f}",
+        ])
+    text = format_table(
+        ["class", "SLO ms", "chosen (B,T)", "p95 ms", "cost $/1M"],
+        rows,
+        title=f"Multi-class optimum: shared M={cfg.memory_mb:.0f} MB",
+    ) + (
+        f"\n\ntotal cost: optimized ${result.total_cost:.6f} vs "
+        f"tight-for-all ${naive.total_cost:.6f} "
+        f"({naive.total_cost / result.total_cost:.2f}x)"
+    )
+    write_result("extension_multiclass", text)
+
+    assert result.meets_all_slos(classes)
+    assert cfg.per_class["analytics"][0] >= cfg.per_class["interactive"][0]
+    assert result.total_cost <= naive.total_cost + 1e-12
+
+    benchmark(lambda: simulate_multiclass(classes, cfg, wb.platform))

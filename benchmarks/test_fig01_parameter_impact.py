@@ -1,0 +1,67 @@
+"""Fig. 1 — impact of memory size, batch size, and timeout on latency and
+cost. Paper shape: (a) latency falls steeply with M while cost rises;
+(b) per-request cost falls with B while latency rises; (c) same for T."""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.batching import BatchConfig, simulate
+from repro.evaluation import format_table
+from repro.serverless import cost_per_million
+
+MEMORIES = (256.0, 512.0, 1024.0, 1792.0, 3008.0)
+BATCHES = (1, 2, 4, 8, 16, 32)
+TIMEOUTS = (0.01, 0.025, 0.05, 0.1, 0.2)
+
+
+def _sweep(wb, configs):
+    seg = wb.trace("azure").segment(14, relative=False)
+    rows = []
+    for cfg in configs:
+        r = simulate(seg, cfg, wb.platform)
+        rows.append((cfg, r.latency_percentile(95), cost_per_million(r.cost_per_request)))
+    return rows
+
+
+def test_fig01_memory_batch_timeout_impact(wb, benchmark):
+    mem_rows = _sweep(wb, [BatchConfig(m, 8, 0.05) for m in MEMORIES])
+    b_rows = _sweep(wb, [BatchConfig(1024.0, b, 0.05) for b in BATCHES])
+    t_rows = _sweep(wb, [BatchConfig(1024.0, 16, t) for t in TIMEOUTS])
+
+    text = "\n\n".join(
+        [
+            format_table(
+                ["memory MB", "p95 latency ms", "cost $/1M req"],
+                [[f"{c.memory_mb:.0f}", f"{l * 1e3:.1f}", f"{cost:.3f}"] for c, l, cost in mem_rows],
+                title="Fig. 1a: memory impact (B=8, T=50ms)",
+            ),
+            format_table(
+                ["batch size", "p95 latency ms", "cost $/1M req"],
+                [[str(c.batch_size), f"{l * 1e3:.1f}", f"{cost:.3f}"] for c, l, cost in b_rows],
+                title="Fig. 1b: batch-size impact (M=1024, T=50ms)",
+            ),
+            format_table(
+                ["timeout ms", "p95 latency ms", "cost $/1M req"],
+                [[f"{c.timeout * 1e3:.0f}", f"{l * 1e3:.1f}", f"{cost:.3f}"] for c, l, cost in t_rows],
+                title="Fig. 1c: timeout impact (M=1024, B=16)",
+            ),
+        ]
+    )
+    write_result("fig01_parameter_impact", text)
+
+    # Paper shapes: latency monotone down in M, cost up in M; cost down in B
+    # and T, latency up in B and T.
+    mem_lat = [l for _, l, _ in mem_rows]
+    mem_cost = [c for _, _, c in mem_rows]
+    assert all(np.diff(mem_lat) < 0)
+    assert all(np.diff(mem_cost) > 0)
+    b_cost = [c for _, _, c in b_rows]
+    assert b_cost[-1] < b_cost[0]
+    t_cost = [c for _, _, c in t_rows]
+    t_lat = [l for _, l, _ in t_rows]
+    assert t_cost[-1] < t_cost[0]
+    assert t_lat[-1] > t_lat[0]
+
+    # Benchmark: one ground-truth simulation of a full segment.
+    seg = wb.trace("azure").segment(14, relative=False)
+    benchmark(lambda: simulate(seg, BatchConfig(1024.0, 8, 0.05), wb.platform))

@@ -1,0 +1,36 @@
+"""Fig. 4 — arrival rate of the four workloads. Paper shape: Azure and
+Twitter vary moderately (diurnal); Alibaba and the MAP-synthetic trace swing
+sharply between near-idle and hot periods."""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.arrival import azure_like
+from repro.evaluation import format_series, format_table
+
+TRACES = ("azure", "twitter", "alibaba", "synthetic")
+
+
+def test_fig04_arrival_rate_series(wb, benchmark):
+    lines = []
+    stats = []
+    swings = {}
+    for name in TRACES:
+        trace = wb.trace(name)
+        rates = np.array([trace.segment_rate(i) for i in range(trace.n_segments)])
+        lines.append(format_series(f"{name} req/s per segment", rates, "{:.0f}"))
+        swing = rates.max() / max(rates.min(), 1e-9)
+        swings[name] = swing
+        stats.append([name, f"{rates.mean():.0f}", f"{rates.min():.0f}",
+                      f"{rates.max():.0f}", f"{swing:.1f}x"])
+    text = "\n".join(lines) + "\n\n" + format_table(
+        ["trace", "mean req/s", "min", "max", "max/min swing"], stats,
+        title="Fig. 4: arrival-rate profile of the four workloads",
+    )
+    write_result("fig04_arrival_rates", text)
+
+    # Paper shape: the bursty traces swing far more than Azure/Twitter.
+    assert swings["alibaba"] > 2 * swings["twitter"]
+    assert swings["synthetic"] > 2 * swings["twitter"]
+
+    benchmark(lambda: azure_like(seed=0, n_segments=2, segment_duration=30.0))

@@ -1,0 +1,39 @@
+"""Fig. 5 — index of dispersion (IDC) of the four traces. Paper shape:
+Twitter ~4 for most periods (mild), Azure higher and more variable,
+Alibaba and the synthetic trace much higher with strong hour-to-hour
+variability."""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.arrival import idc, interarrivals
+from repro.evaluation import format_series, format_table
+
+TRACES = ("azure", "twitter", "alibaba", "synthetic")
+
+
+def test_fig05_idc_series(wb, benchmark):
+    lines, stats = [], []
+    medians = {}
+    for name in TRACES:
+        trace = wb.trace(name)
+        series = trace.idc_series()
+        lines.append(format_series(f"{name} IDC per segment", series, "{:.1f}"))
+        medians[name] = float(np.median(series))
+        stats.append([name, f"{medians[name]:.1f}", f"{series.min():.1f}",
+                      f"{series.max():.1f}"])
+    text = "\n".join(lines) + "\n\n" + format_table(
+        ["trace", "median IDC", "min", "max"], stats,
+        title="Fig. 5: index of dispersion per segment",
+    )
+    write_result("fig05_idc", text)
+
+    # Paper shapes: twitter mildest (IDC around 4); azure in between;
+    # alibaba and synthetic an order of magnitude above twitter.
+    assert 1.5 < medians["twitter"] < 15.0
+    assert medians["azure"] > medians["twitter"]
+    assert medians["alibaba"] > 10 * medians["twitter"]
+    assert medians["synthetic"] > 10 * medians["twitter"]
+
+    x = interarrivals(wb.trace("azure").segment(5))
+    benchmark(lambda: idc(x))

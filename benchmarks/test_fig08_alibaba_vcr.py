@@ -1,0 +1,43 @@
+"""Fig. 8 — VCR per hour (12 hours) on the Alibaba-like trace.
+
+Paper shape: BATCH shows large VCR spikes on the hours whose workload
+differs from the previous hour (65.9 %/65.12 % in the paper's 4th/5th
+hours); fine-tuned DeepBAT stays far lower (2.27 %/4.65 %); the pretrained
+(no fine-tuning) DeepBAT sits in between (14.18 %/17.06 %)."""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.evaluation import format_series, format_table
+
+
+def test_fig08_vcr_series(wb, alibaba_logs, benchmark):
+    v_batch = alibaba_logs["batch"].vcr_series()
+    v_pre = alibaba_logs["deepbat_pre"].vcr_series()
+    v_ft = alibaba_logs["deepbat_ft"].vcr_series()
+
+    text = "\n".join([
+        format_series("BATCH VCR %        ", v_batch, "{:5.1f}"),
+        format_series("DeepBAT pretrained ", v_pre, "{:5.1f}"),
+        format_series("DeepBAT fine-tuned ", v_ft, "{:5.1f}"),
+        "",
+        format_table(
+            ["controller", "mean VCR %", "max VCR %"],
+            [
+                ["BATCH", f"{v_batch.mean():.2f}", f"{v_batch.max():.2f}"],
+                ["DeepBAT pretrained", f"{v_pre.mean():.2f}", f"{v_pre.max():.2f}"],
+                ["DeepBAT fine-tuned", f"{v_ft.mean():.2f}", f"{v_ft.max():.2f}"],
+            ],
+            title="Fig. 8: VCR per segment, Alibaba-like trace, 12 segments, SLO 100 ms",
+        ),
+    ])
+    write_result("fig08_alibaba_vcr", text)
+
+    # Paper shapes: DeepBAT (fine-tuned) beats BATCH decisively on mean VCR,
+    # and fine-tuning improves on the pretrained model.
+    assert v_ft.mean() < v_batch.mean()
+    assert v_ft.mean() <= v_pre.mean() + 1e-9
+    # BATCH suffers at least one serious violation spike on this trace.
+    assert v_batch.max() >= 20.0
+
+    benchmark(lambda: alibaba_logs["deepbat_ft"].vcr_series())

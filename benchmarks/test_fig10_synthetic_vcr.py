@@ -1,0 +1,34 @@
+"""Fig. 10 — VCR per hour (12 hours) on the MAP-generated synthetic trace.
+
+Paper shape: DeepBAT's VCR stays far below BATCH's across the dramatically
+changing workload."""
+
+from benchmarks.conftest import write_result
+from repro.evaluation import format_series, format_table, sparkline
+
+
+def test_fig10_vcr_series(wb, synthetic_logs, benchmark):
+    v_batch = synthetic_logs["batch"].vcr_series()
+    v_ft = synthetic_logs["deepbat_ft"].vcr_series()
+
+    hi = max(float(v_batch.max()), float(v_ft.max()), 1.0)
+    text = "\n".join([
+        format_series("BATCH VCR %       ", v_batch, "{:5.1f}"),
+        format_series("DeepBAT fine-tuned", v_ft, "{:5.1f}"),
+        f"BATCH    {sparkline(v_batch, 0.0, hi)}",
+        f"DeepBAT  {sparkline(v_ft, 0.0, hi)}",
+        "",
+        format_table(
+            ["controller", "mean VCR %", "max VCR %"],
+            [
+                ["BATCH", f"{v_batch.mean():.2f}", f"{v_batch.max():.2f}"],
+                ["DeepBAT fine-tuned", f"{v_ft.mean():.2f}", f"{v_ft.max():.2f}"],
+            ],
+            title="Fig. 10: VCR per segment, synthetic (MAP) trace, SLO 100 ms",
+        ),
+    ])
+    write_result("fig10_synthetic_vcr", text)
+
+    assert v_ft.mean() < v_batch.mean()
+
+    benchmark(lambda: synthetic_logs["batch"].vcr_series())

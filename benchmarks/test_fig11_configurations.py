@@ -1,0 +1,57 @@
+"""Fig. 11 — the configurations (memory, batch size, timeout) returned by
+DeepBAT, BATCH, and the ground truth on a bursty synthetic hour.
+
+Paper shape: DeepBAT's choices track the ground-truth optimum more closely
+than BATCH's (which reflect the stale previous hour)."""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.arrival import interarrivals
+from repro.baseline import BATCHController
+from repro.batching import ground_truth_optimum
+from repro.core import DeepBATController
+from repro.evaluation import format_table
+
+SEGMENTS = (3, 4)  # the paper's hour 3-4
+
+
+def test_fig11_returned_configurations(wb, benchmark):
+    slo = wb.settings.slo
+    trace = wb.trace("synthetic")
+    from benchmarks.conftest import deepbat_controller
+
+    deepbat = deepbat_controller(wb, wb.finetuned_model("synthetic"), trace.segment(0))
+    batch = BATCHController(configs=wb.grid, profile=wb.platform.profile,
+                            pricing=wb.platform.pricing)
+
+    rows = []
+    distances = {"DeepBAT": [], "BATCH": []}
+    for seg in SEGMENTS:
+        hist = interarrivals(trace.segment(seg - 1))
+        future = trace.segment(seg, relative=False)
+        gt_cfg, _ = ground_truth_optimum(future, wb.grid, wb.platform, slo)
+        d_cfg = deepbat.choose(hist, slo).config
+        b_cfg = batch.choose(hist, slo).config
+        rows.append([seg, str(gt_cfg), str(d_cfg), str(b_cfg)])
+        for name, cfg in (("DeepBAT", d_cfg), ("BATCH", b_cfg)):
+            # Normalized parameter distance to the ground-truth optimum.
+            distances[name].append(
+                abs(np.log2(cfg.memory_mb / gt_cfg.memory_mb)) / 5
+                + abs(cfg.batch_size - gt_cfg.batch_size) / 32
+                + abs(cfg.timeout - gt_cfg.timeout) / 0.2
+            )
+
+    text = format_table(
+        ["segment", "ground truth", "DeepBAT", "BATCH"],
+        rows,
+        title="Fig. 11: configurations returned on synthetic segments 3-4",
+    ) + (
+        f"\n\nmean normalized distance to optimum: "
+        f"DeepBAT={np.mean(distances['DeepBAT']):.3f} "
+        f"BATCH={np.mean(distances['BATCH']):.3f}"
+    )
+    write_result("fig11_configurations", text)
+
+    hist = interarrivals(trace.segment(SEGMENTS[0] - 1))
+    benchmark(lambda: deepbat.choose(hist, slo))

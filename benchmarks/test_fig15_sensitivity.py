@@ -1,0 +1,78 @@
+"""Fig. 15 — sensitivity analysis.
+
+(a) Sequence length: prediction time per sequence rises sharply with the
+window length while the error falls — the paper picks 256 as the balance
+point (we sweep a compressed range, same trade-off shape).
+(b) Encoder layers: 2 layers suffice; 1 underfits, more layers do not help.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core import DeepBATSurrogate, TrainConfig, generate_dataset, train_surrogate
+from repro.evaluation import format_table
+
+SEQ_LENS = (16, 32, 64, 128)
+LAYER_COUNTS = (1, 2, 4)
+TRAIN_BUDGET = TrainConfig(epochs=8, batch_size=32, patience=None, seed=0)
+
+
+def _train_and_score(wb, seq_len, num_layers, hist):
+    ds = generate_dataset(
+        hist, n_samples=500, seq_len=seq_len, configs=wb.grid,
+        platform=wb.platform, seed=1,
+    )
+    model = DeepBATSurrogate(seq_len=seq_len, num_layers=num_layers, seed=0)
+    trained = train_surrogate(ds, model=model, config=TRAIN_BUDGET)
+    val_mape = trained.history.val_mape[trained.history.best_epoch]
+    # Prediction time per sequence over the whole candidate grid.
+    window = ds.sequences[0]
+    t0 = time.perf_counter()
+    from repro.batching import grid_features
+
+    trained.predict(window, grid_features(wb.grid))
+    pred_time = time.perf_counter() - t0
+    return val_mape, pred_time
+
+
+def test_fig15_sensitivity(wb, benchmark):
+    hist = wb.azure_training_history()
+
+    # (a) sequence length sweep
+    seq_rows, times, errors = [], [], []
+    for sl in SEQ_LENS:
+        mape_v, pred_t = _train_and_score(wb, sl, 2, hist)
+        seq_rows.append([sl, f"{pred_t * 1e3:.1f}", f"{mape_v:.1f}"])
+        times.append(pred_t)
+        errors.append(mape_v)
+
+    # (b) encoder layer sweep at a fixed length
+    layer_rows, layer_err = [], {}
+    for nl in LAYER_COUNTS:
+        mape_v, _ = _train_and_score(wb, 32, nl, hist)
+        layer_rows.append([nl, f"{mape_v:.1f}"])
+        layer_err[nl] = mape_v
+
+    text = format_table(
+        ["seq length", "prediction time ms (full grid)", "val MAPE %"],
+        seq_rows, title="Fig. 15a: sequence-length trade-off",
+    ) + "\n\n" + format_table(
+        ["encoder layers", "val MAPE %"],
+        layer_rows, title="Fig. 15b: encoder-layer ablation (seq len 32)",
+    )
+    write_result("fig15_sensitivity", text)
+
+    # Paper shapes: prediction time grows with sequence length; the longest
+    # window is not *less* accurate than the shortest; 2 layers do not lose
+    # to 1, and 4 layers bring no decisive gain over 2.
+    assert times[-1] > times[0]
+    assert errors[-1] <= errors[0] * 1.25
+    assert layer_err[2] <= layer_err[1] * 1.25
+    assert layer_err[4] >= layer_err[2] * 0.5
+
+    benchmark(lambda: wb.base_model().predict(
+        hist[: wb.settings.seq_len],
+        np.tile(wb.grid[0].as_array(), (8, 1)),
+    ))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Attention-score exploration (§IV-E, Fig. 14).
+
+Feeds windows from all four traces through the Azure-trained surrogate and
+prints, per trace, where the encoder's aggregated attention mass lands
+relative to the window's longest inter-arrival gaps. The paper's finding:
+the model attends to the parts of the sequence with long inter-arrival
+periods (the burst boundaries) — on every trace, including the unseen ones.
+
+Run:  python examples/attention_analysis.py
+"""
+
+import numpy as np
+
+from repro.arrival import interarrivals, latest_window
+from repro.evaluation import format_table, get_workbench
+
+
+def attention_alignment(model, window: np.ndarray) -> tuple[float, float]:
+    """(attention mass on the top-10% longest gaps, uniform baseline)."""
+    pipeline_scaled = window / window.mean()
+    scores = model.model.attention_scores(pipeline_scaled)
+    k = max(1, len(window) // 10)
+    top_gaps = np.argsort(window)[-k:]
+    return float(scores[top_gaps].sum()), k / len(window)
+
+
+def main() -> None:
+    wb = get_workbench()
+    model = wb.base_model()  # trained on Azure ONLY (no fine-tuning), as in Fig. 14
+
+    rows = []
+    for name in ("azure", "twitter", "alibaba", "synthetic"):
+        trace = wb.trace(name)
+        masses = []
+        for seg in range(12, min(18, trace.n_segments)):
+            x = interarrivals(trace.segment(seg))
+            if x.size < wb.settings.seq_len:
+                continue
+            window = latest_window(x, wb.settings.seq_len)
+            mass, baseline = attention_alignment(model, window)
+            masses.append(mass)
+        if not masses:
+            continue
+        rows.append([
+            name,
+            f"{np.mean(masses) * 100:.1f}",
+            f"{baseline * 100:.1f}",
+            f"{np.mean(masses) / baseline:.2f}x",
+        ])
+
+    print(format_table(
+        ["trace", "attn on top-10% gaps (%)", "uniform baseline (%)", "lift"],
+        rows,
+        title="Attention mass on long-inter-arrival positions (Azure-trained model)",
+    ))
+    print("\nExpected shape (Fig. 14): lift > 1 on every trace — attention "
+          "concentrates on long-gap (burst boundary) positions, including "
+          "on traces the model never saw.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Out-of-distribution adaptation (§IV-C, Observation #2).
+
+The Azure-trained surrogate is applied to the highly bursty Alibaba-like
+MLaaS trace — a workload with a very different distribution. The example
+measures prediction error and closed-loop SLO violations (VCR) for
+
+* the pretrained model used as-is, and
+* the same model fine-tuned on just the trace's first "hour" (§III-D),
+
+showing the fine-tuning step's effect the paper reports in Fig. 8.
+
+Run:  python examples/ood_finetuning.py
+(first run trains and caches the shared workbench models; later runs load)
+"""
+
+import numpy as np
+
+from repro.arrival import interarrivals
+from repro.core import DeepBATController, estimate_gamma, generate_dataset
+from repro.evaluation import format_table, get_workbench, run_experiment
+
+SEGMENTS = range(3, 9)  # a bursty mid-trace stretch
+
+
+def prediction_mape(trained, history, workbench, seed):
+    """MAPE of the surrogate on fresh (window x config) pairs from
+    ``history`` — the §IV-C '5.73 % without fine-tuning' style number."""
+    ds = generate_dataset(
+        history, n_samples=200, seq_len=workbench.settings.seq_len,
+        configs=workbench.grid, platform=workbench.platform, seed=seed,
+    )
+    pred = trained.predict(ds.sequences, ds.features)
+    return float(
+        np.mean(np.abs(pred - ds.targets) / np.maximum(np.abs(ds.targets), 1e-8)) * 100
+    )
+
+
+def main() -> None:
+    wb = get_workbench()
+    slo = wb.settings.slo
+    trace = wb.trace("alibaba")
+    ood_history = interarrivals(trace.segment(1))
+
+    print("Loading/training the Azure-trained base surrogate...")
+    base = wb.base_model()
+    print("Fine-tuning on the first Alibaba segment (cached after first run)...")
+    tuned = wb.finetuned_model("alibaba")
+
+    rows = []
+    for label, model in [("pretrained", base), ("fine-tuned", tuned)]:
+        err = prediction_mape(model, ood_history, wb, seed=5)
+        gamma = estimate_gamma(model, ood_history, wb.grid, wb.platform,
+                               seed=5, slo=slo)
+        controller = DeepBATController(model, configs=wb.grid, gamma=gamma)
+        log = run_experiment(
+            trace, controller, slo=slo, platform=wb.platform,
+            segments=SEGMENTS, update_every=512, name=label,
+        )
+        rows.append([
+            label,
+            f"{err:.2f}",
+            f"{gamma:.3f}",
+            f"{log.vcr_series().mean():.2f}",
+            f"{np.nanmean(log.latency_series(95)) * 1e3:.1f}",
+            f"{np.nanmean(log.cost_series()) * 1e6:.3f}",
+        ])
+
+    print()
+    print(format_table(
+        ["model", "pred MAPE %", "gamma", "mean VCR %", "mean p95 (ms)", "cost $/1M"],
+        rows,
+        title=f"Alibaba-like OOD trace, SLO = {slo * 1e3:.0f} ms, segments {SEGMENTS}",
+    ))
+    print("\nExpected shape (paper Obs. #2): fine-tuning improves the "
+          "prediction error; with the boundary-calibrated gamma margin both "
+          "variants then keep SLO violations low (see EXPERIMENTS.md for "
+          "how this differs from the paper's pretrained-vs-fine-tuned gap).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: train a small DeepBAT surrogate and optimize one workload.
+
+Walks the full pipeline in miniature (a couple of minutes on a laptop):
+
+1. generate a bursty serverless workload,
+2. label (window × configuration) pairs with the ground-truth simulator,
+3. train the Transformer surrogate on those labels,
+4. ask the DeepBAT controller for the cheapest SLO-meeting configuration,
+5. verify the choice by simulating the *next* (unseen) hour.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.arrival import azure_like, interarrivals
+from repro.batching import config_grid, simulate
+from repro.core import (
+    DeepBATController,
+    DeepBATSurrogate,
+    TrainConfig,
+    estimate_gamma,
+    generate_dataset,
+    train_surrogate,
+)
+from repro.serverless import ServerlessPlatform, cost_per_million
+
+SLO = 0.1  # seconds, 95th-percentile target
+SEQ_LEN = 64
+
+
+def main() -> None:
+    rng_seed = 0
+    platform = ServerlessPlatform()
+    grid = config_grid(
+        memories=(512.0, 1024.0, 1792.0, 3008.0),
+        batch_sizes=(1, 4, 8, 16),
+        timeouts=(0.0, 0.025, 0.05, 0.1),
+    )
+
+    print("1) Generating an Azure-like bursty workload (4 'hours')...")
+    trace = azure_like(seed=rng_seed, n_segments=4, segment_duration=45.0)
+    train_part, test_part = trace.split(3)
+    history = interarrivals(train_part.timestamps)
+    print(f"   {train_part.timestamps.size} training arrivals, "
+          f"{test_part.timestamps.size} held-out arrivals")
+
+    print("2) Labelling 800 (window x config) pairs with the simulator...")
+    dataset = generate_dataset(
+        history, n_samples=800, seq_len=SEQ_LEN, configs=grid,
+        platform=platform, seed=rng_seed,
+    )
+
+    print("3) Training the Transformer surrogate (~1-2 min)...")
+    model = DeepBATSurrogate(seq_len=SEQ_LEN, seed=rng_seed)
+    trained = train_surrogate(
+        dataset, model=model,
+        config=TrainConfig(epochs=20, batch_size=32, patience=5, seed=rng_seed),
+    )
+    print(f"   final validation MAPE: {trained.history.val_mape[-1]:.1f} %")
+
+    print("4) Asking DeepBAT for the cheapest SLO-meeting configuration...")
+    # Calibrate the SLO margin gamma by coupled simulation (paper §III-D):
+    # a small model needs a real safety margin at the decision boundary.
+    gamma = estimate_gamma(trained, history, grid, platform, seed=rng_seed, slo=SLO)
+    print(f"   calibrated SLO margin gamma = {gamma:.2f}")
+    controller = DeepBATController(trained, configs=grid, gamma=gamma)
+    decision = controller.choose(history, slo=SLO)
+    print(f"   chose {decision.config} "
+          f"(predicted p95 = {decision.optimization.predicted_latency * 1e3:.1f} ms, "
+          f"predicted cost = ${decision.optimization.predicted_cost_per_million:.3f}/1M req) "
+          f"in {decision.decision_time * 1e3:.0f} ms")
+
+    print("5) Verifying on the unseen next hour...")
+    future = test_part.segment(0)
+    result = simulate(future, decision.config, platform)
+    naive = simulate(future, grid[0], platform)  # M=512, B=1: no batching
+    print(f"   measured p95 latency : {result.latency_percentile(95) * 1e3:.1f} ms "
+          f"(SLO {SLO * 1e3:.0f} ms, "
+          f"{'MET' if not result.violates_slo(SLO) else 'VIOLATED'})")
+    print(f"   measured cost        : ${cost_per_million(result.cost_per_request):.3f}/1M req")
+    print(f"   no-batching baseline : ${cost_per_million(naive.cost_per_request):.3f}/1M req "
+          f"({naive.cost_per_request / result.cost_per_request:.1f}x more expensive)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (the offline environment lacks the
+``wheel`` package, so ``pip install -e . --no-use-pep517`` goes through
+``setup.py develop``). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""DeepBAT reproduction.
+
+Reproduces *DeepBAT: Performance and Cost Optimization of Serverless
+Inference Using Transformers* (IPDPS 2025) end to end, including every
+substrate: a pure-NumPy deep-learning framework (:mod:`repro.nn`), arrival
+process machinery (:mod:`repro.arrival`), a serverless platform model
+(:mod:`repro.serverless`), the batching ground-truth simulator
+(:mod:`repro.batching`), the BATCH analytic baseline (:mod:`repro.baseline`),
+the DeepBAT surrogate/optimizer/controller (:mod:`repro.core`), and the
+evaluation harness (:mod:`repro.evaluation`).
+"""
+
+__version__ = "1.0.0"

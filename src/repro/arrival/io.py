@@ -1,0 +1,93 @@
+"""Trace persistence: save/load :class:`repro.arrival.traces.Trace` objects.
+
+Two formats:
+
+* ``.npz`` — lossless, fast, the library's native round-trip format;
+* ``.csv`` — one timestamp per line (plus a small header), for exchanging
+  traces with external tools or loading real trace excerpts prepared
+  elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.arrival.traces import Trace
+
+
+def save_trace(trace: Trace, path: str | os.PathLike) -> None:
+    """Write a trace to ``.npz`` (timestamps + segmentation + metadata)."""
+    np.savez_compressed(
+        path,
+        timestamps=trace.timestamps,
+        segment_duration=np.array([trace.segment_duration]),
+        n_segments=np.array([trace.n_segments]),
+        name=np.array([trace.name]),
+        metadata=np.array([json.dumps(trace.metadata, default=str)]),
+    )
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    """Load a trace saved by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return Trace(
+            name=str(archive["name"][0]),
+            timestamps=archive["timestamps"],
+            segment_duration=float(archive["segment_duration"][0]),
+            n_segments=int(archive["n_segments"][0]),
+            metadata=json.loads(str(archive["metadata"][0])),
+        )
+
+
+def export_csv(trace: Trace, path: str | os.PathLike) -> None:
+    """Write ``# name,segment_duration,n_segments`` then one timestamp/line."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# {trace.name},{trace.segment_duration},{trace.n_segments}\n")
+        for t in trace.timestamps:
+            fh.write(f"{t:.9f}\n")
+
+
+def import_csv(
+    path: str | os.PathLike,
+    name: str | None = None,
+    segment_duration: float | None = None,
+    n_segments: int | None = None,
+) -> Trace:
+    """Read a CSV trace; header values can be overridden by the arguments.
+
+    Files without the ``#`` header need ``segment_duration`` and
+    ``n_segments`` passed explicitly.
+    """
+    path = Path(path)
+    header_name, header_sd, header_ns = None, None, None
+    with path.open() as fh:
+        first = fh.readline().strip()
+        body_start = 0
+        if first.startswith("#"):
+            parts = first.lstrip("# ").split(",")
+            if len(parts) != 3:
+                raise ValueError(f"malformed trace header: {first!r}")
+            header_name, header_sd, header_ns = parts[0], float(parts[1]), int(parts[2])
+        else:
+            body_start = None  # first line is data
+        rest = fh.read().splitlines()
+    lines = ([first] if body_start is None else []) + rest
+    timestamps = np.array([float(x) for x in lines if x.strip()])
+
+    sd = segment_duration if segment_duration is not None else header_sd
+    ns = n_segments if n_segments is not None else header_ns
+    if sd is None or ns is None:
+        raise ValueError(
+            "segment_duration and n_segments required (no header in file)"
+        )
+    return Trace(
+        name=name if name is not None else (header_name or path.stem),
+        timestamps=np.sort(timestamps),
+        segment_duration=sd,
+        n_segments=ns,
+    )

@@ -1,0 +1,67 @@
+"""Fixed-length inter-arrival windows — the surrogate model's input S.
+
+The paper's model consumes the most recent ``l`` inter-arrival times
+(default 256, §V). When fewer arrivals are available the window is padded on
+the left (§III-A mentions padding/sliding-window techniques).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def latest_window(
+    interarrival_times: np.ndarray,
+    length: int,
+    pad_value: float | None = None,
+) -> np.ndarray:
+    """Return the last ``length`` inter-arrival samples, left-padded.
+
+    ``pad_value`` defaults to the sample mean (or 0 when the sample is
+    empty), which keeps padded windows statistically neutral.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    x = np.asarray(interarrival_times, dtype=float)
+    if x.size >= length:
+        return x[-length:].copy()
+    if pad_value is None:
+        pad_value = float(x.mean()) if x.size else 0.0
+    out = np.full(length, pad_value)
+    if x.size:
+        out[-x.size:] = x
+    return out
+
+
+def sliding_windows(
+    interarrival_times: np.ndarray,
+    length: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """All complete sliding windows as a ``(n_windows, length)`` view-copy."""
+    if length < 1 or stride < 1:
+        raise ValueError("length and stride must be >= 1")
+    x = np.asarray(interarrival_times, dtype=float)
+    if x.size < length:
+        return np.empty((0, length))
+    n = (x.size - length) // stride + 1
+    idx = np.arange(length)[None, :] + stride * np.arange(n)[:, None]
+    return x[idx]
+
+
+def sample_windows(
+    interarrival_times: np.ndarray,
+    length: int,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Randomly sample ``n_samples`` windows (with replacement) — the
+    paper's offline-training sampling of arrival sequences (§III-D)."""
+    x = np.asarray(interarrival_times, dtype=float)
+    if x.size < length:
+        raise ValueError(
+            f"need at least {length} inter-arrival samples, got {x.size}"
+        )
+    starts = rng.integers(0, x.size - length + 1, size=n_samples)
+    idx = starts[:, None] + np.arange(length)[None, :]
+    return x[idx]

@@ -1,0 +1,30 @@
+"""The BATCH baseline: matrix-analytic latency/cost model over a fitted MAP
+plus the hourly re-fitting controller."""
+
+from repro.baseline.analytic import (
+    AnalyticPrediction,
+    BatchAnalyticModel,
+    weighted_percentiles,
+)
+from repro.baseline.controller import BATCHController, BatchDecision
+from repro.baseline.reactive import ReactiveController, ReactiveDecision
+from repro.baseline.uniformization import (
+    TransientKernel,
+    expanded_generator,
+    time_to_level_cdf,
+    transient_kernels,
+)
+
+__all__ = [
+    "AnalyticPrediction",
+    "BATCHController",
+    "BatchAnalyticModel",
+    "BatchDecision",
+    "ReactiveController",
+    "ReactiveDecision",
+    "TransientKernel",
+    "expanded_generator",
+    "time_to_level_cdf",
+    "transient_kernels",
+    "weighted_percentiles",
+]

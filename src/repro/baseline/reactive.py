@@ -1,0 +1,97 @@
+"""A MArk-style reactive baseline (§VI related work).
+
+MArk (Zhang et al., ATC'19) adjusts serving parameters from observed load
+with rule-based reactions; the paper notes this "adjustment is not timely
+for the case of bursty workloads". This module implements that class of
+controller honestly: an offline profiling phase builds a rate-band →
+configuration lookup table (each band's config is the ground-truth optimum
+for a *stationary* Poisson workload at that rate), and the online
+controller just measures the recent arrival rate and indexes the table.
+
+It reacts instantly to rate changes but is blind to burstiness (two
+workloads with equal mean rate and wildly different IDC get the same
+configuration) — the precise failure mode that motivates model-based
+controllers like BATCH and DeepBAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arrival.map_process import poisson_map
+from repro.batching.config import BatchConfig, config_grid
+from repro.batching.simulator import ground_truth_optimum
+from repro.serverless.platform import ServerlessPlatform
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class ReactiveDecision:
+    """Outcome of one table lookup."""
+
+    config: BatchConfig
+    observed_rate: float
+    band_rate: float
+    decision_time: float
+
+
+class ReactiveController:
+    """Rate-band lookup controller built by offline Poisson profiling."""
+
+    def __init__(
+        self,
+        configs: list[BatchConfig] | None = None,
+        platform: ServerlessPlatform | None = None,
+        slo: float = 0.1,
+        percentile: float = 95.0,
+        rate_bands: tuple[float, ...] = (5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0),
+        profile_duration: float = 30.0,
+        seed: int = 0,
+    ) -> None:
+        if not rate_bands or any(r <= 0 for r in rate_bands):
+            raise ValueError("rate_bands must be positive")
+        if sorted(rate_bands) != list(rate_bands):
+            raise ValueError("rate_bands must be increasing")
+        self.configs = configs if configs is not None else config_grid()
+        self.platform = platform if platform is not None else ServerlessPlatform()
+        self.slo = slo
+        self.percentile = percentile
+        self.rate_bands = tuple(rate_bands)
+        self._table: dict[float, BatchConfig] = {}
+        # Offline profiling: the optimum per stationary rate band.
+        for i, rate in enumerate(self.rate_bands):
+            ts = poisson_map(rate).sample(duration=profile_duration, seed=seed + i)
+            cfg, _ = ground_truth_optimum(
+                ts, self.configs, self.platform, slo, percentile
+            )
+            self._table[rate] = cfg
+
+    def table(self) -> dict[float, BatchConfig]:
+        """The profiled lookup table (band rate → configuration)."""
+        return dict(self._table)
+
+    def choose(self, interarrival_history: np.ndarray, slo: float) -> ReactiveDecision:
+        """Pick the profiled config of the nearest rate band.
+
+        ``slo`` must match the profiling SLO — a reactive table is built
+        for one target (rebuilding online is exactly the cost this class of
+        controller avoids).
+        """
+        if abs(slo - self.slo) > 1e-12:
+            raise ValueError(
+                f"controller profiled for SLO {self.slo}, asked for {slo}; "
+                "rebuild the table for a different target"
+            )
+        x = np.asarray(interarrival_history, dtype=float)
+        with Timer() as t:
+            tail = x[-256:]
+            mean = float(tail.mean()) if tail.size else np.inf
+            rate = 1.0 / mean if mean > 0 and np.isfinite(mean) else 0.0
+            bands = np.asarray(self.rate_bands)
+            band = float(bands[int(np.argmin(np.abs(np.log(bands) - np.log(max(rate, 1e-6)))))])
+            config = self._table[band]
+        return ReactiveDecision(
+            config=config, observed_rate=rate, band_rate=band, decision_time=t.elapsed
+        )

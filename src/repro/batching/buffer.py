@@ -1,0 +1,117 @@
+"""The online batching buffer (Fig. 2's Buffer component).
+
+Holds incoming requests and dispatches a batch when either the batch-size
+limit ``B`` is reached or the oldest waiting request has been held for the
+timeout ``T``. This is the *live* (request-at-a-time) counterpart of the
+vectorized simulator in :mod:`repro.batching.simulator`; both implement the
+same policy, and tests cross-check them against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batching.config import BatchConfig
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A dispatched batch: request indices, their arrival times, dispatch."""
+
+    indices: np.ndarray
+    arrival_times: np.ndarray
+    dispatch_time: float
+
+    @property
+    def size(self) -> int:
+        return self.indices.size
+
+    def waits(self) -> np.ndarray:
+        """Buffer wait of each request in the batch."""
+        return self.dispatch_time - self.arrival_times
+
+
+class BatchingBuffer:
+    """Online buffer driven by ``observe``/``poll`` calls.
+
+    Usage: feed arrivals with :meth:`observe` (monotone non-decreasing
+    times); call :meth:`poll` to collect batches that became due by ``now``;
+    call :meth:`flush` at stream end.
+    """
+
+    def __init__(self, config: BatchConfig) -> None:
+        self.config = config
+        self._pending_idx: list[int] = []
+        self._pending_times: list[float] = []
+        self._next_index = 0
+        self._dispatched: list[Batch] = []
+        self._last_time = -np.inf
+
+    # ------------------------------------------------------------- plumbing
+    def reconfigure(self, config: BatchConfig) -> None:
+        """Switch (M, B, T) online — the controller's step ③ in Fig. 2.
+
+        Pending requests stay buffered and are judged against the new
+        parameters at the next poll.
+        """
+        self.config = config
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending_idx)
+
+    # ----------------------------------------------------------------- flow
+    def observe(self, arrival_time: float) -> list[Batch]:
+        """Register one arrival; returns any batches dispatched up to it."""
+        if arrival_time < self._last_time:
+            raise ValueError(
+                f"arrival times must be non-decreasing: {arrival_time} < {self._last_time}"
+            )
+        self._last_time = arrival_time
+        # Append before polling so an arrival landing exactly on a pending
+        # batch's deadline joins that batch (matching the simulator's
+        # closed-interval deadline semantics).
+        self._pending_idx.append(self._next_index)
+        self._pending_times.append(arrival_time)
+        self._next_index += 1
+        out = self.poll(arrival_time)
+        if len(self._pending_idx) >= self.config.batch_size:
+            out.append(self._dispatch(arrival_time))
+        return out
+
+    def poll(self, now: float) -> list[Batch]:
+        """Dispatch batches whose timeout expired by ``now``."""
+        out = []
+        while self._pending_times and now >= self._pending_times[0] + self.config.timeout:
+            due = self._pending_times[0] + self.config.timeout
+            # Only requests that had arrived by the deadline belong to it.
+            k = sum(1 for t in self._pending_times if t <= due)
+            out.append(self._dispatch(due, count=min(k, self.config.batch_size)))
+        return out
+
+    def flush(self, now: float | None = None) -> list[Batch]:
+        """Dispatch all remaining requests (stream end)."""
+        out = []
+        while self._pending_idx:
+            due = (
+                self._pending_times[0] + self.config.timeout
+                if now is None
+                else min(now, self._pending_times[0] + self.config.timeout)
+            )
+            out.append(self._dispatch(max(due, self._pending_times[-1])))
+        return out
+
+    def _dispatch(self, dispatch_time: float, count: int | None = None) -> Batch:
+        count = len(self._pending_idx) if count is None else count
+        count = min(count, self.config.batch_size, len(self._pending_idx))
+        batch = Batch(
+            indices=np.array(self._pending_idx[:count], dtype=int),
+            arrival_times=np.array(self._pending_times[:count], dtype=float),
+            dispatch_time=float(dispatch_time),
+        )
+        del self._pending_idx[:count]
+        del self._pending_times[:count]
+        self._dispatched.append(batch)
+        return batch

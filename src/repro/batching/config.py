@@ -1,0 +1,76 @@
+"""Batching configurations and the candidate grid (Eq. 10c–e).
+
+A configuration is the triple the whole paper optimizes: memory size ``M``
+(MB), batch size ``B``, and timeout ``T`` (seconds). The default grid spans
+the classic Lambda memory tiers and the paper's millisecond-scale timeouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.serverless.service_profile import MAX_MEMORY_MB, MIN_MEMORY_MB
+
+
+@dataclass(frozen=True, order=True)
+class BatchConfig:
+    """One candidate system configuration (M, B, T)."""
+
+    memory_mb: float
+    batch_size: int
+    timeout: float
+
+    def __post_init__(self) -> None:
+        if not MIN_MEMORY_MB <= self.memory_mb <= MAX_MEMORY_MB:
+            raise ValueError(
+                f"memory_mb must be in [{MIN_MEMORY_MB}, {MAX_MEMORY_MB}] (Eq. 10e), "
+                f"got {self.memory_mb}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1 (Eq. 10c), got {self.batch_size}")
+        if self.timeout < 0:
+            raise ValueError(f"timeout must be >= 0 (Eq. 10d), got {self.timeout}")
+
+    def as_array(self) -> np.ndarray:
+        """Feature vector F = (M, B, T) consumed by the surrogate."""
+        return np.array([self.memory_mb, float(self.batch_size), self.timeout])
+
+    def __str__(self) -> str:
+        return f"(M={self.memory_mb:.0f}MB, B={self.batch_size}, T={self.timeout * 1e3:.0f}ms)"
+
+
+#: Classic Lambda memory tiers used in the evaluation sweeps.
+DEFAULT_MEMORIES: tuple[float, ...] = (256.0, 512.0, 1024.0, 1792.0, 3008.0)
+#: Batch-size candidates.
+DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 2, 4, 8, 12, 16, 24, 32)
+#: Timeout candidates in seconds (0–200 ms).
+DEFAULT_TIMEOUTS: tuple[float, ...] = (0.0, 0.01, 0.025, 0.05, 0.075, 0.1, 0.15, 0.2)
+
+
+def config_grid(
+    memories: tuple[float, ...] = DEFAULT_MEMORIES,
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    timeouts: tuple[float, ...] = DEFAULT_TIMEOUTS,
+) -> list[BatchConfig]:
+    """Cartesian candidate grid, skipping useless (B=1, T>0) duplicates.
+
+    With ``B == 1`` every request dispatches immediately, so any positive
+    timeout is equivalent to ``T = 0``; keeping one representative shrinks
+    the exhaustive search without changing the optimum.
+    """
+    configs = []
+    for m, b, t in product(memories, batch_sizes, timeouts):
+        if b == 1 and t > 0:
+            continue
+        configs.append(BatchConfig(m, b, t))
+    return configs
+
+
+def grid_features(configs: list[BatchConfig]) -> np.ndarray:
+    """Stack a config list into an ``(n, 3)`` feature matrix."""
+    if not configs:
+        raise ValueError("configs must be non-empty")
+    return np.stack([c.as_array() for c in configs])

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the full workflow without writing Python:
+
+* ``traces``   — generate/inspect workload traces (npz or csv);
+* ``train``    — label windows with the simulator and train a surrogate;
+* ``optimize`` — one DeepBAT decision for a trace segment;
+* ``evaluate`` — closed-loop DeepBAT-vs-BATCH comparison over segments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.arrival.io import export_csv, load_trace, save_trace
+from repro.arrival.stats import interarrivals
+from repro.arrival.traces import STANDARD_TRACES
+from repro.baseline.controller import BATCHController
+from repro.batching.config import config_grid
+from repro.core.controller import DeepBATController
+from repro.core.dataset import generate_dataset
+from repro.core.training import TrainConfig, load_trained, save_trained, train_surrogate
+from repro.evaluation.harness import run_experiment
+from repro.evaluation.reporting import format_table
+from repro.serverless.platform import ServerlessPlatform
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepBAT reproduction: serverless inference batching optimization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tr = sub.add_parser("traces", help="generate or inspect workload traces")
+    p_tr.add_argument("action", choices=["generate", "stats"])
+    p_tr.add_argument("--kind", choices=sorted(STANDARD_TRACES), default="azure")
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--segments", type=int, default=24)
+    p_tr.add_argument("--segment-duration", type=float, default=60.0)
+    p_tr.add_argument("--out", help="output path (.npz or .csv)")
+    p_tr.add_argument("--path", help="trace to inspect (stats)")
+
+    p_train = sub.add_parser("train", help="train a surrogate on a trace")
+    p_train.add_argument("--trace", required=True, help="trace .npz path")
+    p_train.add_argument("--train-segments", type=int, default=12)
+    p_train.add_argument("--samples", type=int, default=2000)
+    p_train.add_argument("--seq-len", type=int, default=64)
+    p_train.add_argument("--epochs", type=int, default=40)
+    p_train.add_argument("--batch-size", type=int, default=24)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--out", required=True, help="model checkpoint path (.npz)")
+
+    p_opt = sub.add_parser("optimize", help="one DeepBAT decision")
+    p_opt.add_argument("--model", required=True)
+    p_opt.add_argument("--trace", required=True)
+    p_opt.add_argument("--segment", type=int, default=1,
+                       help="decide for this segment using the previous one")
+    p_opt.add_argument("--slo", type=float, default=0.1)
+
+    p_eval = sub.add_parser("evaluate", help="closed-loop comparison")
+    p_eval.add_argument("--model", required=True)
+    p_eval.add_argument("--trace", required=True)
+    p_eval.add_argument("--slo", type=float, default=0.1)
+    p_eval.add_argument("--segments", default="1:13", help="segment range a:b")
+    p_eval.add_argument("--controllers", default="deepbat,batch")
+    p_eval.add_argument("--update-every", type=int, default=512)
+    return parser
+
+
+def _cmd_traces(args) -> int:
+    if args.action == "generate":
+        if not args.out:
+            print("error: --out is required for generate", file=sys.stderr)
+            return 2
+        trace = STANDARD_TRACES[args.kind](
+            seed=args.seed, n_segments=args.segments,
+            segment_duration=args.segment_duration,
+        )
+        if args.out.endswith(".csv"):
+            export_csv(trace, args.out)
+        else:
+            save_trace(trace, args.out)
+        print(f"wrote {trace.timestamps.size} arrivals "
+              f"({trace.n_segments} segments) to {args.out}")
+        return 0
+    # stats
+    if not args.path:
+        print("error: --path is required for stats", file=sys.stderr)
+        return 2
+    trace = load_trace(args.path)
+    rows = [
+        [i, f"{trace.segment_rate(i):.1f}", f"{trace.segment_idc(i):.1f}"]
+        for i in range(trace.n_segments)
+    ]
+    print(format_table(["segment", "rate req/s", "IDC"], rows,
+                       title=f"trace {trace.name!r}"))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    trace = load_trace(args.trace)
+    if not 0 < args.train_segments <= trace.n_segments:
+        print("error: --train-segments out of range", file=sys.stderr)
+        return 2
+    head = (trace.split(args.train_segments)[0]
+            if args.train_segments < trace.n_segments else trace)
+    history = interarrivals(head.timestamps)
+    print(f"labelling {args.samples} windows (seq_len={args.seq_len})...")
+    dataset = generate_dataset(history, n_samples=args.samples,
+                               seq_len=args.seq_len, seed=args.seed)
+    print(f"training for up to {args.epochs} epochs...")
+    trained = train_surrogate(
+        dataset,
+        config=TrainConfig(epochs=args.epochs, batch_size=args.batch_size,
+                           seed=args.seed),
+    )
+    save_trained(trained, args.out)
+    best = trained.history.best_epoch
+    print(f"saved {args.out} (best epoch {best}, "
+          f"val MAPE {trained.history.val_mape[best]:.1f} %)")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    trained = load_trained(args.model)
+    trace = load_trace(args.trace)
+    controller = DeepBATController(trained)
+    history = interarrivals(trace.segment(args.segment - 1))
+    decision = controller.choose(history, args.slo)
+    print(f"segment {args.segment}: {decision.config}")
+    print(f"predicted p95 latency: {decision.optimization.predicted_latency * 1e3:.1f} ms")
+    print(f"predicted cost       : ${decision.optimization.predicted_cost_per_million:.4f}/1M req")
+    print(f"decision time        : {decision.decision_time * 1e3:.0f} ms")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    lo, _, hi = args.segments.partition(":")
+    segments = range(int(lo), int(hi))
+    trained = load_trained(args.model)
+    trace = load_trace(args.trace)
+    platform = ServerlessPlatform()
+    grid = config_grid()
+    rows = []
+    for name in args.controllers.split(","):
+        name = name.strip().lower()
+        if name == "deepbat":
+            chooser = DeepBATController(trained, configs=grid)
+            log = run_experiment(trace, chooser, slo=args.slo, platform=platform,
+                                 segments=segments, update_every=args.update_every,
+                                 name="deepbat")
+        elif name == "batch":
+            chooser = BATCHController(configs=grid, profile=platform.profile,
+                                      pricing=platform.pricing)
+            log = run_experiment(trace, chooser, slo=args.slo, platform=platform,
+                                 segments=segments, name="batch")
+        else:
+            print(f"error: unknown controller {name!r}", file=sys.stderr)
+            return 2
+        rows.append([
+            name,
+            f"{log.vcr_series().mean():.2f}",
+            f"{np.nanmean(log.latency_series(95)) * 1e3:.1f}",
+            f"{np.nanmean(log.cost_series()) * 1e6:.4f}",
+            f"{log.mean_decision_time * 1e3:.0f}",
+        ])
+    print(format_table(
+        ["controller", "mean VCR %", "mean p95 ms", "cost $/1M", "decision ms"],
+        rows,
+        title=f"{trace.name}: segments {args.segments}, SLO {args.slo * 1e3:.0f} ms",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return {
+            "traces": _cmd_traces,
+            "train": _cmd_train,
+            "optimize": _cmd_optimize,
+            "evaluate": _cmd_evaluate,
+        }[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""DeepBAT core: the Transformer surrogate, training/fine-tuning, the
+SLO-aware optimizer, and the end-to-end controller."""
+
+from repro.core.alternatives import (
+    MLPSurrogate,
+    RecurrentSurrogate,
+    summary_statistics,
+)
+from repro.core.controller import DeepBATController, DeepBATDecision
+from repro.core.drift import (
+    WorkloadDriftDetector,
+    prediction_drift,
+    window_statistics,
+)
+from repro.core.dataset import SurrogateDataset, generate_dataset, label_window
+from repro.core.features import (
+    FeaturePipeline,
+    SequenceScaler,
+    StandardScaler,
+    TargetSpec,
+)
+from repro.core.optimizer import OptimizationResult, SloAwareOptimizer
+from repro.core.parser import WorkloadParser
+from repro.core.surrogate import DeepBATSurrogate
+from repro.core.training import (
+    TrainConfig,
+    TrainedSurrogate,
+    TrainingHistory,
+    compute_gamma,
+    estimate_gamma,
+    fine_tune,
+    load_trained,
+    save_trained,
+    train_surrogate,
+)
+
+__all__ = [
+    "DeepBATController",
+    "DeepBATDecision",
+    "DeepBATSurrogate",
+    "FeaturePipeline",
+    "MLPSurrogate",
+    "OptimizationResult",
+    "RecurrentSurrogate",
+    "SequenceScaler",
+    "SloAwareOptimizer",
+    "StandardScaler",
+    "SurrogateDataset",
+    "TargetSpec",
+    "TrainConfig",
+    "TrainedSurrogate",
+    "TrainingHistory",
+    "WorkloadDriftDetector",
+    "WorkloadParser",
+    "compute_gamma",
+    "estimate_gamma",
+    "fine_tune",
+    "generate_dataset",
+    "label_window",
+    "load_trained",
+    "prediction_drift",
+    "save_trained",
+    "summary_statistics",
+    "train_surrogate",
+    "window_statistics",
+]

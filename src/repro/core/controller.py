@@ -1,0 +1,113 @@
+"""The DeepBAT controller — the full Fig. 2 loop.
+
+Wires the Workload Parser, the trained deep surrogate, the SLO-aware
+optimizer, and (for live serving) the batching buffer: observe arrivals →
+build the inter-arrival window → batch-predict every candidate
+configuration in one surrogate forward → pick the cheapest SLO-feasible
+configuration → reconfigure the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arrival.window import latest_window
+from repro.batching.buffer import BatchingBuffer
+from repro.batching.config import BatchConfig, config_grid
+from repro.core.optimizer import OptimizationResult, SloAwareOptimizer
+from repro.core.parser import WorkloadParser
+from repro.core.training import TrainedSurrogate
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class DeepBATDecision:
+    """Outcome of one DeepBAT optimization round."""
+
+    config: BatchConfig
+    optimization: OptimizationResult
+    predictions: np.ndarray  # (n_configs, n_outputs), unscaled targets
+    inference_time: float  # surrogate forward over the whole grid
+    decision_time: float  # inference + optimizer search
+
+
+class DeepBATController:
+    """SLO-aware configuration chooser backed by the deep surrogate."""
+
+    def __init__(
+        self,
+        surrogate: TrainedSurrogate,
+        configs: list[BatchConfig] | None = None,
+        percentile: float = 95.0,
+        gamma: float = 0.0,
+        window_length: int | None = None,
+    ) -> None:
+        self.surrogate = surrogate
+        configs = configs if configs is not None else config_grid()
+        self.optimizer = SloAwareOptimizer(
+            configs, spec=surrogate.pipeline.spec, percentile=percentile, gamma=gamma
+        )
+        self.window_length = (
+            window_length if window_length is not None else surrogate.model.seq_len
+        )
+        if self.window_length != surrogate.model.seq_len:
+            raise ValueError(
+                f"window_length {self.window_length} must equal the surrogate's "
+                f"sequence length {surrogate.model.seq_len}"
+            )
+        self.parser = WorkloadParser(window_length=self.window_length)
+        self.last_decision: DeepBATDecision | None = None
+
+    # ------------------------------------------------------------ decisions
+    def choose(self, interarrival_history: np.ndarray, slo: float) -> DeepBATDecision:
+        """One optimization round from a raw inter-arrival history."""
+        window = latest_window(
+            np.asarray(interarrival_history, dtype=float), self.window_length
+        )
+        with Timer() as t_inf:
+            preds = self.surrogate.predict(window, self.optimizer.features)
+        with Timer() as t_opt:
+            result = self.optimizer.choose(preds, slo)
+        decision = DeepBATDecision(
+            config=result.config,
+            optimization=result,
+            predictions=preds,
+            inference_time=t_inf.elapsed,
+            decision_time=t_inf.elapsed + t_opt.elapsed,
+        )
+        self.last_decision = decision
+        return decision
+
+    def set_gamma(self, gamma: float) -> None:
+        """Tighten/relax the SLO margin γ (fast OOD reaction, §III-D)."""
+        self.optimizer.set_gamma(gamma)
+
+    # ---------------------------------------------------------- live serving
+    def serve(
+        self, arrival_times: np.ndarray, slo: float, reoptimize_every: int = 256
+    ) -> tuple[list, list[DeepBATDecision]]:
+        """Drive a live buffer over an arrival stream (Fig. 2 request flow).
+
+        Re-optimizes after every ``reoptimize_every`` arrivals once a full
+        window is available. Returns the dispatched batches and the decision
+        log. This exercises the *online* code path; the evaluation harness
+        uses the vectorized per-segment variant instead.
+        """
+        if reoptimize_every < 1:
+            raise ValueError("reoptimize_every must be >= 1")
+        arrival_times = np.asarray(arrival_times, dtype=float)
+        decisions: list[DeepBATDecision] = []
+        buffer = BatchingBuffer(self.optimizer.configs[0])
+        batches = []
+        for i, t in enumerate(arrival_times):
+            self.parser.observe(float(t))
+            batches.extend(buffer.observe(float(t)))
+            if self.parser.has_full_window() and (i + 1) % reoptimize_every == 0:
+                decision = self.choose(self.parser.interarrivals(), slo)
+                decisions.append(decision)
+                buffer.reconfigure(decision.config)
+        if arrival_times.size:
+            batches.extend(buffer.flush(float(arrival_times[-1])))
+        return batches, decisions

@@ -1,0 +1,113 @@
+"""Training-set generation for the surrogate (§III-D, Offline Model
+Training).
+
+Following the paper: randomly sample arrival-sequence windows of length
+``l`` from the processed historical data, pair each with a randomly picked
+configuration (M, B, T) from the candidate space, and label the pair with
+the simulated ground truth — per-request cost and latency percentiles of
+serving exactly that window under that configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arrival.window import sample_windows
+from repro.batching.config import BatchConfig, config_grid, grid_features
+from repro.batching.simulator import simulate
+from repro.core.features import TargetSpec
+from repro.serverless.platform import ServerlessPlatform
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class SurrogateDataset:
+    """Aligned (sequence, config-features, targets) arrays.
+
+    ``sequences``: (n, seq_len) raw inter-arrival windows (unscaled);
+    ``features``: (n, 3) raw (M, B, T);
+    ``targets``: (n, 1 + #percentiles) [cost per 1M req, latency percentiles].
+    """
+
+    sequences: np.ndarray
+    features: np.ndarray
+    targets: np.ndarray
+    spec: TargetSpec
+
+    def __post_init__(self) -> None:
+        n = len(self.sequences)
+        if len(self.features) != n or len(self.targets) != n:
+            raise ValueError("sequences, features and targets must align")
+        if self.targets.shape[1] != self.spec.n_outputs:
+            raise ValueError(
+                f"targets must have {self.spec.n_outputs} columns, "
+                f"got {self.targets.shape[1]}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def subset(self, idx: np.ndarray) -> "SurrogateDataset":
+        return SurrogateDataset(
+            self.sequences[idx], self.features[idx], self.targets[idx], self.spec
+        )
+
+    def concat(self, other: "SurrogateDataset") -> "SurrogateDataset":
+        if other.spec.percentiles != self.spec.percentiles:
+            raise ValueError("cannot concatenate datasets with different specs")
+        return SurrogateDataset(
+            np.concatenate([self.sequences, other.sequences]),
+            np.concatenate([self.features, other.features]),
+            np.concatenate([self.targets, other.targets]),
+            self.spec,
+        )
+
+
+def label_window(
+    window: np.ndarray,
+    config: BatchConfig,
+    platform: ServerlessPlatform,
+    spec: TargetSpec,
+) -> np.ndarray:
+    """Ground-truth label of one (window, config) pair via simulation."""
+    timestamps = np.concatenate([[0.0], np.cumsum(window)])
+    result = simulate(timestamps, config, platform)
+    return spec.pack(
+        result.cost_per_request, result.latency_percentiles(spec.percentiles)
+    )
+
+
+def generate_dataset(
+    interarrival_history: np.ndarray,
+    n_samples: int,
+    seq_len: int = 256,
+    configs: list[BatchConfig] | None = None,
+    platform: ServerlessPlatform | None = None,
+    spec: TargetSpec | None = None,
+    seed: int | None | np.random.Generator = None,
+) -> SurrogateDataset:
+    """Sample ``n_samples`` (window × random config) training pairs.
+
+    ``interarrival_history`` is the processed historical data (e.g. the
+    first 12 hours of the Azure trace); configurations are drawn uniformly
+    from ``configs`` (default: the standard candidate grid), so the model
+    sees the whole decision space during training.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    rng = as_rng(seed)
+    platform = platform if platform is not None else ServerlessPlatform()
+    spec = spec if spec is not None else TargetSpec()
+    configs = configs if configs is not None else config_grid()
+    if not configs:
+        raise ValueError("configs must be non-empty")
+
+    windows = sample_windows(interarrival_history, seq_len, n_samples, rng)
+    chosen = rng.integers(0, len(configs), size=n_samples)
+    feats = grid_features(configs)[chosen]
+    targets = np.empty((n_samples, spec.n_outputs))
+    for i in range(n_samples):
+        targets[i] = label_window(windows[i], configs[chosen[i]], platform, spec)
+    return SurrogateDataset(windows, feats, targets, spec)

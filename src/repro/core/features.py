@@ -1,0 +1,167 @@
+"""Feature/target scaling for the surrogate model.
+
+Three streams need consistent scaling (§III-D):
+
+* the inter-arrival **sequence** S — heavy-tailed positive values, scaled by
+  a fitted reference mean so the network sees O(1) inputs on any workload;
+* the **configuration features** F = (M, B, T) — standardized ("we first
+  implement standardization to scale the values", Eq. 5);
+* the **targets** O — cost reported in USD per 10⁶ requests and latency in
+  seconds, both naturally O(1) (which is why the paper sets the Huber δ=1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serverless.pricing import cost_per_million
+
+
+@dataclass
+class StandardScaler:
+    """Per-column standardization ``(x − μ)/σ`` with σ floored at 1e-12."""
+
+    mean: np.ndarray | None = None
+    std: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D data, got shape {x.shape}")
+        if len(x) < 1:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean = x.mean(axis=0)
+        self.std = np.maximum(x.std(axis=0), 1e-12)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(x, dtype=float) - self.mean) / self.std
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(z, dtype=float) * self.std + self.mean
+
+    def _check_fitted(self) -> None:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("scaler has not been fitted")
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        self._check_fitted()
+        return {"mean": self.mean.copy(), "std": self.std.copy()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.mean = np.asarray(state["mean"], dtype=float)
+        self.std = np.asarray(state["std"], dtype=float)
+
+
+@dataclass
+class SequenceScaler:
+    """Scale inter-arrival sequences by a fitted reference mean.
+
+    Dividing by the training-set mean inter-arrival keeps the transformer's
+    inputs O(1) across workloads whose absolute rates differ by orders of
+    magnitude — the scale information the model still needs survives in the
+    *relative* values within each window.
+    """
+
+    reference: float | None = None
+
+    def fit(self, sequences: np.ndarray) -> "SequenceScaler":
+        x = np.asarray(sequences, dtype=float)
+        ref = float(x.mean())
+        if not ref > 0:
+            raise ValueError("sequence data must have a positive mean")
+        self.reference = ref
+        return self
+
+    def transform(self, sequences: np.ndarray) -> np.ndarray:
+        if self.reference is None:
+            raise RuntimeError("scaler has not been fitted")
+        return np.asarray(sequences, dtype=float) / self.reference
+
+    def fit_transform(self, sequences: np.ndarray) -> np.ndarray:
+        return self.fit(sequences).transform(sequences)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self.reference is None:
+            raise RuntimeError("scaler has not been fitted")
+        return {"reference": np.array([self.reference])}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.reference = float(np.asarray(state["reference"]).ravel()[0])
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Layout of the surrogate's output vector O = [cost, P(percentiles)]."""
+
+    percentiles: tuple[float, ...] = (50.0, 75.0, 90.0, 95.0, 99.0)
+
+    @property
+    def n_outputs(self) -> int:
+        return 1 + len(self.percentiles)
+
+    def pack(self, cost_per_request: "float | np.ndarray",
+             latency_percentiles: np.ndarray) -> np.ndarray:
+        """Build a target row [cost per 1M requests, latency percentiles]."""
+        lat = np.asarray(latency_percentiles, dtype=float)
+        if lat.shape[-1] != len(self.percentiles):
+            raise ValueError(
+                f"expected {len(self.percentiles)} percentiles, got {lat.shape[-1]}"
+            )
+        cost = cost_per_million(np.asarray(cost_per_request, dtype=float))
+        cost_col = np.expand_dims(np.atleast_1d(cost), -1) if lat.ndim > 1 else np.atleast_1d(cost)
+        return np.concatenate([cost_col, lat], axis=-1)
+
+    def unpack(self, outputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split model outputs into (cost per 1M requests, percentile block)."""
+        outputs = np.asarray(outputs, dtype=float)
+        return outputs[..., 0], outputs[..., 1:]
+
+    def percentile_index(self, percentile: float) -> int:
+        """Column of ``percentile`` inside the *latency block*."""
+        try:
+            return self.percentiles.index(percentile)
+        except ValueError as exc:
+            raise ValueError(
+                f"percentile {percentile} not in spec {self.percentiles}"
+            ) from exc
+
+
+@dataclass
+class FeaturePipeline:
+    """Bundles the three scalers; fitted once on the training set and reused
+    verbatim online and during fine-tuning."""
+
+    sequence: SequenceScaler = field(default_factory=SequenceScaler)
+    config: StandardScaler = field(default_factory=StandardScaler)
+    spec: TargetSpec = field(default_factory=TargetSpec)
+
+    def fit(self, sequences: np.ndarray, config_features: np.ndarray) -> "FeaturePipeline":
+        self.sequence.fit(sequences)
+        self.config.fit(config_features)
+        return self
+
+    def transform(
+        self, sequences: np.ndarray, config_features: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.sequence.transform(sequences), self.config.transform(config_features)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out = {f"sequence.{k}": v for k, v in self.sequence.state_dict().items()}
+        out.update({f"config.{k}": v for k, v in self.config.state_dict().items()})
+        out["spec.percentiles"] = np.asarray(self.spec.percentiles)
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.sequence.load_state_dict({"reference": state["sequence.reference"]})
+        self.config.load_state_dict(
+            {"mean": state["config.mean"], "std": state["config.std"]}
+        )
+        self.spec = TargetSpec(tuple(float(p) for p in state["spec.percentiles"]))

@@ -1,0 +1,110 @@
+"""The SLO-aware two-step optimizer (§III-E).
+
+Given the surrogate's predictions for every candidate configuration, solve
+Eq. 10 by exhaustive search: step 1 keeps configurations whose predicted
+SLO-percentile latency satisfies the (γ-tightened) constraint; step 2
+returns the cheapest survivor. An infeasible step 1 falls back to the
+lowest-predicted-latency configuration — a safe answer rather than none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batching.config import BatchConfig, grid_features
+from repro.core.features import TargetSpec
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Chosen configuration plus the predictions that justified it."""
+
+    config: BatchConfig
+    index: int
+    predicted_cost_per_million: float
+    predicted_latency: float
+    feasible: bool
+    n_feasible: int
+
+
+class SloAwareOptimizer:
+    """Exhaustive-search optimizer over surrogate predictions.
+
+    Parameters
+    ----------
+    configs:
+        Candidate grid (Eq. 10c–e bounds are enforced by
+        :class:`BatchConfig` itself).
+    spec:
+        Output layout of the surrogate.
+    percentile:
+        Which latency percentile the SLO constrains (Eq. 10b; paper: 95).
+    gamma:
+        Robustness margin γ ≥ 0: the constraint becomes
+        ``P̂ ≤ SLO / (1 + γ)`` (§III-D fine-tuning discussion).
+    """
+
+    def __init__(
+        self,
+        configs: list[BatchConfig],
+        spec: TargetSpec | None = None,
+        percentile: float = 95.0,
+        gamma: float = 0.0,
+    ) -> None:
+        if not configs:
+            raise ValueError("configs must be non-empty")
+        if gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {gamma}")
+        self.configs = list(configs)
+        self.spec = spec if spec is not None else TargetSpec()
+        self.percentile = percentile
+        self.gamma = gamma
+        self._features = grid_features(self.configs)
+        self._lat_col = 1 + self.spec.percentile_index(percentile)
+
+    @property
+    def features(self) -> np.ndarray:
+        """(n_configs, 3) raw feature matrix for batched prediction."""
+        return self._features
+
+    def set_gamma(self, gamma: float) -> None:
+        if gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {gamma}")
+        self.gamma = gamma
+
+    def choose(self, predictions: np.ndarray, slo: float) -> OptimizationResult:
+        """Step-1 filter + step-2 argmin over ``predictions``.
+
+        ``predictions``: (n_configs, n_outputs) surrogate outputs aligned
+        with ``self.configs``.
+        """
+        if slo <= 0:
+            raise ValueError(f"slo must be > 0, got {slo}")
+        preds = np.asarray(predictions, dtype=float)
+        if preds.shape != (len(self.configs), self.spec.n_outputs):
+            raise ValueError(
+                f"predictions must be {(len(self.configs), self.spec.n_outputs)}, "
+                f"got {preds.shape}"
+            )
+        cost = preds[:, 0]
+        latency = preds[:, self._lat_col]
+        threshold = slo / (1.0 + self.gamma)
+        feasible = latency <= threshold
+        n_feasible = int(feasible.sum())
+        if n_feasible:
+            candidates = np.where(feasible)[0]
+            best = int(candidates[np.argmin(cost[candidates])])
+            ok = True
+        else:
+            best = int(np.argmin(latency))
+            ok = False
+        return OptimizationResult(
+            config=self.configs[best],
+            index=best,
+            predicted_cost_per_million=float(cost[best]),
+            predicted_latency=float(latency[best]),
+            feasible=ok,
+            n_feasible=n_feasible,
+        )

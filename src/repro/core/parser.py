@@ -1,0 +1,61 @@
+"""The Workload Parser (Fig. 2, §III-C).
+
+Unlike BATCH's MAP-fitting front end, the parser simply collects arrival
+timestamps and exposes the raw inter-arrival window the surrogate consumes
+— no fitting step, no fitting error, and statistics can refresh on every
+arrival.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrival.window import latest_window
+
+
+class WorkloadParser:
+    """Streaming collector of arrival timestamps → inter-arrival windows."""
+
+    def __init__(self, window_length: int = 256, max_history: int = 100_000) -> None:
+        if window_length < 1:
+            raise ValueError(f"window_length must be >= 1, got {window_length}")
+        if max_history < window_length + 1:
+            raise ValueError("max_history must exceed window_length")
+        self.window_length = window_length
+        self.max_history = max_history
+        self._times: list[float] = []
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._times)
+
+    def observe(self, arrival_time: float) -> None:
+        """Record one arrival (non-decreasing times enforced)."""
+        if self._times and arrival_time < self._times[-1]:
+            raise ValueError(
+                f"arrival times must be non-decreasing: {arrival_time} < {self._times[-1]}"
+            )
+        self._times.append(float(arrival_time))
+        if len(self._times) > self.max_history:
+            del self._times[: len(self._times) - self.max_history]
+
+    def observe_many(self, arrival_times: np.ndarray) -> None:
+        for t in np.asarray(arrival_times, dtype=float):
+            self.observe(float(t))
+
+    def interarrivals(self) -> np.ndarray:
+        """All currently held inter-arrival times."""
+        if len(self._times) < 2:
+            return np.empty(0)
+        return np.diff(np.asarray(self._times))
+
+    def window(self) -> np.ndarray:
+        """The most recent ``window_length`` inter-arrivals, left-padded
+        when the history is still short (§III-A padding note)."""
+        return latest_window(self.interarrivals(), self.window_length)
+
+    def has_full_window(self) -> bool:
+        return len(self._times) >= self.window_length + 1
+
+    def reset(self) -> None:
+        self._times.clear()

@@ -1,0 +1,39 @@
+"""Evaluation: metrics (VCR Eq. 11), the closed-loop harness, reporting,
+and the cached experiment workbench."""
+
+from repro.evaluation.comparison import ComparisonReport, compare_controllers
+from repro.evaluation.harness import (
+    ExperimentLog,
+    OracleChooser,
+    SegmentOutcome,
+    run_experiment,
+    run_oracle,
+    run_segment,
+)
+from repro.evaluation.metrics import cdf_percentile_mape, empirical_cdf, mape, vcr
+from repro.evaluation.plots import bar_chart, histogram, sparkline
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.workbench import Workbench, WorkbenchSettings, get_workbench
+
+__all__ = [
+    "ComparisonReport",
+    "ExperimentLog",
+    "compare_controllers",
+    "OracleChooser",
+    "SegmentOutcome",
+    "Workbench",
+    "WorkbenchSettings",
+    "bar_chart",
+    "cdf_percentile_mape",
+    "empirical_cdf",
+    "format_series",
+    "format_table",
+    "get_workbench",
+    "histogram",
+    "mape",
+    "sparkline",
+    "run_experiment",
+    "run_oracle",
+    "run_segment",
+    "vcr",
+]

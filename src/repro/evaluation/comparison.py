@@ -1,0 +1,96 @@
+"""Multi-controller comparison orchestration.
+
+Bundles the common evaluation pattern — several controllers replayed over
+the same trace and segments, plus the ground-truth oracle — into one call
+returning a :class:`ComparisonReport` with aligned per-segment series and a
+rendered summary table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arrival.traces import Trace
+from repro.batching.config import BatchConfig
+from repro.evaluation.harness import Chooser, ExperimentLog, run_experiment, run_oracle
+from repro.evaluation.reporting import format_table
+from repro.serverless.platform import ServerlessPlatform
+
+
+@dataclass
+class ComparisonReport:
+    """Aligned results of several controllers over one trace."""
+
+    trace: str
+    slo: float
+    logs: dict[str, ExperimentLog] = field(default_factory=dict)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.logs)
+
+    def summary_rows(self) -> list[list]:
+        rows = []
+        for name, log in self.logs.items():
+            rows.append([
+                name,
+                f"{log.vcr_series().mean():.2f}",
+                f"{np.nanmax(log.vcr_series()):.1f}",
+                f"{np.nanmean(log.latency_series(95)) * 1e3:.1f}",
+                f"{np.nanmean(log.cost_series()) * 1e6:.4f}",
+                f"{log.mean_decision_time * 1e3:.1f}",
+            ])
+        return rows
+
+    def render(self) -> str:
+        return format_table(
+            ["controller", "mean VCR %", "max VCR %", "mean p95 ms",
+             "cost $/1M", "decision ms"],
+            self.summary_rows(),
+            title=f"{self.trace}: SLO {self.slo * 1e3:.0f} ms",
+        )
+
+    def best_by_cost_meeting_slo(self, vcr_threshold: float = 1.0) -> str | None:
+        """The cheapest controller whose mean VCR stays below the threshold."""
+        feasible = [
+            (np.nanmean(log.cost_series()), name)
+            for name, log in self.logs.items()
+            if log.vcr_series().mean() <= vcr_threshold
+        ]
+        if not feasible:
+            return None
+        return min(feasible)[1]
+
+
+def compare_controllers(
+    trace: Trace,
+    controllers: dict[str, tuple[Chooser, int | None]],
+    slo: float,
+    platform: ServerlessPlatform | None = None,
+    segments: range | None = None,
+    include_oracle: bool = False,
+    oracle_configs: list[BatchConfig] | None = None,
+) -> ComparisonReport:
+    """Replay every controller over the same segments.
+
+    ``controllers`` maps a display name to ``(chooser, update_every)``;
+    ``update_every=None`` means one decision per segment (BATCH-style).
+    With ``include_oracle`` the exhaustive ground-truth optimum is added
+    as the reference line (requires ``oracle_configs``).
+    """
+    platform = platform if platform is not None else ServerlessPlatform()
+    report = ComparisonReport(trace=trace.name, slo=slo)
+    for name, (chooser, update_every) in controllers.items():
+        report.logs[name] = run_experiment(
+            trace, chooser, slo=slo, platform=platform,
+            segments=segments, update_every=update_every, name=name,
+        )
+    if include_oracle:
+        if not oracle_configs:
+            raise ValueError("include_oracle requires oracle_configs")
+        report.logs["ground-truth"] = run_oracle(
+            trace, oracle_configs, slo=slo, platform=platform, segments=segments
+        )
+    return report

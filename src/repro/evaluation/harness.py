@@ -1,0 +1,224 @@
+"""Closed-loop experiment harness.
+
+Replays a trace segment by segment ("hour by hour"): before each segment a
+*chooser* (BATCH, DeepBAT, or the ground-truth oracle) picks a
+configuration from the workload observed so far, the segment is then served
+under that choice in the ground-truth simulator, and per-segment metrics
+are logged. DeepBAT can additionally re-optimize *within* a segment (its
+fast decisions make that affordable — the adaptivity advantage of §IV-C/D),
+while BATCH re-fits only at segment boundaries, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.arrival.stats import interarrivals
+from repro.arrival.traces import Trace
+from repro.batching.config import BatchConfig
+from repro.batching.simulator import SimulationResult, simulate
+from repro.evaluation.metrics import vcr
+from repro.serverless.platform import ServerlessPlatform
+
+
+class Chooser(Protocol):
+    """Anything that picks a configuration from an inter-arrival history."""
+
+    def choose(self, interarrival_history: np.ndarray, slo: float):
+        """Returns an object with a ``.config`` attribute."""
+        ...
+
+
+@dataclass(frozen=True)
+class SegmentOutcome:
+    """Metrics of one trace segment served under a chooser's decisions."""
+
+    segment: int
+    configs: tuple[BatchConfig, ...]
+    latencies: np.ndarray
+    total_cost: float
+    n_requests: int
+    decision_times: tuple[float, ...]
+
+    def p(self, percentile: float) -> float:
+        if self.latencies.size == 0:
+            return np.nan
+        return float(np.percentile(self.latencies, percentile))
+
+    @property
+    def cost_per_request(self) -> float:
+        return self.total_cost / self.n_requests if self.n_requests else np.nan
+
+    def vcr(self, slo: float, sequence_length: int = 256, percentile: float = 95.0) -> float:
+        return vcr(self.latencies, slo, sequence_length, percentile)
+
+
+@dataclass
+class ExperimentLog:
+    """Per-segment outcomes for one chooser over one trace."""
+
+    name: str
+    trace: str
+    slo: float
+    outcomes: list[SegmentOutcome] = field(default_factory=list)
+
+    def vcr_series(self, sequence_length: int = 256, percentile: float = 95.0) -> np.ndarray:
+        return np.array(
+            [o.vcr(self.slo, sequence_length, percentile) for o in self.outcomes]
+        )
+
+    def cost_series(self) -> np.ndarray:
+        return np.array([o.cost_per_request for o in self.outcomes])
+
+    def latency_series(self, percentile: float = 95.0) -> np.ndarray:
+        return np.array([o.p(percentile) for o in self.outcomes])
+
+    def all_latencies(self) -> np.ndarray:
+        if not self.outcomes:
+            return np.empty(0)
+        return np.concatenate([o.latencies for o in self.outcomes])
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(o.total_cost for o in self.outcomes))
+
+    @property
+    def mean_decision_time(self) -> float:
+        times = [t for o in self.outcomes for t in o.decision_times]
+        return float(np.mean(times)) if times else 0.0
+
+
+def run_segment(
+    trace: Trace,
+    segment: int,
+    chooser: Chooser,
+    slo: float,
+    platform: ServerlessPlatform,
+    update_every: int | None = None,
+    history_tail: int = 4096,
+) -> SegmentOutcome:
+    """Serve one segment under the chooser's decisions.
+
+    ``update_every``: re-optimize after this many requests *within* the
+    segment (None = one decision per segment, BATCH-style). The history
+    handed to the chooser is the previous segment plus the part of the
+    current segment already served, truncated to ``history_tail`` samples.
+    """
+    if segment < 1:
+        raise ValueError("segment must be >= 1 (segment 0 has no history)")
+    prev = trace.segment(segment - 1, relative=False)
+    current = trace.segment(segment, relative=False)
+
+    if current.size == 0:
+        return SegmentOutcome(segment, (), np.empty(0), 0.0, 0, ())
+
+    blocks: list[np.ndarray]
+    if update_every is None or current.size <= update_every:
+        blocks = [current]
+    else:
+        n_blocks = int(np.ceil(current.size / update_every))
+        blocks = np.array_split(current, n_blocks)
+
+    latencies: list[np.ndarray] = []
+    cost = 0.0
+    configs: list[BatchConfig] = []
+    dtimes: list[float] = []
+    served = np.empty(0)
+    for block in blocks:
+        history_ts = np.concatenate([prev, served])
+        hist = interarrivals(history_ts)[-history_tail:]
+        decision = chooser.choose(hist, slo)
+        configs.append(decision.config)
+        if hasattr(decision, "decision_time"):
+            dtimes.append(decision.decision_time)
+        elif hasattr(decision, "total_time"):
+            dtimes.append(decision.total_time)
+        result: SimulationResult = simulate(block, decision.config, platform)
+        latencies.append(result.latencies)
+        cost += result.total_cost
+        served = np.concatenate([served, block])
+
+    return SegmentOutcome(
+        segment=segment,
+        configs=tuple(configs),
+        latencies=np.concatenate(latencies),
+        total_cost=cost,
+        n_requests=current.size,
+        decision_times=tuple(dtimes),
+    )
+
+
+def run_experiment(
+    trace: Trace,
+    chooser: Chooser,
+    slo: float,
+    platform: ServerlessPlatform | None = None,
+    segments: range | None = None,
+    update_every: int | None = None,
+    name: str = "chooser",
+) -> ExperimentLog:
+    """Run a chooser over a range of segments (default: 1 … n−1)."""
+    platform = platform if platform is not None else ServerlessPlatform()
+    segments = segments if segments is not None else range(1, trace.n_segments)
+    log = ExperimentLog(name=name, trace=trace.name, slo=slo)
+    for seg in segments:
+        log.outcomes.append(
+            run_segment(trace, seg, chooser, slo, platform, update_every)
+        )
+    return log
+
+
+@dataclass
+class OracleChooser:
+    """Ground-truth oracle: exhaustively simulates the *upcoming* workload.
+
+    Used as the "Ground Truth" line of the paper's figures. Because it sees
+    the future it is not a real controller — it bounds what any controller
+    could achieve.
+    """
+
+    configs: list[BatchConfig]
+    platform: ServerlessPlatform
+    percentile: float = 95.0
+    future: np.ndarray | None = None
+
+    def set_future(self, timestamps: np.ndarray) -> None:
+        self.future = np.asarray(timestamps, dtype=float)
+
+    def choose(self, interarrival_history: np.ndarray, slo: float):
+        from repro.batching.simulator import ground_truth_optimum
+
+        if self.future is None:
+            raise RuntimeError("oracle needs set_future() before choose()")
+        config, _ = ground_truth_optimum(
+            self.future, self.configs, self.platform, slo, self.percentile
+        )
+
+        @dataclass(frozen=True)
+        class _Decision:
+            config: BatchConfig
+            decision_time: float = 0.0
+
+        return _Decision(config=config)
+
+
+def run_oracle(
+    trace: Trace,
+    configs: list[BatchConfig],
+    slo: float,
+    platform: ServerlessPlatform | None = None,
+    segments: range | None = None,
+    percentile: float = 95.0,
+) -> ExperimentLog:
+    """Ground-truth line: per segment, the exhaustive-search optimum."""
+    platform = platform if platform is not None else ServerlessPlatform()
+    segments = segments if segments is not None else range(1, trace.n_segments)
+    oracle = OracleChooser(configs, platform, percentile)
+    log = ExperimentLog(name="ground-truth", trace=trace.name, slo=slo)
+    for seg in segments:
+        oracle.set_future(trace.segment(seg, relative=False))
+        log.outcomes.append(run_segment(trace, seg, oracle, slo, platform))
+    return log

@@ -1,0 +1,78 @@
+"""Evaluation metrics: the SLO Violation Count Ratio (Eq. 11), MAPE, and
+latency-CDF comparison utilities (Fig. 13)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def vcr(
+    latencies: np.ndarray,
+    slo: float,
+    sequence_length: int = 256,
+    percentile: float = 95.0,
+) -> float:
+    """SLO Violation Count Ratio (Eq. 11), in percent.
+
+    The measured latencies are chunked into consecutive request sequences
+    of ``sequence_length``; a sequence *violates* when its
+    ``percentile``-latency exceeds the SLO. VCR is the violating fraction
+    ×100 — lower is better.
+    """
+    if slo <= 0:
+        raise ValueError(f"slo must be > 0, got {slo}")
+    if sequence_length < 1:
+        raise ValueError(f"sequence_length must be >= 1, got {sequence_length}")
+    lat = np.asarray(latencies, dtype=float)
+    if lat.size == 0:
+        return 0.0
+    n_chunks = max(1, lat.size // sequence_length)
+    usable = lat[: n_chunks * sequence_length] if lat.size >= sequence_length else lat
+    chunks = (
+        usable.reshape(n_chunks, sequence_length)
+        if lat.size >= sequence_length
+        else usable[None, :]
+    )
+    chunk_lat = np.percentile(chunks, percentile, axis=1)
+    return float((chunk_lat > slo).mean() * 100.0)
+
+
+def mape(predicted: np.ndarray, actual: np.ndarray, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error, in percent."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shapes must match: {predicted.shape} vs {actual.shape}"
+        )
+    denom = np.maximum(np.abs(actual), eps)
+    return float(np.mean(np.abs(predicted - actual) / denom) * 100.0)
+
+
+def empirical_cdf(samples: np.ndarray, grid: np.ndarray | None = None,
+                  n_points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``samples`` on a grid — the Fig. 13 curves.
+
+    Returns ``(grid, cdf_values)``.
+    """
+    samples = np.sort(np.asarray(samples, dtype=float))
+    if samples.size == 0:
+        raise ValueError("samples must be non-empty")
+    if grid is None:
+        grid = np.linspace(samples[0], samples[-1], n_points)
+    grid = np.asarray(grid, dtype=float)
+    cdf = np.searchsorted(samples, grid, side="right") / samples.size
+    return grid, cdf
+
+
+def cdf_percentile_mape(
+    predicted_percentiles: np.ndarray,
+    observed_latencies: np.ndarray,
+    percentiles: tuple[float, ...],
+) -> float:
+    """MAPE between predicted percentile values and the observed latency
+    distribution's percentiles — the "overall for all percentiles" number
+    the paper quotes per trace (2.85 % / 3.11 % / 3.32 % / 3.07 %)."""
+    observed = np.percentile(np.asarray(observed_latencies, dtype=float),
+                             np.asarray(percentiles))
+    return mape(np.asarray(predicted_percentiles, dtype=float), observed)

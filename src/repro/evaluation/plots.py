@@ -1,0 +1,78 @@
+"""Terminal plotting: sparklines, bar charts, and histograms.
+
+The paper communicates through figures; these helpers render the same data
+as compact Unicode charts in benchmark output and examples, so a terminal
+session can eyeball the VCR series, latency CDFs, and rate profiles without
+a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, lo: float | None = None, hi: float | None = None) -> str:
+    """Render a series as a one-line Unicode sparkline.
+
+    ``lo``/``hi`` pin the scale (default: data min/max); NaNs render as
+    spaces.
+    """
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size == 0:
+        return ""
+    finite = x[np.isfinite(x)]
+    if finite.size == 0:
+        return " " * x.size
+    lo = float(finite.min()) if lo is None else lo
+    hi = float(finite.max()) if hi is None else hi
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * x.size
+    scaled = (x - lo) / (hi - lo)
+    out = []
+    for v in scaled:
+        if not np.isfinite(v):
+            out.append(" ")
+        else:
+            idx = int(np.clip(v, 0, 1) * (len(_SPARK_LEVELS) - 1))
+            out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: list[str],
+    values: np.ndarray,
+    width: int = 40,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    values = np.asarray(values, dtype=float)
+    if len(labels) != values.size:
+        raise ValueError("labels and values must align")
+    if values.size == 0:
+        return ""
+    vmax = np.nanmax(np.abs(values))
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        n = 0 if not np.isfinite(v) or vmax == 0 else int(round(abs(v) / vmax * width))
+        lines.append(f"{label.ljust(label_w)} | {'█' * n} {fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def histogram(
+    samples: np.ndarray,
+    bins: int = 10,
+    width: int = 40,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Text histogram of a sample (one bin per line)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("samples must be non-empty")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(samples, bins=bins)
+    labels = [f"[{fmt.format(a)}, {fmt.format(b)})" for a, b in zip(edges[:-1], edges[1:])]
+    return bar_chart(labels, counts, width=width, fmt="{:.0f}")

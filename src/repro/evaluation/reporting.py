@@ -1,0 +1,40 @@
+"""ASCII reporting of experiment results — the benchmark harness prints the
+same rows/series the paper's figures and tables show."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: np.ndarray, fmt: str = "{:.3g}") -> str:
+    """One labelled series on a single line (a figure's data points)."""
+    vals = " ".join(fmt.format(v) for v in np.asarray(values).ravel())
+    return f"{name}: {vals}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,134 @@
+"""Functional operations built on :class:`repro.nn.tensor.Tensor`.
+
+Operations here either need custom (fused) gradients for numerical stability
+— e.g. :func:`softmax` — or combine several tensors — e.g. :func:`concat`.
+Purely elementwise helpers live as :class:`Tensor` methods.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, _unbroadcast
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` with a fused backward.
+
+    The Jacobian-vector product is ``s * (g - (g * s).sum(axis))`` which
+    avoids materializing the full Jacobian.
+    """
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    s = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        dot = (g * s).sum(axis=axis, keepdims=True)
+        x._accumulate(s * (g - dot))
+
+    return Tensor._from_op(s, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Stable ``log(softmax(x))`` with fused backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    s = np.exp(out)
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g - s * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._from_op(out, (x,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``; gradient splits back per input."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concat requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g: np.ndarray) -> None:
+        for t, piece in zip(tensors, np.split(g, splits, axis=axis)):
+            t._accumulate(piece)
+
+    return Tensor._from_op(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            t._accumulate(np.take(g, i, axis=axis))
+
+    return Tensor._from_op(data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a constant boolean array."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(np.where(cond, g, 0.0))
+        b._accumulate(np.where(cond, 0.0, g))
+
+    return Tensor._from_op(np.where(cond, a.data, b.data), (a, b), backward)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Set ``x[mask] = value``; gradient is blocked on masked positions.
+
+    Used for attention masking (Eq. 4 in the paper): masked logits are set to
+    a large negative number before softmax.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    data = np.where(mask, value, x.data)
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(np.where(mask, 0.0, g))
+
+    return Tensor._from_op(data, (x,), backward)
+
+
+def mean_pool(x: Tensor, axis: int = 1) -> Tensor:
+    """Mean pooling along ``axis`` (used to collapse the sequence dimension
+    of the encoder output before the fusion attention, Fig. 3)."""
+    return x.mean(axis=axis)
+
+
+def huber(x: Tensor, delta: float = 1.0) -> Tensor:
+    """Elementwise Huber penalty of residuals ``x`` (Eq. 7).
+
+    Quadratic within ``|x| <= delta``, linear beyond — less outlier-sensitive
+    than squared error, which is why the paper adopts it.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    absx = np.abs(x.data)
+    small = absx <= delta
+    data = np.where(small, 0.5 * x.data**2, delta * (absx - 0.5 * delta))
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g * np.where(small, x.data, delta * np.sign(x.data)))
+
+    return Tensor._from_op(data, (x,), backward)
+
+
+def dropout_mask(shape: tuple[int, ...], p: float, rng: np.random.Generator) -> np.ndarray:
+    """Inverted-dropout mask: keep with prob ``1-p``, scale kept units."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if p == 0.0:
+        return np.ones(shape)
+    keep = rng.random(shape) >= p
+    return keep / (1.0 - p)

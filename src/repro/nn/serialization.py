@@ -1,0 +1,27 @@
+"""Model checkpointing: save/load state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_state(module: Module, path: str | os.PathLike) -> None:
+    """Write ``module``'s parameters to a compressed ``.npz`` file."""
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_state` into ``module``.
+
+    Raises ``KeyError``/``ValueError`` on any name or shape mismatch — a
+    checkpoint for a differently-configured model is rejected, not silently
+    truncated.
+    """
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,35 @@
+"""Serverless platform substrate: Lambda pricing, deterministic service
+profiles, cold starts, and the invocation/billing model."""
+
+from repro.serverless.platform import InvocationRecord, ServerlessPlatform
+from repro.serverless.pricing import (
+    DEFAULT_BILLING_GRANULARITY,
+    DEFAULT_GB_SECOND_PRICE,
+    DEFAULT_REQUEST_PRICE,
+    LambdaPricing,
+    cost_per_million,
+)
+from repro.serverless.service_profile import (
+    DEFAULT_PROFILE,
+    MAX_MEMORY_MB,
+    MIN_MEMORY_MB,
+    VCPU_KNEE_MB,
+    ColdStartModel,
+    ServiceProfile,
+)
+
+__all__ = [
+    "DEFAULT_BILLING_GRANULARITY",
+    "DEFAULT_GB_SECOND_PRICE",
+    "DEFAULT_PROFILE",
+    "DEFAULT_REQUEST_PRICE",
+    "MAX_MEMORY_MB",
+    "MIN_MEMORY_MB",
+    "VCPU_KNEE_MB",
+    "ColdStartModel",
+    "InvocationRecord",
+    "LambdaPricing",
+    "ServerlessPlatform",
+    "ServiceProfile",
+    "cost_per_million",
+]

@@ -1,0 +1,103 @@
+"""Serverless platform model: function instances and invocation accounting.
+
+Under Lambda-style autoscaling every dispatched batch gets its own
+(concurrent) execution environment, so batches never queue behind each
+other; the platform's role in the simulation is the deterministic service
+time, the billing record, and (optionally) cold starts and a concurrency
+cap. :class:`ServerlessPlatform` bundles those pieces behind one interface
+used by the ground-truth simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serverless.pricing import LambdaPricing
+from repro.serverless.service_profile import ColdStartModel, ServiceProfile
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """Billing/latency record of one function invocation (= one batch)."""
+
+    dispatch_time: float
+    batch_size: int
+    memory_mb: float
+    service_time: float
+    cold_start: float
+    cost: float
+
+    @property
+    def completion_time(self) -> float:
+        return self.dispatch_time + self.cold_start + self.service_time
+
+
+@dataclass
+class ServerlessPlatform:
+    """A Lambda-like platform executing batched inference invocations."""
+
+    profile: ServiceProfile = field(default_factory=ServiceProfile)
+    pricing: LambdaPricing = field(default_factory=LambdaPricing)
+    cold_start: ColdStartModel | None = None
+    concurrency_limit: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.concurrency_limit is not None and self.concurrency_limit < 1:
+            raise ValueError("concurrency_limit must be >= 1 or None")
+        self._rng = as_rng(self.seed)
+
+    def invoke_batches(
+        self,
+        dispatch_times: np.ndarray,
+        batch_sizes: np.ndarray,
+        memory_mb: float,
+    ) -> list[InvocationRecord]:
+        """Execute a sequence of batch dispatches; returns billing records.
+
+        With a ``concurrency_limit`` set, excess invocations are delayed
+        until an execution slot frees up (Lambda's account-level throttle),
+        which adds queueing delay on top of the buffer wait.
+        """
+        dispatch_times = np.asarray(dispatch_times, dtype=float)
+        batch_sizes = np.asarray(batch_sizes, dtype=int)
+        if dispatch_times.shape != batch_sizes.shape:
+            raise ValueError("dispatch_times and batch_sizes must align")
+        n = dispatch_times.size
+        if n == 0:
+            return []
+
+        service = np.asarray(
+            self.profile.service_time(memory_mb, batch_sizes), dtype=float
+        ).reshape(n)
+        if self.cold_start is not None:
+            colds = self.cold_start.sample_delays(memory_mb, n, self._rng)
+        else:
+            colds = np.zeros(n)
+
+        starts = dispatch_times.copy()
+        if self.concurrency_limit is not None:
+            # Earliest-available-slot assignment over a fixed pool.
+            free_at = np.zeros(self.concurrency_limit)
+            for i in range(n):
+                slot = int(np.argmin(free_at))
+                starts[i] = max(dispatch_times[i], free_at[slot])
+                free_at[slot] = starts[i] + colds[i] + service[i]
+
+        durations = colds + service
+        costs = self.pricing.invocation_cost(memory_mb, durations)
+        costs = np.broadcast_to(np.asarray(costs), (n,))
+        return [
+            InvocationRecord(
+                dispatch_time=float(starts[i]),
+                batch_size=int(batch_sizes[i]),
+                memory_mb=memory_mb,
+                service_time=float(service[i]),
+                cold_start=float(colds[i]),
+                cost=float(costs[i]),
+            )
+            for i in range(n)
+        ]

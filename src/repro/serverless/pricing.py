@@ -1,0 +1,74 @@
+"""AWS-Lambda-style pricing model.
+
+Lambda bills each invocation as (allocated GB) × (billed duration) at a
+per-GB-second price, plus a flat per-request fee, with duration rounded up
+to a billing granularity (1 ms since Dec 2020). These published constants
+drive every cost number in the reproduction; the *per-request* cost of a
+batch divides the invocation cost by the batch size — the economic core of
+batching (§II, Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: USD per GB-second (AWS Lambda x86 price, us-east-1).
+DEFAULT_GB_SECOND_PRICE = 0.0000166667
+#: USD per invocation request.
+DEFAULT_REQUEST_PRICE = 0.0000002
+#: Billing granularity in seconds (1 ms).
+DEFAULT_BILLING_GRANULARITY = 0.001
+
+
+@dataclass(frozen=True)
+class LambdaPricing:
+    """Pricing constants for a Lambda-like platform."""
+
+    gb_second_price: float = DEFAULT_GB_SECOND_PRICE
+    request_price: float = DEFAULT_REQUEST_PRICE
+    billing_granularity: float = DEFAULT_BILLING_GRANULARITY
+
+    def __post_init__(self) -> None:
+        if self.gb_second_price < 0 or self.request_price < 0:
+            raise ValueError("prices must be non-negative")
+        if self.billing_granularity <= 0:
+            raise ValueError("billing_granularity must be > 0")
+
+    def billed_duration(self, duration: "float | np.ndarray") -> "float | np.ndarray":
+        """Round ``duration`` (seconds) up to the billing granularity."""
+        g = self.billing_granularity
+        return np.ceil(np.asarray(duration) / g) * g
+
+    def invocation_cost(
+        self, memory_mb: "float | np.ndarray", duration: "float | np.ndarray"
+    ) -> "float | np.ndarray":
+        """USD cost of one invocation of ``duration`` seconds at
+        ``memory_mb`` MB."""
+        memory_mb = np.asarray(memory_mb, dtype=float)
+        if np.any(memory_mb <= 0):
+            raise ValueError("memory_mb must be > 0")
+        gb = memory_mb / 1024.0
+        cost = gb * self.billed_duration(duration) * self.gb_second_price + self.request_price
+        return float(cost) if np.ndim(cost) == 0 else cost
+
+    def per_request_cost(
+        self,
+        memory_mb: "float | np.ndarray",
+        duration: "float | np.ndarray",
+        batch_size: "int | np.ndarray",
+    ) -> "float | np.ndarray":
+        """USD cost per request when ``batch_size`` requests share one
+        invocation."""
+        batch_size = np.asarray(batch_size)
+        if np.any(batch_size < 1):
+            raise ValueError("batch_size must be >= 1")
+        cost = self.invocation_cost(memory_mb, duration) / batch_size
+        return float(cost) if np.ndim(cost) == 0 else cost
+
+
+def cost_per_million(per_request_usd: "float | np.ndarray") -> "float | np.ndarray":
+    """Convert a per-request USD cost to USD per 1e6 requests — the unit the
+    library reports (it keeps surrogate training targets near unity)."""
+    return per_request_usd * 1e6

@@ -1,0 +1,148 @@
+"""Deterministic inference service-time profile ``s(M, B)``.
+
+The paper profiles TED-LIUM speech-recognition inference on AWS Lambda and
+establishes (citing SERF and the BATCH experiments) that service times are
+*deterministic* given the memory size ``M`` and the batch size ``B``. We
+model that profiled table with the two well-documented Lambda effects:
+
+* **Memory scaling** — Lambda allocates CPU proportionally to memory up to
+  the single-vCPU knee (1 vCPU at 1769–1792 MB); beyond the knee extra
+  memory adds cores that help only partially (``multicore_efficiency``).
+* **Batch parallelism** — batched inference amortizes the fixed invocation
+  and model-evaluation overhead; per-batch time grows sublinearly as
+  ``t_batch · B^batch_exponent``.
+
+The default constants are calibrated so the Fig. 1-style curves have the
+paper's shape: latency falls steeply with M then flattens; per-request cost
+falls with B; latency grows with B and T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Memory (MB) at which Lambda reaches one full vCPU.
+VCPU_KNEE_MB = 1792.0
+#: Lambda memory bounds (Eq. 10e).
+MIN_MEMORY_MB = 128.0
+MAX_MEMORY_MB = 10240.0
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Deterministic service-time model for one deployed ML model.
+
+    Parameters
+    ----------
+    base_time:
+        Fixed per-invocation overhead (runtime dispatch, tensor setup) in
+        seconds, measured at the reference memory (the vCPU knee).
+    batch_time:
+        Incremental per-batch work coefficient (seconds) at the knee.
+    batch_exponent:
+        Sublinearity of batch computation (1 = linear, <1 = parallel gains).
+    min_memory_mb:
+        Below this the model does not fit (configuration infeasible).
+    multicore_efficiency:
+        Fraction of post-knee memory that translates into useful speedup.
+    memory_sublinearity:
+        Exponent of the pre-knee CPU-share speedup. Lambda allocates CPU
+        proportionally to memory, but measured inference speedups are
+        sublinear (memory-bandwidth and fixed-cost effects), which is what
+        makes *cost rise with memory* in the paper's Fig. 1a.
+    """
+
+    base_time: float = 0.005
+    batch_time: float = 0.003
+    batch_exponent: float = 0.7
+    min_memory_mb: float = MIN_MEMORY_MB
+    multicore_efficiency: float = 0.3
+    memory_sublinearity: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.base_time < 0 or self.batch_time < 0:
+            raise ValueError("time coefficients must be non-negative")
+        if not 0 < self.batch_exponent <= 1:
+            raise ValueError("batch_exponent must be in (0, 1]")
+        if self.min_memory_mb < MIN_MEMORY_MB:
+            raise ValueError(f"min_memory_mb must be >= {MIN_MEMORY_MB}")
+        if not 0 <= self.multicore_efficiency <= 1:
+            raise ValueError("multicore_efficiency must be in [0, 1]")
+        if not 0 < self.memory_sublinearity <= 1:
+            raise ValueError("memory_sublinearity must be in (0, 1]")
+
+    def speedup(self, memory_mb: "float | np.ndarray") -> "float | np.ndarray":
+        """Compute speedup factor relative to the vCPU knee (1.0 there)."""
+        m = np.asarray(memory_mb, dtype=float)
+        if np.any(m < MIN_MEMORY_MB) or np.any(m > MAX_MEMORY_MB):
+            raise ValueError(
+                f"memory must be within [{MIN_MEMORY_MB}, {MAX_MEMORY_MB}] MB"
+            )
+        below = (np.minimum(m, VCPU_KNEE_MB) / VCPU_KNEE_MB) ** self.memory_sublinearity
+        above = np.maximum(m - VCPU_KNEE_MB, 0.0) / VCPU_KNEE_MB
+        s = below + self.multicore_efficiency * above
+        return float(s) if np.ndim(s) == 0 else s
+
+    def service_time(
+        self, memory_mb: "float | np.ndarray", batch_size: "int | np.ndarray"
+    ) -> "float | np.ndarray":
+        """Deterministic batch service time ``s(M, B)`` in seconds.
+
+        Raises for memory below the model's footprint — such configurations
+        are infeasible (OOM on the real platform), matching how the BATCH
+        search space excludes them.
+        """
+        b = np.asarray(batch_size)
+        if np.any(b < 1):
+            raise ValueError("batch_size must be >= 1")
+        m = np.asarray(memory_mb, dtype=float)
+        if np.any(m < self.min_memory_mb):
+            raise ValueError(
+                f"memory {m} MB below model footprint {self.min_memory_mb} MB"
+            )
+        work = self.base_time + self.batch_time * b**self.batch_exponent
+        t = work / self.speedup(m)
+        return float(t) if np.ndim(t) == 0 else t
+
+    def per_request_time(
+        self, memory_mb: "float | np.ndarray", batch_size: "int | np.ndarray"
+    ) -> "float | np.ndarray":
+        """Service time amortized per request — the batching win."""
+        return self.service_time(memory_mb, batch_size) / np.asarray(batch_size)
+
+
+@dataclass(frozen=True)
+class ColdStartModel:
+    """Optional cold-start penalty.
+
+    Real Lambda cold starts add container + model-load time that shrinks
+    with memory. Disabled by default (the paper's analysis, like BATCH's,
+    assumes warmed functions); the failure-injection benches enable it.
+    """
+
+    base_delay: float = 0.25
+    memory_scaling: float = 0.5
+    cold_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if not 0 <= self.cold_probability <= 1:
+            raise ValueError("cold_probability must be in [0, 1]")
+
+    def delay(self, memory_mb: float) -> float:
+        """Cold-start delay at ``memory_mb`` (seconds)."""
+        return self.base_delay * (VCPU_KNEE_MB / memory_mb) ** self.memory_scaling
+
+    def sample_delays(
+        self, memory_mb: float, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-invocation cold-start delays (0 for warm starts)."""
+        cold = rng.random(n) < self.cold_probability
+        return np.where(cold, self.delay(memory_mb), 0.0)
+
+
+#: The TED-LIUM-like speech model used throughout the evaluation.
+DEFAULT_PROFILE = ServiceProfile()

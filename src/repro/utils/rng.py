@@ -1,0 +1,41 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``seed`` — either an
+integer, ``None`` (fresh entropy), or an existing
+:class:`numpy.random.Generator` — and normalizes it through :func:`as_rng`.
+This keeps experiments reproducible end to end while letting callers share a
+single generator across components when they want correlated streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator"
+
+
+def as_rng(seed: int | None | np.random.Generator = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged (shared stream);
+    passing an int gives a deterministic fresh generator; ``None`` draws OS
+    entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None | np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split one seed into ``n`` independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the children are
+    statistically independent regardless of ``n``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by jumping the parent's bit generator state.
+        return [np.random.default_rng(seed.integers(0, 2**63)) for _ in range(n)]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

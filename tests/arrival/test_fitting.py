@@ -1,0 +1,100 @@
+"""Tests for the KPC-style MAP fitting used by the BATCH baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrival.fitting import correlated_h2_map, empirical_targets, fit_map
+from repro.arrival.map_process import poisson_map
+from repro.arrival.mmpp import mmpp2
+
+
+class TestEmpiricalTargets:
+    def test_basic(self):
+        mean, c2, rho1 = empirical_targets(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert mean == pytest.approx(1.0)
+        assert c2 == pytest.approx(0.0)
+        assert rho1 == pytest.approx(0.0)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            empirical_targets(np.array([1.0]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            empirical_targets(np.array([1.0, -0.5]))
+
+
+class TestCorrelatedH2:
+    @given(
+        st.floats(0.001, 1.0),
+        st.floats(1.2, 50.0),
+        st.floats(0.0, 0.3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_match_when_feasible(self, mean, c2, rho1):
+        m = correlated_h2_map(mean, c2, rho1)
+        assert m.mean_interarrival() == pytest.approx(mean, rel=1e-6)
+        assert m.scv() == pytest.approx(c2, rel=1e-5)
+        fitted_rho = float(m.autocorrelation(1)[0])
+        # Either matched exactly or clamped at the 2-phase feasibility bound.
+        assert fitted_rho == pytest.approx(rho1, abs=1e-6) or fitted_rho < rho1
+
+    def test_geometric_acf(self):
+        m = correlated_h2_map(0.01, 10.0, 0.2)
+        rho = m.autocorrelation(4)
+        ratios = rho[1:] / rho[:-1]
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            correlated_h2_map(-1.0, 2.0, 0.1)
+        with pytest.raises(ValueError):
+            correlated_h2_map(1.0, 0.9, 0.1)
+
+
+class TestFitMap:
+    def test_poisson_data_gives_poisson(self):
+        ts = poisson_map(100.0).sample(duration=100.0, seed=0)
+        fitted, report = fit_map(np.diff(ts))
+        assert report.kind == "poisson"
+        assert fitted.arrival_rate() == pytest.approx(100.0, rel=0.1)
+
+    def test_deterministic_data_gives_erlang(self):
+        x = np.full(500, 0.01) + np.random.default_rng(0).normal(0, 1e-4, 500)
+        fitted, report = fit_map(np.abs(x))
+        assert report.kind.startswith("erlang")
+        assert fitted.scv() < 0.5
+
+    def test_bursty_data_gives_correlated_map(self):
+        m = mmpp2(200.0, 5.0, 0.5, 0.5)
+        x = np.diff(m.sample(duration=120.0, seed=1))
+        fitted, report = fit_map(x)
+        assert report.kind == "mmpp2"
+        assert report.mean_error < 0.01
+        assert fitted.scv() == pytest.approx(report.target_scv, rel=1e-3)
+        assert float(fitted.autocorrelation(1)[0]) > 0.0
+
+    def test_uncorrelated_high_variance_gives_hyperexp(self):
+        rng = np.random.default_rng(3)
+        # i.i.d. hyperexponential-ish: mixture of two exponential scales
+        x = np.where(rng.random(20_000) < 0.1, rng.exponential(10.0, 20_000),
+                     rng.exponential(0.5, 20_000))
+        fitted, report = fit_map(x)
+        assert report.kind in ("hyperexp", "mmpp2")
+        assert fitted.scv() > 2.0
+
+    def test_fitted_process_is_sampleable(self):
+        m = mmpp2(200.0, 5.0, 0.5, 0.5)
+        x = np.diff(m.sample(duration=60.0, seed=5))
+        fitted, _ = fit_map(x)
+        ts = fitted.sample(n_arrivals=100, seed=0)
+        assert ts.size == 100
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_fit_preserves_mean_rate_across_kinds(self):
+        for seed, proc in [(0, poisson_map(50.0)), (1, mmpp2(100.0, 5.0, 1.0, 1.0))]:
+            x = np.diff(proc.sample(duration=100.0, seed=seed))
+            fitted, report = fit_map(x)
+            assert fitted.mean_interarrival() == pytest.approx(report.target_mean, rel=0.05)

@@ -1,0 +1,164 @@
+"""Tests for the MAP process class and standard constructors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrival.map_process import MAP, erlang_map, hyperexp_map, poisson_map
+from repro.arrival.mmpp import mmpp2
+
+
+class TestValidation:
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            MAP(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MAP(-np.eye(2), np.ones((3, 3)))
+
+    def test_rejects_bad_row_sums(self):
+        with pytest.raises(ValueError):
+            MAP(np.array([[-2.0]]), np.array([[1.0]]))
+
+    def test_rejects_negative_d1(self):
+        d0 = np.array([[-1.0, 2.0], [0.5, -1.5]])
+        d1 = np.array([[0.0, -1.0], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MAP(d0, d1)
+
+    def test_rejects_nonnegative_diagonal(self):
+        with pytest.raises(ValueError):
+            MAP(np.array([[0.0]]), np.array([[0.0]]))
+
+
+class TestPoisson:
+    def test_moments(self):
+        m = poisson_map(5.0)
+        assert m.arrival_rate() == pytest.approx(5.0)
+        assert m.mean_interarrival() == pytest.approx(0.2)
+        assert m.scv() == pytest.approx(1.0)
+        np.testing.assert_allclose(m.autocorrelation(5), np.zeros(5), atol=1e-12)
+
+    def test_idi_is_one(self):
+        assert poisson_map(3.0).idi() == pytest.approx(1.0, abs=1e-9)
+
+    def test_sample_rate(self):
+        ts = poisson_map(50.0).sample(duration=100.0, seed=0)
+        assert ts.size == pytest.approx(5000, rel=0.1)
+        assert np.all(np.diff(ts) >= 0)
+        assert ts[-1] <= 100.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_map(0.0)
+
+
+class TestErlang:
+    def test_scv_below_one(self):
+        m = erlang_map(2.0, stages=4)
+        assert m.mean_interarrival() == pytest.approx(0.5)
+        assert m.scv() == pytest.approx(0.25, rel=1e-6)
+
+    def test_renewal_no_autocorrelation(self):
+        m = erlang_map(1.0, stages=3)
+        np.testing.assert_allclose(m.autocorrelation(3), np.zeros(3), atol=1e-10)
+
+
+class TestHyperexp:
+    def test_matches_mean_and_scv(self):
+        m = hyperexp_map(4.0, scv=8.0)
+        assert m.mean_interarrival() == pytest.approx(0.25, rel=1e-9)
+        assert m.scv() == pytest.approx(8.0, rel=1e-6)
+
+    def test_renewal_no_autocorrelation(self):
+        m = hyperexp_map(1.0, scv=3.0)
+        np.testing.assert_allclose(m.autocorrelation(4), np.zeros(4), atol=1e-10)
+
+    def test_requires_scv_above_one(self):
+        with pytest.raises(ValueError):
+            hyperexp_map(1.0, scv=0.8)
+
+
+class TestMMPP2:
+    def test_stationary_phase_closed_form(self):
+        m = mmpp2(10.0, 1.0, switch12=0.5, switch21=1.5)
+        theta = m.stationary_phase()
+        np.testing.assert_allclose(theta, [0.75, 0.25], atol=1e-9)
+
+    def test_arrival_rate_closed_form(self):
+        m = mmpp2(10.0, 1.0, switch12=0.5, switch21=1.5)
+        assert m.arrival_rate() == pytest.approx(0.75 * 10 + 0.25 * 1, rel=1e-9)
+
+    def test_positive_autocorrelation(self):
+        m = mmpp2(50.0, 1.0, switch12=0.2, switch21=0.2)
+        rho = m.autocorrelation(5)
+        assert np.all(rho > 0)
+        assert np.all(np.diff(rho) < 0)  # geometric-like decay
+
+    def test_idi_exceeds_one_for_bursty(self):
+        m = mmpp2(50.0, 1.0, switch12=0.2, switch21=0.2)
+        assert m.idi(max_lag=500) > 5.0
+
+    def test_sample_duration_vs_count_modes(self):
+        m = mmpp2(20.0, 2.0, 1.0, 1.0)
+        by_count = m.sample(n_arrivals=100, seed=1)
+        assert by_count.size == 100
+        by_time = m.sample(duration=10.0, seed=1)
+        assert by_time.size > 0 and by_time[-1] <= 10.0
+        with pytest.raises(ValueError):
+            m.sample()
+        with pytest.raises(ValueError):
+            m.sample(n_arrivals=10, duration=1.0)
+
+    def test_sampled_rate_matches_analytic(self):
+        m = mmpp2(100.0, 10.0, 0.5, 0.5)
+        ts = m.sample(duration=200.0, seed=3)
+        assert ts.size / 200.0 == pytest.approx(m.arrival_rate(), rel=0.15)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            mmpp2(-1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mmpp2(0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mmpp2(1.0, 1.0, 0.0, 1.0)
+
+
+class TestSamplingDeterminism:
+    def test_same_seed_same_trace(self):
+        m = mmpp2(20.0, 2.0, 1.0, 1.0)
+        np.testing.assert_allclose(
+            m.sample(n_arrivals=50, seed=7), m.sample(n_arrivals=50, seed=7)
+        )
+
+    def test_different_seeds_differ(self):
+        m = mmpp2(20.0, 2.0, 1.0, 1.0)
+        a = m.sample(n_arrivals=50, seed=1)
+        b = m.sample(n_arrivals=50, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_start_phase_validation(self):
+        m = mmpp2(20.0, 2.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            m.sample(n_arrivals=5, start_phase=5)
+
+
+@given(
+    st.floats(1.0, 100.0),
+    st.floats(0.01, 1.0),
+    st.floats(0.1, 5.0),
+    st.floats(0.1, 5.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_mmpp2_moment_identities(r1, r2_frac, s12, s21):
+    """Property: analytic mean interarrival equals 1/arrival_rate, SCV >= 1
+    for any MMPP2, and the stationary phase vector is a distribution."""
+    m = mmpp2(r1, r1 * r2_frac, s12, s21)
+    theta = m.stationary_phase()
+    assert theta.shape == (2,)
+    assert abs(theta.sum() - 1) < 1e-8
+    lam = m.arrival_rate()
+    assert m.mean_interarrival() == pytest.approx(1.0 / lam, rel=1e-6)
+    assert m.scv() >= 1.0 - 1e-9  # MMPPs are never smoother than Poisson

@@ -1,0 +1,136 @@
+"""Tests for the synthetic traces (Fig. 4/5 statistics) and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.arrival.traces import (
+    Trace,
+    alibaba_like,
+    azure_like,
+    map_synthetic,
+    twitter_like,
+)
+from repro.arrival.window import latest_window, sample_windows, sliding_windows
+
+
+def small(gen, **kw):
+    return gen(seed=0, n_segments=4, segment_duration=20.0, base_rate=60.0, **kw)
+
+
+class TestTraceContainer:
+    def test_segments_partition_timestamps(self):
+        tr = small(azure_like)
+        total = sum(tr.segment(i).size for i in range(tr.n_segments))
+        assert total == tr.timestamps.size
+
+    def test_segment_relative_offsets(self):
+        tr = small(azure_like)
+        seg = tr.segment(2, relative=True)
+        assert np.all(seg >= 0) and np.all(seg <= tr.segment_duration)
+        absolute = tr.segment(2, relative=False)
+        np.testing.assert_allclose(absolute - 2 * tr.segment_duration, seg)
+
+    def test_segment_bounds(self):
+        tr = small(azure_like)
+        with pytest.raises(IndexError):
+            tr.segment(99)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            Trace("bad", np.array([2.0, 1.0]), 10.0, 1)
+
+    def test_split(self):
+        tr = small(azure_like)
+        head, tail = tr.split(2)
+        assert head.n_segments == 2 and tail.n_segments == 2
+        assert head.timestamps.size + tail.timestamps.size == tr.timestamps.size
+        assert np.all(tail.timestamps >= 0)
+        np.testing.assert_allclose(
+            tail.segment(0), tr.segment(2), atol=1e-9
+        )
+
+    def test_split_bounds(self):
+        tr = small(azure_like)
+        with pytest.raises(ValueError):
+            tr.split(0)
+
+    def test_rate_series_shape(self):
+        tr = small(azure_like)
+        centers, rates = tr.rate_series(bins_per_segment=5)
+        assert centers.size == 4 * 5
+        assert rates.sum() * (tr.segment_duration / 5) == pytest.approx(
+            tr.timestamps.size, rel=0.01
+        )
+
+
+class TestTraceStatistics:
+    """The burstiness ordering the paper's Fig. 5 establishes."""
+
+    def test_determinism(self):
+        a = small(azure_like)
+        b = small(azure_like)
+        np.testing.assert_allclose(a.timestamps, b.timestamps)
+
+    def test_idc_ordering_twitter_mildest(self):
+        tw = twitter_like(seed=1, n_segments=6, segment_duration=30.0)
+        az = azure_like(seed=1, n_segments=6, segment_duration=30.0)
+        al = alibaba_like(seed=1, n_segments=6, segment_duration=30.0)
+        assert np.median(tw.idc_series()) < np.median(az.idc_series())
+        assert np.median(az.idc_series()) < np.median(al.idc_series())
+
+    def test_twitter_idc_band(self):
+        tw = twitter_like(seed=2, n_segments=8, segment_duration=30.0)
+        med = np.median(tw.idc_series())
+        assert 1.5 < med < 15.0  # paper: "around 4 for most periods"
+
+    def test_bursty_traces_have_high_idc(self):
+        for gen in (alibaba_like, map_synthetic):
+            tr = gen(seed=3, n_segments=6, segment_duration=30.0)
+            assert np.max(tr.idc_series()) > 50.0
+
+    def test_alibaba_rate_swings(self):
+        tr = alibaba_like(seed=0, n_segments=12, segment_duration=30.0)
+        rates = np.array([tr.segment_rate(i) for i in range(12)])
+        assert rates.max() / max(rates.min(), 1e-9) > 3.0
+
+
+class TestWindows:
+    def test_latest_window_exact(self):
+        x = np.arange(10.0)
+        np.testing.assert_allclose(latest_window(x, 4), [6, 7, 8, 9])
+
+    def test_latest_window_pads_left_with_mean(self):
+        x = np.array([2.0, 4.0])
+        np.testing.assert_allclose(latest_window(x, 4), [3.0, 3.0, 2.0, 4.0])
+
+    def test_latest_window_empty(self):
+        np.testing.assert_allclose(latest_window(np.array([]), 3), np.zeros(3))
+
+    def test_latest_window_custom_pad(self):
+        np.testing.assert_allclose(
+            latest_window(np.array([1.0]), 3, pad_value=9.0), [9.0, 9.0, 1.0]
+        )
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            latest_window(np.ones(3), 0)
+
+    def test_sliding_windows(self):
+        x = np.arange(6.0)
+        w = sliding_windows(x, 3, stride=2)
+        np.testing.assert_allclose(w, [[0, 1, 2], [2, 3, 4]])
+
+    def test_sliding_windows_short_input(self):
+        assert sliding_windows(np.ones(2), 5).shape == (0, 5)
+
+    def test_sample_windows_shape_and_content(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(100.0)
+        w = sample_windows(x, 10, 7, rng)
+        assert w.shape == (7, 10)
+        # Each window is a contiguous run.
+        np.testing.assert_allclose(np.diff(w, axis=1), np.ones((7, 9)))
+
+    def test_sample_windows_too_short(self):
+        with pytest.raises(ValueError):
+            sample_windows(np.ones(3), 10, 2, np.random.default_rng(0))

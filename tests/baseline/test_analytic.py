@@ -1,0 +1,124 @@
+"""Tests for the BATCH analytic model, cross-validated against simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrival.map_process import poisson_map
+from repro.arrival.mmpp import mmpp2_with_burstiness
+from repro.baseline.analytic import BatchAnalyticModel, weighted_percentiles
+from repro.batching.config import BatchConfig
+from repro.batching.simulator import simulate
+from repro.serverless.platform import ServerlessPlatform
+
+PLAT = ServerlessPlatform()
+
+
+class TestWeightedPercentiles:
+    def test_uniform_weights_match_step_quantiles(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        w = np.ones(4)
+        out = weighted_percentiles(v, w, np.array([25.0, 50.0, 100.0]))
+        np.testing.assert_allclose(out, [1.0, 2.0, 4.0])
+
+    def test_weights_shift_quantiles(self):
+        v = np.array([0.0, 10.0])
+        w = np.array([9.0, 1.0])
+        assert weighted_percentiles(v, w, np.array([50.0]))[0] == 0.0
+        assert weighted_percentiles(v, w, np.array([95.0]))[0] == 10.0
+
+    def test_unsorted_input_ok(self):
+        v = np.array([3.0, 1.0, 2.0])
+        w = np.ones(3)
+        assert weighted_percentiles(v, w, np.array([50.0]))[0] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_percentiles(np.array([1.0]), np.array([1.0, 2.0]), np.array([50.0]))
+        with pytest.raises(ValueError):
+            weighted_percentiles(np.array([1.0]), np.array([0.0]), np.array([50.0]))
+        with pytest.raises(ValueError):
+            weighted_percentiles(np.array([1.0]), np.array([-1.0]), np.array([50.0]))
+
+
+class TestDegenerateConfigs:
+    def test_b1_latency_is_pure_service(self):
+        model = BatchAnalyticModel(poisson_map(100.0))
+        pred = model.evaluate(BatchConfig(1024.0, 1, 0.0))
+        svc = PLAT.profile.service_time(1024.0, 1)
+        np.testing.assert_allclose(pred.latency_percentiles, svc)
+        assert pred.mean_batch_size == 1.0
+        assert pred.p_full == 0.0
+
+    def test_timeout_zero_equals_b1(self):
+        model = BatchAnalyticModel(poisson_map(100.0))
+        a = model.evaluate(BatchConfig(1024.0, 1, 0.0))
+        b = model.evaluate(BatchConfig(1024.0, 16, 0.0))
+        assert a.cost_per_request == pytest.approx(b.cost_per_request)
+
+
+class TestAgainstSimulation:
+    """The analytic model must track simulated ground truth on its own MAP."""
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            BatchConfig(1024.0, 8, 0.05),
+            BatchConfig(512.0, 4, 0.02),
+            BatchConfig(1792.0, 16, 0.1),
+        ],
+    )
+    def test_poisson_percentiles_and_cost(self, cfg):
+        proc = poisson_map(150.0)
+        model = BatchAnalyticModel(proc)
+        pred = model.evaluate(cfg)
+        sim = simulate(proc.sample(duration=150.0, seed=0), cfg, PLAT)
+        assert pred.latency_at(95.0) == pytest.approx(sim.latency_percentile(95), rel=0.05)
+        assert pred.cost_per_request == pytest.approx(sim.cost_per_request, rel=0.05)
+        assert pred.mean_batch_size == pytest.approx(sim.mean_batch_size, rel=0.05)
+
+    def test_bursty_map_within_tolerance(self):
+        proc = mmpp2_with_burstiness(150.0, 1.6, 1.5, 0.45)
+        model = BatchAnalyticModel(proc)
+        cfg = BatchConfig(1024.0, 16, 0.1)
+        pred = model.evaluate(cfg)
+        sim = simulate(proc.sample(duration=150.0, seed=1), cfg, PLAT)
+        # Cycle-decoupling approximation: allow a looser band.
+        assert pred.latency_at(95.0) == pytest.approx(sim.latency_percentile(95), rel=0.12)
+        assert pred.cost_per_request == pytest.approx(sim.cost_per_request, rel=0.12)
+
+    def test_p_full_increases_with_rate(self):
+        cfg = BatchConfig(1024.0, 8, 0.05)
+        slow = BatchAnalyticModel(poisson_map(50.0)).evaluate(cfg)
+        fast = BatchAnalyticModel(poisson_map(500.0)).evaluate(cfg)
+        assert fast.p_full > slow.p_full
+
+    def test_latency_monotone_in_timeout(self):
+        model = BatchAnalyticModel(poisson_map(100.0))
+        p_small = model.evaluate(BatchConfig(1024.0, 32, 0.02))
+        p_large = model.evaluate(BatchConfig(1024.0, 32, 0.2))
+        assert p_large.latency_at(95.0) > p_small.latency_at(95.0)
+        assert p_large.cost_per_request < p_small.cost_per_request
+
+    def test_percentile_vector_is_sorted(self):
+        model = BatchAnalyticModel(poisson_map(100.0))
+        pred = model.evaluate(BatchConfig(1024.0, 8, 0.05))
+        assert np.all(np.diff(pred.latency_percentiles) >= 0)
+
+    @given(st.integers(2, 24), st.floats(0.01, 0.2))
+    @settings(max_examples=15, deadline=None)
+    def test_mass_accounting_properties(self, b, t):
+        """Property: p_full in [0,1], mean batch size in [1, B], cost and
+        percentiles positive and finite for any (B, T)."""
+        model = BatchAnalyticModel(poisson_map(120.0), n_steps=48)
+        pred = model.evaluate(BatchConfig(1024.0, b, t))
+        assert 0.0 <= pred.p_full <= 1.0
+        assert 1.0 <= pred.mean_batch_size <= b + 1e-9
+        assert np.isfinite(pred.cost_per_request) and pred.cost_per_request > 0
+        assert np.all(np.isfinite(pred.latency_percentiles))
+        assert np.all(pred.latency_percentiles > 0)
+
+    def test_invalid_n_steps(self):
+        with pytest.raises(ValueError):
+            BatchAnalyticModel(poisson_map(1.0), n_steps=2)

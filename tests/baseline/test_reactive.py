@@ -1,0 +1,81 @@
+"""Tests for the MArk-style reactive baseline."""
+
+import numpy as np
+import pytest
+
+from repro.arrival.map_process import poisson_map
+from repro.arrival.mmpp import mmpp2_with_burstiness
+from repro.baseline.reactive import ReactiveController
+from repro.batching.config import config_grid
+from repro.batching.simulator import simulate
+from repro.serverless.platform import ServerlessPlatform
+
+GRID = config_grid(
+    memories=(512.0, 1024.0, 1792.0),
+    batch_sizes=(1, 4, 8, 16),
+    timeouts=(0.0, 0.02, 0.05, 0.1),
+)
+PLAT = ServerlessPlatform()
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return ReactiveController(
+        configs=GRID, platform=PLAT, slo=0.1,
+        rate_bands=(25.0, 100.0, 400.0), profile_duration=20.0,
+    )
+
+
+class TestConstruction:
+    def test_table_covers_all_bands(self, controller):
+        table = controller.table()
+        assert set(table) == {25.0, 100.0, 400.0}
+        assert all(c in GRID for c in table.values())
+
+    def test_invalid_bands(self):
+        with pytest.raises(ValueError):
+            ReactiveController(configs=GRID, rate_bands=())
+        with pytest.raises(ValueError):
+            ReactiveController(configs=GRID, rate_bands=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            ReactiveController(configs=GRID, rate_bands=(0.0, 5.0))
+
+
+class TestDecisions:
+    def test_picks_nearest_band(self, controller):
+        hist = np.full(300, 1.0 / 90.0)  # ~90 req/s -> 100 band
+        d = controller.choose(hist, slo=0.1)
+        assert d.band_rate == 100.0
+        assert d.observed_rate == pytest.approx(90.0, rel=0.01)
+
+    def test_fast_decision(self, controller):
+        hist = np.full(300, 0.01)
+        d = controller.choose(hist, slo=0.1)
+        assert d.decision_time < 0.01  # table lookup, sub-10ms
+
+    def test_slo_mismatch_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.choose(np.full(10, 0.01), slo=0.2)
+
+    def test_good_on_stationary_poisson(self, controller):
+        """The lookup table is exact for the workloads it profiled."""
+        proc = poisson_map(100.0)
+        hist = np.diff(proc.sample(duration=20.0, seed=9))
+        future = proc.sample(duration=20.0, seed=10)
+        d = controller.choose(hist, slo=0.1)
+        sim = simulate(future, d.config, PLAT)
+        assert sim.latency_percentile(95) <= 0.1 * 1.2
+
+    def test_blind_to_burstiness(self, controller):
+        """Same mean rate, very different burstiness -> same config.
+
+        This is the structural weakness of rate-only reactive control."""
+        smooth = np.diff(poisson_map(100.0).sample(duration=20.0, seed=11))
+        bursty = np.diff(
+            mmpp2_with_burstiness(100.0, 3.0, 5.0, 0.15).sample(duration=60.0, seed=11)
+        )
+        d_smooth = controller.choose(smooth, slo=0.1)
+        # Use a tail whose mean rate matches the overall rate.
+        d_bursty = controller.choose(bursty, slo=0.1)
+        if d_bursty.band_rate == d_smooth.band_rate:
+            assert d_bursty.config == d_smooth.config

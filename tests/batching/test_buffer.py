@@ -1,0 +1,109 @@
+"""Tests for the online batching buffer, including cross-checks against
+the vectorized simulator (they implement the same (B, T) policy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batching.buffer import BatchingBuffer
+from repro.batching.config import BatchConfig
+from repro.batching.simulator import form_batches
+
+
+def drive(ts, config):
+    """Feed a full trace through the online buffer; return (ends, dispatches)."""
+    buf = BatchingBuffer(config)
+    batches = []
+    for t in ts:
+        batches.extend(buf.observe(t))
+    batches.extend(buf.flush())
+    ends = np.cumsum([b.size for b in batches])
+    disp = np.array([b.dispatch_time for b in batches])
+    return ends, disp
+
+
+class TestOnlineBuffer:
+    def test_size_triggered_dispatch(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 2, 10.0))
+        assert buf.observe(0.0) == []
+        out = buf.observe(0.5)
+        assert len(out) == 1
+        assert out[0].size == 2
+        assert out[0].dispatch_time == 0.5
+
+    def test_timeout_triggered_dispatch(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 10, 0.1))
+        buf.observe(0.0)
+        out = buf.poll(0.2)
+        assert len(out) == 1
+        assert out[0].dispatch_time == pytest.approx(0.1)
+
+    def test_waits_never_exceed_timeout(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 4, 0.05))
+        rng = np.random.default_rng(0)
+        ts = np.sort(rng.uniform(0, 5, 200))
+        batches = []
+        for t in ts:
+            batches.extend(buf.observe(t))
+        batches.extend(buf.flush())
+        for b in batches:
+            assert np.all(b.waits() <= 0.05 + 1e-12)
+            assert np.all(b.waits() >= -1e-12)
+
+    def test_rejects_time_travel(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 2, 1.0))
+        buf.observe(1.0)
+        with pytest.raises(ValueError):
+            buf.observe(0.5)
+
+    def test_reconfigure_applies_to_future_batches(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 4, 10.0))
+        buf.observe(0.0)
+        buf.reconfigure(BatchConfig(1024.0, 2, 10.0))
+        out = buf.observe(0.1)
+        assert len(out) == 1 and out[0].size == 2
+
+    def test_flush_empties_buffer(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 100, 50.0))
+        for t in [0.0, 0.1, 0.2]:
+            buf.observe(t)
+        assert buf.pending == 3
+        out = buf.flush()
+        assert buf.pending == 0
+        assert sum(b.size for b in out) == 3
+
+    def test_indices_are_sequential(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 2, 1.0))
+        all_batches = []
+        for t in [0.0, 0.1, 0.2, 0.3]:
+            all_batches.extend(buf.observe(t))
+        idx = np.concatenate([b.indices for b in all_batches])
+        np.testing.assert_allclose(idx, [0, 1, 2, 3])
+
+
+class TestBufferMatchesSimulator:
+    """The online buffer and the vectorized batch former must agree."""
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=100, unique=True),
+        st.integers(1, 8),
+        st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_same_partition_and_dispatches(self, raw, b, t):
+        ts = np.sort(np.asarray(raw))
+        cfg = BatchConfig(1024.0, b, t)
+        sim_ends, sim_disp = form_batches(ts, b, t)
+        buf_ends, buf_disp = drive(ts, cfg)
+        np.testing.assert_array_equal(buf_ends, sim_ends)
+        np.testing.assert_allclose(buf_disp, sim_disp, atol=1e-12)
+
+    def test_bursty_trace_agreement(self):
+        rng = np.random.default_rng(42)
+        # clustered arrivals stress the timeout-vs-size tie logic
+        ts = np.sort(np.concatenate([rng.uniform(0, 0.01, 30), rng.uniform(5, 5.01, 30)]))
+        sim_ends, sim_disp = form_batches(ts, 8, 0.05)
+        buf_ends, buf_disp = drive(ts, BatchConfig(1024.0, 8, 0.05))
+        np.testing.assert_array_equal(buf_ends, sim_ends)
+        np.testing.assert_allclose(buf_disp, sim_disp, atol=1e-12)

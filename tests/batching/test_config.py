@@ -1,0 +1,72 @@
+"""Tests for batching configurations and the candidate grid (Eq. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.batching.config import (
+    DEFAULT_BATCH_SIZES,
+    DEFAULT_MEMORIES,
+    DEFAULT_TIMEOUTS,
+    BatchConfig,
+    config_grid,
+    grid_features,
+)
+
+
+class TestBatchConfig:
+    def test_valid_construction(self):
+        c = BatchConfig(1024.0, 8, 0.05)
+        assert c.memory_mb == 1024.0
+
+    def test_eq10_bounds(self):
+        with pytest.raises(ValueError):
+            BatchConfig(64.0, 1, 0.0)  # below 128 MB (Eq. 10e)
+        with pytest.raises(ValueError):
+            BatchConfig(20000.0, 1, 0.0)  # above 10240 MB
+        with pytest.raises(ValueError):
+            BatchConfig(1024.0, 0, 0.0)  # Eq. 10c
+        with pytest.raises(ValueError):
+            BatchConfig(1024.0, 1, -0.1)  # Eq. 10d
+
+    def test_as_array(self):
+        np.testing.assert_allclose(
+            BatchConfig(512.0, 4, 0.1).as_array(), [512.0, 4.0, 0.1]
+        )
+
+    def test_hashable_and_ordered(self):
+        a = BatchConfig(512.0, 4, 0.1)
+        b = BatchConfig(512.0, 4, 0.1)
+        assert a == b and hash(a) == hash(b)
+        assert BatchConfig(256.0, 1, 0.0) < a
+
+    def test_str_format(self):
+        assert "B=4" in str(BatchConfig(512.0, 4, 0.1))
+
+
+class TestGrid:
+    def test_skips_redundant_b1_timeouts(self):
+        grid = config_grid()
+        b1 = [c for c in grid if c.batch_size == 1]
+        assert all(c.timeout == 0.0 for c in b1)
+        assert len(b1) == len(DEFAULT_MEMORIES)
+
+    def test_full_size(self):
+        grid = config_grid()
+        expected = len(DEFAULT_MEMORIES) * (
+            (len(DEFAULT_BATCH_SIZES) - 1) * len(DEFAULT_TIMEOUTS) + 1
+        )
+        assert len(grid) == expected
+
+    def test_custom_grid(self):
+        grid = config_grid(memories=(512.0,), batch_sizes=(2, 4), timeouts=(0.0, 0.1))
+        assert len(grid) == 4
+
+    def test_grid_features_matrix(self):
+        grid = config_grid(memories=(512.0,), batch_sizes=(2,), timeouts=(0.0, 0.1))
+        feats = grid_features(grid)
+        assert feats.shape == (2, 3)
+        np.testing.assert_allclose(feats[:, 0], 512.0)
+
+    def test_grid_features_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grid_features([])

@@ -1,0 +1,108 @@
+"""Tests for the multi-class (MBS-style) batching extension."""
+
+import numpy as np
+import pytest
+
+from repro.arrival.map_process import poisson_map
+from repro.batching.multiclass import (
+    MultiClassConfig,
+    RequestClass,
+    optimize_multiclass,
+    simulate_multiclass,
+)
+from repro.serverless.platform import ServerlessPlatform
+
+PLAT = ServerlessPlatform()
+
+
+def make_classes():
+    return [
+        RequestClass("interactive", poisson_map(150.0).sample(duration=30.0, seed=0),
+                     slo=0.05),
+        RequestClass("batchy", poisson_map(300.0).sample(duration=30.0, seed=1),
+                     slo=0.3),
+    ]
+
+
+class TestRequestClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestClass("x", np.array([2.0, 1.0]), slo=0.1)
+        with pytest.raises(ValueError):
+            RequestClass("x", np.array([1.0]), slo=0.0)
+
+
+class TestMultiClassConfigAndSim:
+    def test_simulate_covers_every_class(self):
+        classes = make_classes()
+        cfg = MultiClassConfig(1024.0, {"interactive": (2, 0.01), "batchy": (16, 0.1)})
+        result = simulate_multiclass(classes, cfg, PLAT)
+        assert set(result.per_class) == {"interactive", "batchy"}
+        assert result.n_requests == sum(c.timestamps.size for c in classes)
+        assert result.total_cost > 0
+
+    def test_missing_class_rejected(self):
+        classes = make_classes()
+        cfg = MultiClassConfig(1024.0, {"interactive": (2, 0.01)})
+        with pytest.raises(ValueError):
+            simulate_multiclass(classes, cfg, PLAT)
+
+    def test_str_format(self):
+        cfg = MultiClassConfig(512.0, {"a": (4, 0.05)})
+        assert "B=4" in str(cfg)
+
+
+class TestOptimizeMulticlass:
+    def test_meets_both_slos(self):
+        classes = make_classes()
+        cfg, result = optimize_multiclass(classes, PLAT)
+        assert result.meets_all_slos(classes)
+
+    def test_tight_class_gets_smaller_batching(self):
+        """The 50 ms class must batch less aggressively than the 300 ms one."""
+        classes = make_classes()
+        cfg, _ = optimize_multiclass(classes, PLAT)
+        b_tight, t_tight = cfg.per_class["interactive"]
+        b_loose, t_loose = cfg.per_class["batchy"]
+        assert (b_tight, t_tight) <= (b_loose, max(t_loose, t_tight))
+        assert b_loose >= b_tight
+
+    def test_cheaper_than_naive_single_class_settings(self):
+        """Sharing the memory tier while batching per class beats serving
+        everything with the tight class's conservative parameters."""
+        classes = make_classes()
+        cfg, result = optimize_multiclass(classes, PLAT)
+        naive = MultiClassConfig(
+            cfg.memory_mb,
+            {c.name: cfg.per_class["interactive"] for c in classes},
+        )
+        naive_result = simulate_multiclass(classes, naive, PLAT)
+        assert result.total_cost <= naive_result.total_cost + 1e-12
+
+    def test_duplicate_names_rejected(self):
+        c = make_classes()[0]
+        with pytest.raises(ValueError):
+            optimize_multiclass([c, c], PLAT)
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_multiclass([], PLAT)
+
+    def test_empty_stream_class_is_tolerated(self):
+        classes = [
+            RequestClass("busy", poisson_map(100.0).sample(duration=10.0, seed=2),
+                         slo=0.2),
+            RequestClass("idle", np.empty(0), slo=0.1),
+        ]
+        cfg, result = optimize_multiclass(classes, PLAT)
+        assert "idle" in cfg.per_class
+        assert result.per_class["idle"].n_requests == 0
+
+    def test_infeasible_slo_falls_back(self):
+        classes = [
+            RequestClass("impossible", poisson_map(100.0).sample(duration=10.0, seed=3),
+                         slo=1e-6),
+        ]
+        cfg, result = optimize_multiclass(classes, PLAT)
+        assert not result.meets_all_slos(classes)  # honest fallback
+        assert cfg.per_class["impossible"][0] >= 1

@@ -1,0 +1,155 @@
+"""Tests for batch formation and the ground-truth simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batching.config import BatchConfig, config_grid
+from repro.batching.simulator import (
+    form_batches,
+    ground_truth_optimum,
+    simulate,
+    simulate_grid,
+)
+from repro.serverless.platform import ServerlessPlatform
+
+PLAT = ServerlessPlatform()
+
+
+class TestFormBatches:
+    def test_size_dispatch(self):
+        ts = np.array([0.0, 0.01, 0.02, 0.03])
+        ends, disp = form_batches(ts, batch_size=2, timeout=10.0)
+        np.testing.assert_allclose(ends, [2, 4])
+        np.testing.assert_allclose(disp, [0.01, 0.03])
+
+    def test_timeout_dispatch(self):
+        ts = np.array([0.0, 1.0, 2.0])
+        ends, disp = form_batches(ts, batch_size=10, timeout=0.5)
+        np.testing.assert_allclose(ends, [1, 2, 3])
+        np.testing.assert_allclose(disp, [0.5, 1.5, 2.5])
+
+    def test_timeout_zero_dispatches_singletons(self):
+        ts = np.array([0.0, 0.5, 0.9])
+        ends, disp = form_batches(ts, batch_size=8, timeout=0.0)
+        np.testing.assert_allclose(ends, [1, 2, 3])
+        np.testing.assert_allclose(disp, ts)
+
+    def test_mixed_regimes(self):
+        # Burst of 3 fills B=3 instantly; the straggler times out alone.
+        ts = np.array([0.0, 0.001, 0.002, 5.0])
+        ends, disp = form_batches(ts, batch_size=3, timeout=0.1)
+        np.testing.assert_allclose(ends, [3, 4])
+        np.testing.assert_allclose(disp, [0.002, 5.1])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            form_batches(np.array([1.0, 0.5]), 2, 0.1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            form_batches(np.array([0.0]), 0, 0.1)
+        with pytest.raises(ValueError):
+            form_batches(np.array([0.0]), 1, -1.0)
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=200),
+        st.integers(1, 16),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_invariants(self, raw, b, t):
+        """Property: batches partition requests, never exceed B, every
+        request waits at most T, and dispatch times are non-decreasing."""
+        ts = np.sort(np.asarray(raw))
+        ends, disp = form_batches(ts, b, t)
+        starts = np.concatenate([[0], ends[:-1]])
+        sizes = ends - starts
+        assert sizes.sum() == ts.size
+        assert np.all(sizes >= 1)
+        assert np.all(sizes <= b)
+        assert np.all(np.diff(disp) >= -1e-12)
+        for s, e, d in zip(starts, ends, disp):
+            waits = d - ts[s:e]
+            assert np.all(waits >= -1e-12)
+            assert np.all(waits <= t + 1e-12)
+            # Dispatch is either the B-th arrival or the deadline.
+            assert (e - s == b and d == pytest.approx(ts[e - 1])) or d == pytest.approx(
+                ts[s] + t
+            )
+
+
+class TestSimulate:
+    def test_empty_trace(self):
+        r = simulate(np.array([]), BatchConfig(1024.0, 4, 0.1), PLAT)
+        assert r.n_requests == 0 and r.n_batches == 0
+        assert np.isnan(r.cost_per_request)
+
+    def test_latency_decomposition(self):
+        ts = np.array([0.0, 0.01, 0.02])
+        cfg = BatchConfig(1792.0, 3, 1.0)
+        r = simulate(ts, cfg, PLAT)
+        svc = PLAT.profile.service_time(1792.0, 3)
+        np.testing.assert_allclose(r.latencies, 0.02 - ts + svc, atol=1e-12)
+        np.testing.assert_allclose(r.waits, 0.02 - ts, atol=1e-12)
+
+    def test_costs_match_pricing(self):
+        ts = np.linspace(0, 1, 20)
+        cfg = BatchConfig(1024.0, 5, 0.5)
+        r = simulate(ts, cfg, PLAT)
+        for size, cost in zip(r.batch_sizes, r.batch_costs):
+            svc = PLAT.profile.service_time(1024.0, size)
+            assert cost == pytest.approx(PLAT.pricing.invocation_cost(1024.0, svc))
+
+    def test_percentiles_and_slo(self):
+        ts = np.linspace(0, 1, 100)
+        r = simulate(ts, BatchConfig(256.0, 16, 0.5), PLAT)
+        p = r.latency_percentiles((50.0, 95.0))
+        assert p.shape == (2,)
+        assert p[0] <= p[1]
+        assert r.violates_slo(1e-6)
+        assert not r.violates_slo(1e6)
+
+    def test_larger_batch_cheaper_but_slower(self):
+        """The Fig. 1b/1c trade-off on a steady stream."""
+        ts = np.arange(0, 10, 0.005)  # 200 req/s
+        small = simulate(ts, BatchConfig(1024.0, 2, 0.2), PLAT)
+        large = simulate(ts, BatchConfig(1024.0, 16, 0.2), PLAT)
+        assert large.cost_per_request < small.cost_per_request
+        assert large.latency_percentile(95) > small.latency_percentile(95)
+
+    def test_more_memory_faster_but_pricier(self):
+        """The Fig. 1a trade-off."""
+        ts = np.arange(0, 10, 0.005)
+        lo = simulate(ts, BatchConfig(256.0, 8, 0.1), PLAT)
+        hi = simulate(ts, BatchConfig(3008.0, 8, 0.1), PLAT)
+        assert hi.latency_percentile(95) < lo.latency_percentile(95)
+        assert hi.cost_per_request > lo.cost_per_request
+
+
+class TestGroundTruth:
+    def test_optimum_meets_slo_and_is_cheapest(self):
+        rng = np.random.default_rng(0)
+        ts = np.sort(rng.uniform(0, 10, 2000))
+        grid = config_grid(
+            memories=(512.0, 1024.0, 1792.0),
+            batch_sizes=(1, 4, 8),
+            timeouts=(0.0, 0.05, 0.1),
+        )
+        best, res = ground_truth_optimum(ts, grid, PLAT, slo=0.1)
+        assert not res.violates_slo(0.1)
+        # No other feasible config is cheaper.
+        for r in simulate_grid(ts, grid, PLAT):
+            if not r.violates_slo(0.1):
+                assert res.cost_per_request <= r.cost_per_request + 1e-15
+
+    def test_infeasible_falls_back_to_fastest(self):
+        ts = np.array([0.0, 1.0, 2.0])
+        grid = config_grid(memories=(256.0,), batch_sizes=(4,), timeouts=(0.2,))
+        best, res = ground_truth_optimum(ts, grid, PLAT, slo=1e-9)
+        assert best in grid  # returns something rather than failing
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ground_truth_optimum(np.array([0.0]), [], PLAT, slo=0.1)

@@ -1,0 +1,65 @@
+"""Tests for TrainedSurrogate checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.arrival.map_process import poisson_map
+from repro.batching.config import config_grid
+from repro.core.dataset import generate_dataset
+from repro.core.surrogate import DeepBATSurrogate
+from repro.core.training import (
+    TrainConfig,
+    load_trained,
+    save_trained,
+    train_surrogate,
+)
+
+GRID = config_grid(memories=(512.0, 1792.0), batch_sizes=(1, 8), timeouts=(0.0, 0.05))
+
+
+@pytest.fixture(scope="module")
+def trained():
+    hist = np.diff(poisson_map(200.0).sample(duration=30.0, seed=0))
+    ds = generate_dataset(hist, n_samples=50, seq_len=16, configs=GRID, seed=0)
+    model = DeepBATSurrogate(seq_len=16, d_model=8, num_heads=2, ff_hidden=16,
+                             num_layers=1, seed=0)
+    return train_surrogate(ds, model=model,
+                           config=TrainConfig(epochs=2, patience=None, seed=0))
+
+
+class TestCheckpointRoundtrip:
+    def test_predictions_identical_after_reload(self, trained, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_trained(trained, path)
+        loaded = load_trained(path)
+        seq = np.abs(np.random.default_rng(0).normal(size=(3, 16))) + 0.01
+        feats = np.array([[512.0, 8, 0.05]] * 3)
+        np.testing.assert_allclose(
+            trained.predict(seq, feats), loaded.predict(seq, feats), atol=1e-12
+        )
+
+    def test_architecture_restored(self, trained, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_trained(trained, path)
+        loaded = load_trained(path)
+        assert loaded.model.seq_len == 16
+        assert loaded.model.hyperparameters == trained.model.hyperparameters
+
+    def test_pipeline_restored(self, trained, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_trained(trained, path)
+        loaded = load_trained(path)
+        assert loaded.pipeline.sequence.reference == trained.pipeline.sequence.reference
+        assert loaded.pipeline.spec.percentiles == trained.pipeline.spec.percentiles
+
+    def test_non_surrogate_model_rejected(self, trained, tmp_path):
+        from repro.core.alternatives import MLPSurrogate
+        from repro.core.training import TrainedSurrogate, TrainingHistory
+
+        bogus = TrainedSurrogate(
+            model=MLPSurrogate(seq_len=16, seed=0),
+            pipeline=trained.pipeline,
+            history=TrainingHistory(),
+        )
+        with pytest.raises(ValueError):
+            save_trained(bogus, tmp_path / "x.npz")

@@ -1,0 +1,103 @@
+"""Tests for training-set generation (§III-D offline training)."""
+
+import numpy as np
+import pytest
+
+from repro.arrival.map_process import poisson_map
+from repro.batching.config import BatchConfig, config_grid
+from repro.core.dataset import SurrogateDataset, generate_dataset, label_window
+from repro.core.features import TargetSpec
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.pricing import cost_per_million
+
+HIST = np.diff(poisson_map(150.0).sample(duration=60.0, seed=0))
+GRID = config_grid(memories=(512.0, 1024.0), batch_sizes=(1, 4, 8), timeouts=(0.0, 0.05))
+
+
+class TestLabelWindow:
+    def test_label_matches_direct_simulation(self):
+        from repro.batching.simulator import simulate
+
+        window = HIST[:64]
+        cfg = BatchConfig(1024.0, 4, 0.05)
+        plat = ServerlessPlatform()
+        spec = TargetSpec()
+        row = label_window(window, cfg, plat, spec)
+        ts = np.concatenate([[0.0], np.cumsum(window)])
+        res = simulate(ts, cfg, plat)
+        assert row[0] == pytest.approx(cost_per_million(res.cost_per_request))
+        np.testing.assert_allclose(row[1:], res.latency_percentiles(spec.percentiles))
+
+    def test_targets_positive(self):
+        row = label_window(HIST[:32], BatchConfig(512.0, 8, 0.05),
+                           ServerlessPlatform(), TargetSpec())
+        assert np.all(row > 0)
+
+
+class TestGenerateDataset:
+    def test_shapes_and_alignment(self):
+        ds = generate_dataset(HIST, n_samples=30, seq_len=32, configs=GRID, seed=0)
+        assert len(ds) == 30
+        assert ds.sequences.shape == (30, 32)
+        assert ds.features.shape == (30, 3)
+        assert ds.targets.shape == (30, 6)
+
+    def test_features_come_from_grid(self):
+        ds = generate_dataset(HIST, n_samples=50, seq_len=16, configs=GRID, seed=1)
+        grid_rows = {tuple(c.as_array()) for c in GRID}
+        for row in ds.features:
+            assert tuple(row) in grid_rows
+
+    def test_deterministic_given_seed(self):
+        a = generate_dataset(HIST, n_samples=10, seq_len=16, configs=GRID, seed=7)
+        b = generate_dataset(HIST, n_samples=10, seq_len=16, configs=GRID, seed=7)
+        np.testing.assert_allclose(a.targets, b.targets)
+
+    def test_windows_are_contiguous_slices(self):
+        ds = generate_dataset(HIST, n_samples=5, seq_len=16, configs=GRID, seed=2)
+        hist_str = HIST.tobytes()
+        for w in ds.sequences:
+            assert w.tobytes() in hist_str  # exact contiguous subsequence
+
+    def test_cost_decreases_with_batch_size_on_average(self):
+        """Dataset-level sanity: the labels encode the batching economics."""
+        ds = generate_dataset(HIST, n_samples=300, seq_len=64, configs=GRID, seed=3)
+        b = ds.features[:, 1]
+        cost = ds.targets[:, 0]
+        assert cost[b >= 8].mean() < cost[b == 1].mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_dataset(HIST, n_samples=0, seq_len=16, configs=GRID)
+        with pytest.raises(ValueError):
+            generate_dataset(HIST, n_samples=5, seq_len=16, configs=[])
+        with pytest.raises(ValueError):
+            generate_dataset(HIST[:4], n_samples=5, seq_len=16, configs=GRID)
+
+
+class TestSurrogateDatasetContainer:
+    def test_subset_and_concat(self):
+        ds = generate_dataset(HIST, n_samples=20, seq_len=16, configs=GRID, seed=4)
+        sub = ds.subset(np.arange(5))
+        assert len(sub) == 5
+        merged = sub.concat(ds.subset(np.arange(5, 10)))
+        assert len(merged) == 10
+
+    def test_misaligned_rejected(self):
+        ds = generate_dataset(HIST, n_samples=5, seq_len=16, configs=GRID, seed=5)
+        with pytest.raises(ValueError):
+            SurrogateDataset(ds.sequences, ds.features[:3], ds.targets, ds.spec)
+
+    def test_wrong_target_width_rejected(self):
+        ds = generate_dataset(HIST, n_samples=5, seq_len=16, configs=GRID, seed=6)
+        with pytest.raises(ValueError):
+            SurrogateDataset(ds.sequences, ds.features, ds.targets[:, :3], ds.spec)
+
+    def test_concat_spec_mismatch_rejected(self):
+        ds = generate_dataset(HIST, n_samples=5, seq_len=16, configs=GRID, seed=6)
+        other = SurrogateDataset(
+            ds.sequences, ds.features, ds.targets[:, :2],
+            TargetSpec(percentiles=(95.0,)),
+        )
+        with pytest.raises(ValueError):
+            ds.concat(other)

@@ -1,0 +1,66 @@
+"""Tests for the gamma (SLO margin) estimator."""
+
+import numpy as np
+import pytest
+
+from repro.arrival.map_process import poisson_map
+from repro.batching.config import config_grid
+from repro.core.dataset import generate_dataset
+from repro.core.surrogate import DeepBATSurrogate
+from repro.core.training import TrainConfig, estimate_gamma, train_surrogate
+from repro.serverless.platform import ServerlessPlatform
+
+GRID = config_grid(memories=(512.0, 1792.0), batch_sizes=(1, 8), timeouts=(0.0, 0.05))
+PLAT = ServerlessPlatform()
+HIST = np.diff(poisson_map(200.0).sample(duration=60.0, seed=0))
+
+
+@pytest.fixture(scope="module")
+def trained():
+    ds = generate_dataset(HIST, n_samples=120, seq_len=16, configs=GRID, seed=0)
+    model = DeepBATSurrogate(seq_len=16, d_model=8, num_heads=2, ff_hidden=16,
+                             num_layers=1, seed=0)
+    return train_surrogate(ds, model=model,
+                           config=TrainConfig(epochs=15, patience=None, seed=0))
+
+
+class TestEstimateGamma:
+    def test_nonnegative_and_finite(self, trained):
+        g = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=40, seed=1)
+        assert np.isfinite(g)
+        assert g >= 0.0
+
+    def test_quantile_higher_than_median_margin(self, trained):
+        g90 = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=60, seed=1,
+                             quantile=0.9, stress_factors=())
+        g50 = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=60, seed=1,
+                             quantile=0.5, stress_factors=())
+        assert g90 >= g50
+
+    def test_mape_method(self, trained):
+        g = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=40, seed=1,
+                           method="mape", headroom=1.0, stress_factors=())
+        assert g > 0.0
+
+    def test_invalid_method(self, trained):
+        with pytest.raises(ValueError):
+            estimate_gamma(trained, HIST, GRID, PLAT, method="bogus")
+
+    def test_stress_factors_do_not_decrease_margin_much(self, trained):
+        plain = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=40, seed=2,
+                               stress_factors=())
+        stressed = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=40, seed=2,
+                                  stress_factors=(1 / 3, 3.0))
+        # Stress adds harder cases; the calibrated margin should not shrink
+        # by more than quantile noise.
+        assert stressed >= 0.5 * plain
+
+    def test_slo_restriction_runs(self, trained):
+        g = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=60, seed=3,
+                           slo=0.1, stress_factors=())
+        assert g >= 0.0
+
+    def test_deterministic_given_seed(self, trained):
+        a = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=40, seed=5)
+        b = estimate_gamma(trained, HIST, GRID, PLAT, n_samples=40, seed=5)
+        assert a == b

@@ -1,0 +1,127 @@
+"""Tests for feature/target scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.features import (
+    FeaturePipeline,
+    SequenceScaler,
+    StandardScaler,
+    TargetSpec,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestStandardScaler:
+    def test_transform_standardizes(self):
+        x = RNG.normal(loc=5.0, scale=3.0, size=(1000, 3))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_roundtrip(self):
+        x = RNG.normal(size=(50, 4))
+        sc = StandardScaler().fit(x)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(x)), x, atol=1e-12)
+
+    def test_constant_column_no_nan(self):
+        x = np.column_stack([np.ones(10), RNG.normal(size=10)])
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+
+    def test_state_roundtrip(self):
+        x = RNG.normal(size=(20, 2))
+        a = StandardScaler().fit(x)
+        b = StandardScaler()
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.transform(x), b.transform(x))
+
+
+class TestSequenceScaler:
+    def test_scales_by_mean(self):
+        x = np.full((4, 8), 0.02)
+        z = SequenceScaler().fit_transform(x)
+        np.testing.assert_allclose(z, 1.0)
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(ValueError):
+            SequenceScaler().fit(np.zeros((2, 3)))
+
+    def test_state_roundtrip(self):
+        a = SequenceScaler().fit(np.full((2, 3), 0.5))
+        b = SequenceScaler()
+        b.load_state_dict(a.state_dict())
+        assert b.reference == a.reference
+
+
+class TestTargetSpec:
+    def test_pack_unpack_roundtrip(self):
+        spec = TargetSpec()
+        row = spec.pack(2.5e-7, np.array([0.01, 0.02, 0.03, 0.04, 0.05]))
+        assert row.shape == (6,)
+        cost, lat = spec.unpack(row)
+        assert cost == pytest.approx(0.25)  # USD per 1M requests
+        np.testing.assert_allclose(lat, [0.01, 0.02, 0.03, 0.04, 0.05])
+
+    def test_pack_batched(self):
+        spec = TargetSpec(percentiles=(50.0, 95.0))
+        rows = spec.pack(np.array([1e-7, 2e-7]), RNG.uniform(size=(2, 2)))
+        assert rows.shape == (2, 3)
+
+    def test_wrong_percentile_count(self):
+        with pytest.raises(ValueError):
+            TargetSpec().pack(1e-7, np.ones(3))
+
+    def test_percentile_index(self):
+        spec = TargetSpec()
+        assert spec.percentile_index(95.0) == 3
+        with pytest.raises(ValueError):
+            spec.percentile_index(42.0)
+
+    def test_n_outputs(self):
+        assert TargetSpec(percentiles=(95.0,)).n_outputs == 2
+
+
+class TestFeaturePipeline:
+    def test_fit_transform_shapes(self):
+        pipe = FeaturePipeline()
+        seqs = RNG.exponential(0.01, size=(20, 16))
+        feats = RNG.uniform(100, 3000, size=(20, 3))
+        s, f = pipe.fit(seqs, feats).transform(seqs, feats)
+        assert s.shape == seqs.shape and f.shape == feats.shape
+        assert abs(s.mean() - 1.0) < 0.1
+
+    def test_state_roundtrip(self):
+        pipe = FeaturePipeline(spec=TargetSpec(percentiles=(90.0, 95.0)))
+        seqs = RNG.exponential(0.01, size=(10, 8))
+        feats = RNG.uniform(100, 3000, size=(10, 3))
+        pipe.fit(seqs, feats)
+        clone = FeaturePipeline()
+        clone.load_state_dict(pipe.state_dict())
+        s1, f1 = pipe.transform(seqs, feats)
+        s2, f2 = clone.transform(seqs, feats)
+        np.testing.assert_allclose(s1, s2)
+        np.testing.assert_allclose(f1, f2)
+        assert clone.spec.percentiles == (90.0, 95.0)
+
+
+@given(arrays(np.float64, st.tuples(st.integers(2, 20), st.integers(1, 5)),
+              elements=st.floats(0.001, 100.0)))
+@settings(max_examples=30, deadline=None)
+def test_standard_scaler_idempotent_stats(x):
+    sc = StandardScaler().fit(x)
+    z = sc.transform(x)
+    assert np.all(np.isfinite(z))
+    np.testing.assert_allclose(sc.inverse_transform(z), x, rtol=1e-8, atol=1e-10)

@@ -1,0 +1,81 @@
+"""Tests for the multi-controller comparison orchestration."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.arrival.traces import azure_like
+from repro.batching.config import BatchConfig, config_grid
+from repro.evaluation.comparison import compare_controllers
+from repro.serverless.platform import ServerlessPlatform
+
+TRACE = azure_like(seed=5, n_segments=4, segment_duration=15.0, base_rate=80.0)
+PLAT = ServerlessPlatform()
+GRID = config_grid(memories=(1024.0, 1792.0), batch_sizes=(1, 8), timeouts=(0.0, 0.05))
+
+
+@dataclass
+class Fixed:
+    config: BatchConfig
+
+    def choose(self, hist, slo):
+        fixed = self
+
+        @dataclass(frozen=True)
+        class _D:
+            config: BatchConfig = fixed.config
+            decision_time: float = 0.001
+
+        return _D()
+
+
+class TestCompareControllers:
+    def test_report_covers_all_controllers(self):
+        report = compare_controllers(
+            TRACE,
+            {
+                "safe": (Fixed(BatchConfig(1792.0, 1, 0.0)), None),
+                "cheap": (Fixed(BatchConfig(1024.0, 8, 0.05)), None),
+            },
+            slo=0.1, platform=PLAT,
+        )
+        assert set(report.names) == {"safe", "cheap"}
+        rendered = report.render()
+        assert "mean VCR %" in rendered and "safe" in rendered
+
+    def test_oracle_included(self):
+        report = compare_controllers(
+            TRACE,
+            {"safe": (Fixed(BatchConfig(1792.0, 1, 0.0)), None)},
+            slo=0.1, platform=PLAT,
+            include_oracle=True, oracle_configs=GRID,
+        )
+        assert "ground-truth" in report.names
+        # Oracle must be at least as cheap as the no-batching controller.
+        gt_cost = np.nanmean(report.logs["ground-truth"].cost_series())
+        safe_cost = np.nanmean(report.logs["safe"].cost_series())
+        assert gt_cost <= safe_cost
+
+    def test_oracle_requires_configs(self):
+        with pytest.raises(ValueError):
+            compare_controllers(
+                TRACE, {"x": (Fixed(BatchConfig(1024.0, 1, 0.0)), None)},
+                slo=0.1, platform=PLAT, include_oracle=True,
+            )
+
+    def test_best_by_cost_meeting_slo(self):
+        report = compare_controllers(
+            TRACE,
+            {
+                "safe": (Fixed(BatchConfig(1792.0, 1, 0.0)), None),
+                "risky": (Fixed(BatchConfig(1024.0, 8, 0.2)), None),
+            },
+            slo=0.1, platform=PLAT,
+        )
+        best = report.best_by_cost_meeting_slo(vcr_threshold=1.0)
+        assert best in ("safe", "risky", None)
+        # With an absurd threshold everything qualifies -> cheapest wins.
+        anything = report.best_by_cost_meeting_slo(vcr_threshold=101.0)
+        costs = {n: np.nanmean(l.cost_series()) for n, l in report.logs.items()}
+        assert anything == min(costs, key=costs.get)

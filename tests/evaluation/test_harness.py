@@ -1,0 +1,114 @@
+"""Tests for the closed-loop harness and the oracle baseline."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.arrival.traces import azure_like
+from repro.batching.config import BatchConfig, config_grid
+from repro.evaluation.harness import (
+    ExperimentLog,
+    run_experiment,
+    run_oracle,
+    run_segment,
+)
+from repro.serverless.platform import ServerlessPlatform
+
+TRACE = azure_like(seed=0, n_segments=4, segment_duration=20.0, base_rate=80.0)
+PLAT = ServerlessPlatform()
+GRID = config_grid(memories=(1024.0, 1792.0), batch_sizes=(1, 8), timeouts=(0.0, 0.05))
+
+
+@dataclass
+class FixedChooser:
+    """Always returns the same configuration (test double)."""
+
+    config: BatchConfig
+    decision_time: float = 0.001
+    calls: int = 0
+
+    def choose(self, interarrival_history, slo):
+        self.calls += 1
+        chooser = self
+
+        @dataclass(frozen=True)
+        class _D:
+            config: BatchConfig
+            decision_time: float
+
+        return _D(config=chooser.config, decision_time=chooser.decision_time)
+
+
+class TestRunSegment:
+    def test_serves_every_request(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        out = run_segment(TRACE, 1, chooser, slo=0.1, platform=PLAT)
+        assert out.n_requests == TRACE.segment(1).size
+        assert out.latencies.size == out.n_requests
+        assert out.total_cost > 0
+
+    def test_single_decision_without_updates(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        out = run_segment(TRACE, 1, chooser, slo=0.1, platform=PLAT)
+        assert chooser.calls == 1
+        assert len(out.configs) == 1
+
+    def test_update_every_triggers_reoptimization(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        n = TRACE.segment(1).size
+        out = run_segment(TRACE, 1, chooser, slo=0.1, platform=PLAT, update_every=n // 4)
+        assert chooser.calls >= 4
+        assert len(out.configs) == chooser.calls
+        assert out.latencies.size == n
+
+    def test_segment_zero_rejected(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        with pytest.raises(ValueError):
+            run_segment(TRACE, 0, chooser, slo=0.1, platform=PLAT)
+
+    def test_percentile_and_vcr_accessors(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        out = run_segment(TRACE, 1, chooser, slo=0.1, platform=PLAT)
+        assert out.p(50) <= out.p(95)
+        assert 0.0 <= out.vcr(0.1) <= 100.0
+        assert out.cost_per_request > 0
+
+
+class TestRunExperiment:
+    def test_logs_all_segments(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        log = run_experiment(TRACE, chooser, slo=0.1, platform=PLAT, name="fixed")
+        assert len(log.outcomes) == TRACE.n_segments - 1
+        assert log.vcr_series().shape == (3,)
+        assert log.cost_series().shape == (3,)
+        assert log.latency_series().shape == (3,)
+        assert log.all_latencies().size == sum(o.n_requests for o in log.outcomes)
+        assert log.mean_decision_time == pytest.approx(0.001)
+
+    def test_segment_range(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        log = run_experiment(TRACE, chooser, slo=0.1, platform=PLAT, segments=range(2, 4))
+        assert [o.segment for o in log.outcomes] == [2, 3]
+
+
+class TestOracle:
+    def test_oracle_meets_slo_when_feasible(self):
+        log = run_oracle(TRACE, GRID, slo=0.1, platform=PLAT)
+        # The oracle optimizes on the exact future; its p95 per segment
+        # should be at or below the SLO (up to batch-boundary effects).
+        for out in log.outcomes:
+            assert out.p(95) <= 0.1 * 1.05
+
+    def test_oracle_cheaper_than_no_batching(self):
+        log = run_oracle(TRACE, GRID, slo=0.1, platform=PLAT)
+        no_batch = FixedChooser(BatchConfig(1792.0, 1, 0.0))
+        base = run_experiment(TRACE, no_batch, slo=0.1, platform=PLAT)
+        assert log.total_cost < base.total_cost
+
+    def test_oracle_requires_future(self):
+        from repro.evaluation.harness import OracleChooser
+
+        oracle = OracleChooser(GRID, PLAT)
+        with pytest.raises(RuntimeError):
+            oracle.choose(np.array([0.01]), slo=0.1)

@@ -1,0 +1,98 @@
+"""Tests for VCR (Eq. 11), MAPE, and CDF utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import cdf_percentile_mape, empirical_cdf, mape, vcr
+
+
+class TestVcr:
+    def test_zero_when_all_meet_slo(self):
+        lat = np.full(1000, 0.05)
+        assert vcr(lat, slo=0.1) == 0.0
+
+    def test_hundred_when_all_violate(self):
+        lat = np.full(1000, 0.5)
+        assert vcr(lat, slo=0.1) == 100.0
+
+    def test_mixed_chunks(self):
+        good = np.full(256, 0.01)
+        bad = np.full(256, 0.2)
+        lat = np.concatenate([good, bad, good, bad])
+        assert vcr(lat, slo=0.1, sequence_length=256) == 50.0
+
+    def test_short_series_single_chunk(self):
+        assert vcr(np.full(10, 0.2), slo=0.1, sequence_length=256) == 100.0
+
+    def test_empty_series(self):
+        assert vcr(np.empty(0), slo=0.1) == 0.0
+
+    def test_percentile_semantics(self):
+        # 10% of requests slow: p95 of the chunk exceeds SLO -> violation.
+        lat = np.full(256, 0.01)
+        lat[:26] = 0.5
+        assert vcr(lat, slo=0.1, sequence_length=256, percentile=95.0) == 100.0
+        # ...but only 1% slow: p95 is fine.
+        lat = np.full(256, 0.01)
+        lat[:2] = 0.5
+        assert vcr(lat, slo=0.1, sequence_length=256, percentile=95.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vcr(np.ones(10), slo=0.0)
+        with pytest.raises(ValueError):
+            vcr(np.ones(10), slo=0.1, sequence_length=0)
+
+    @given(st.floats(0.01, 1.0), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_0_100(self, slo, n):
+        rng = np.random.default_rng(n)
+        lat = rng.exponential(0.1, size=n * 10)
+        v = vcr(lat, slo=slo, sequence_length=10)
+        assert 0.0 <= v <= 100.0
+
+
+class TestMape:
+    def test_exact_value(self):
+        assert mape(np.array([1.1, 0.9]), np.array([1.0, 1.0])) == pytest.approx(10.0)
+
+    def test_zero_for_perfect(self):
+        x = np.array([0.5, 0.2])
+        assert mape(x, x) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape(np.ones(2), np.ones(3))
+
+
+class TestEmpiricalCdf:
+    def test_monotone_from_zero_to_one(self):
+        rng = np.random.default_rng(0)
+        grid, cdf = empirical_cdf(rng.exponential(size=500))
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_known_values(self):
+        grid, cdf = empirical_cdf(np.array([1.0, 2.0, 3.0, 4.0]),
+                                  grid=np.array([0.5, 2.5, 5.0]))
+        np.testing.assert_allclose(cdf, [0.0, 0.5, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.empty(0))
+
+
+class TestCdfPercentileMape:
+    def test_zero_when_predictions_are_true_percentiles(self):
+        rng = np.random.default_rng(1)
+        obs = rng.exponential(size=10_000)
+        pcts = (50.0, 90.0, 95.0)
+        pred = np.percentile(obs, pcts)
+        assert cdf_percentile_mape(pred, obs, pcts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_when_biased(self):
+        obs = np.linspace(0, 1, 1000)
+        pred = np.percentile(obs, [50.0, 95.0]) * 1.2
+        assert cdf_percentile_mape(pred, obs, (50.0, 95.0)) == pytest.approx(20.0, rel=0.01)

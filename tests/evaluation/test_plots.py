@@ -1,0 +1,65 @@
+"""Tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.plots import bar_chart, histogram, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline(np.arange(10))) == 10
+
+    def test_monotone_levels(self):
+        s = sparkline(np.array([0.0, 0.5, 1.0]))
+        assert s[0] < s[1] < s[2]
+
+    def test_constant_series(self):
+        assert sparkline(np.ones(5)) == "▁" * 5
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_nan_renders_space(self):
+        s = sparkline(np.array([0.0, np.nan, 1.0]))
+        assert s[1] == " "
+
+    def test_pinned_scale(self):
+        s = sparkline(np.array([5.0]), lo=0.0, hi=10.0)
+        assert s == "▄" or s == "▅"  # mid-scale
+
+
+class TestBarChart:
+    def test_rows_and_alignment(self):
+        out = bar_chart(["a", "bb"], np.array([1.0, 2.0]))
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        # Larger value -> longer bar.
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], np.array([1.0, 2.0]))
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], np.array([0.0]))
+        assert "█" not in out
+
+
+class TestHistogram:
+    def test_bin_count(self):
+        out = histogram(np.random.default_rng(0).normal(size=500), bins=7)
+        assert len(out.splitlines()) == 7
+
+    def test_counts_sum(self):
+        samples = np.arange(100.0)
+        out = histogram(samples, bins=4)
+        totals = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(totals) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram(np.array([]))
+        with pytest.raises(ValueError):
+            histogram(np.ones(3), bins=0)

@@ -1,0 +1,49 @@
+"""Tests for the ASCII reporting helpers."""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+        # All rows share the same width.
+        assert len(set(len(l) for l in lines)) <= 2
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789], [1.2e-7], [321654.9]])
+        assert "1.235" in out
+        assert "1.200e-07" in out
+        assert "3.217e+05" in out or "321655" in out
+
+    def test_mixed_types(self):
+        out = format_table(["a", "b"], [["text", 3], [None, 0.5]])
+        assert "text" in out and "None" in out
+
+
+class TestFormatSeries:
+    def test_label_and_values(self):
+        out = format_series("rates", np.array([1.0, 2.5, 3.0]))
+        assert out.startswith("rates: ")
+        assert "2.5" in out
+
+    def test_custom_format(self):
+        out = format_series("x", np.array([1.23456]), fmt="{:.1f}")
+        assert out == "x: 1.2"
+
+    def test_2d_flattened(self):
+        out = format_series("m", np.ones((2, 2)), fmt="{:.0f}")
+        assert out == "m: 1 1 1 1"

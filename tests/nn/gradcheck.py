@@ -1,0 +1,55 @@
+"""Finite-difference gradient checking used across the nn test modules."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_grad(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` at ``x``."""
+    x = np.asarray(x, dtype=float)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def assert_grad_matches(
+    build: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+    eps: float = 1e-6,
+) -> None:
+    """Check autograd of ``scalar = build(Tensor(x)).sum()`` against finite
+    differences with respect to ``x``."""
+    x = np.asarray(x, dtype=float)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    loss = out.sum() if out.size > 1 else out
+    loss.backward()
+    analytic = t.grad
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        res = build(Tensor(arr.copy()))
+        return float(res.data.sum())
+
+    numeric = numeric_grad(scalar_fn, x, eps=eps)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

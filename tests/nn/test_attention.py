@@ -1,0 +1,91 @@
+"""Tests for scaled dot-product and multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
+from repro.nn.tensor import Tensor
+from tests.nn.gradcheck import assert_grad_matches
+
+RNG = np.random.default_rng(5)
+
+
+class TestScaledDotProduct:
+    def test_weights_are_distribution(self):
+        q = Tensor(RNG.normal(size=(2, 4, 8)))
+        out, w = scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 4, 8)
+        np.testing.assert_allclose(w.data.sum(axis=-1), np.ones((2, 4)), atol=1e-12)
+
+    def test_uniform_keys_give_mean_of_values(self):
+        # If all scores are equal, attention averages the values.
+        q = Tensor(np.zeros((1, 3, 4)))
+        k = Tensor(np.zeros((1, 3, 4)))
+        v = Tensor(RNG.normal(size=(1, 3, 4)))
+        out, _ = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(out.data, np.broadcast_to(v.data.mean(axis=1, keepdims=True), (1, 3, 4)))
+
+    def test_mask_blocks_positions(self):
+        q = Tensor(RNG.normal(size=(1, 2, 4)))
+        v = Tensor(RNG.normal(size=(1, 2, 4)))
+        mask = np.array([[False, True], [False, True]])
+        _, w = scaled_dot_product_attention(q, q, v, mask=mask)
+        np.testing.assert_allclose(w.data[..., 1], 0.0, atol=1e-9)
+
+    def test_gradients_flow(self):
+        x = RNG.normal(size=(1, 3, 4))
+        assert_grad_matches(
+            lambda t: scaled_dot_product_attention(t, t, t)[0], x, rtol=1e-3, atol=1e-5
+        )
+
+
+class TestMultiHeadAttention:
+    def test_shape_preserved(self):
+        mha = MultiHeadAttention(16, 4, seed=0)
+        x = Tensor(RNG.normal(size=(2, 5, 16)))
+        assert mha(x, x, x).shape == (2, 5, 16)
+
+    def test_pooled_2d_input(self):
+        mha = MultiHeadAttention(16, 4, seed=0)
+        x = Tensor(RNG.normal(size=(3, 16)))
+        out = mha(x, x, x)
+        assert out.shape == (3, 16)
+
+    def test_embed_dim_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_last_weights_recorded(self):
+        mha = MultiHeadAttention(8, 2, seed=0)
+        x = Tensor(RNG.normal(size=(2, 4, 8)))
+        mha(x, x, x)
+        assert mha.last_weights.shape == (2, 2, 4, 4)
+        np.testing.assert_allclose(mha.last_weights.sum(axis=-1), np.ones((2, 2, 4)), atol=1e-9)
+
+    def test_key_padding_mask(self):
+        mha = MultiHeadAttention(8, 2, seed=0)
+        x = Tensor(RNG.normal(size=(2, 4, 8)))
+        pad = np.zeros((2, 4), dtype=bool)
+        pad[:, -1] = True  # last position masked out
+        mha(x, x, x, mask=pad)
+        np.testing.assert_allclose(mha.last_weights[..., -1], 0.0, atol=1e-9)
+
+    def test_backward_reaches_all_projections(self):
+        mha = MultiHeadAttention(8, 2, seed=0)
+        x = Tensor(RNG.normal(size=(2, 3, 8)), requires_grad=True)
+        mha(x, x, x).sum().backward()
+        for name, p in mha.named_parameters():
+            assert p.grad is not None, name
+        assert x.grad is not None
+
+    def test_permutation_equivariance_without_positions(self):
+        # Self-attention with no positional information is permutation
+        # equivariant: permuting the input sequence permutes the output.
+        mha = MultiHeadAttention(8, 2, seed=0)
+        mha.eval()
+        x = RNG.normal(size=(1, 5, 8))
+        perm = np.array([3, 1, 4, 0, 2])
+        out1 = mha(Tensor(x), Tensor(x), Tensor(x)).data
+        xp = x[:, perm]
+        out2 = mha(Tensor(xp), Tensor(xp), Tensor(xp)).data
+        np.testing.assert_allclose(out1[:, perm], out2, atol=1e-10)

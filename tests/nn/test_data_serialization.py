@@ -1,0 +1,98 @@
+"""Tests for datasets, data loaders, and checkpoint (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import ArrayDataset, DataLoader, train_val_split
+from repro.nn.layers import Linear, Sequential, ReLU
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self):
+        ds = ArrayDataset(np.arange(10), np.arange(10) * 2)
+        assert len(ds) == 10
+        x, y = ds[np.array([1, 3])]
+        np.testing.assert_allclose(x, [1, 3])
+        np.testing.assert_allclose(y, [2, 6])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(5), np.arange(6))
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset()
+
+
+class TestTrainValSplit:
+    def test_partition_sizes(self):
+        ds = ArrayDataset(np.arange(100))
+        train, val = train_val_split(ds, val_fraction=0.2, seed=0)
+        assert len(train) == 80 and len(val) == 20
+
+    def test_disjoint_and_complete(self):
+        ds = ArrayDataset(np.arange(50))
+        train, val = train_val_split(ds, val_fraction=0.3, seed=1)
+        merged = np.sort(np.concatenate([train.arrays[0], val.arrays[0]]))
+        np.testing.assert_allclose(merged, np.arange(50))
+
+    def test_invalid_fraction(self):
+        ds = ArrayDataset(np.arange(10))
+        with pytest.raises(ValueError):
+            train_val_split(ds, val_fraction=0.0)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ds = ArrayDataset(np.arange(23))
+        dl = DataLoader(ds, batch_size=5, shuffle=True, seed=0)
+        seen = np.concatenate([b[0] for b in dl])
+        np.testing.assert_allclose(np.sort(seen), np.arange(23))
+        assert len(dl) == 5
+
+    def test_drop_last(self):
+        ds = ArrayDataset(np.arange(23))
+        dl = DataLoader(ds, batch_size=5, drop_last=True, seed=0)
+        batches = list(dl)
+        assert len(batches) == 4
+        assert all(len(b[0]) == 5 for b in batches)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = ArrayDataset(np.arange(10))
+        dl = DataLoader(ds, batch_size=4, shuffle=False)
+        first = next(iter(dl))[0]
+        np.testing.assert_allclose(first, [0, 1, 2, 3])
+
+    def test_shuffle_varies_across_epochs(self):
+        ds = ArrayDataset(np.arange(100))
+        dl = DataLoader(ds, batch_size=100, shuffle=True, seed=0)
+        e1 = next(iter(dl))[0]
+        e2 = next(iter(dl))[0]
+        assert not np.array_equal(e1, e2)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(np.arange(3)), batch_size=0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        net = Sequential(Linear(4, 8, seed=0), ReLU(), Linear(8, 2, seed=1))
+        path = tmp_path / "model.npz"
+        save_state(net, path)
+
+        clone = Sequential(Linear(4, 8, seed=9), ReLU(), Linear(8, 2, seed=9))
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        assert not np.allclose(net(x).data, clone(x).data)
+        load_state(clone, path)
+        np.testing.assert_allclose(net(x).data, clone(x).data)
+
+    def test_wrong_architecture_rejected(self, tmp_path):
+        net = Linear(4, 8, seed=0)
+        path = tmp_path / "model.npz"
+        save_state(net, path)
+        other = Linear(4, 9, seed=0)
+        with pytest.raises((KeyError, ValueError)):
+            load_state(other, path)

@@ -1,0 +1,152 @@
+"""Tests for Module infrastructure and the basic layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dropout,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+from tests.nn.gradcheck import assert_grad_matches
+
+RNG = np.random.default_rng(42)
+
+
+class TestModuleInfrastructure:
+    def test_named_parameters_recursive(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(3, 2, seed=0)
+                self.blocks = [Linear(2, 2, seed=1), Linear(2, 2, seed=2)]
+
+        names = [n for n, _ in Net().named_parameters()]
+        assert "fc.weight" in names and "fc.bias" in names
+        assert "blocks.0.weight" in names and "blocks.1.bias" in names
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(3, 3, seed=0), Dropout(0.5, seed=0))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_state_dict_roundtrip(self):
+        net1 = Linear(4, 3, seed=0)
+        net2 = Linear(4, 3, seed=99)
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net1.weight.data, net2.weight.data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        net = Linear(4, 3, seed=0)
+        with pytest.raises(KeyError):
+            net.load_state_dict({"weight": np.zeros((4, 3))})  # missing bias
+        state = net.state_dict()
+        state["weight"] = np.zeros((5, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_zero_grad_and_num_parameters(self):
+        net = Linear(4, 3, seed=0)
+        y = net(Tensor(RNG.normal(size=(2, 4))))
+        y.sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+        assert net.num_parameters() == 4 * 3 + 3
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        lin = Linear(4, 3, seed=0)
+        x = RNG.normal(size=(5, 4))
+        np.testing.assert_allclose(
+            lin(Tensor(x)).data, x @ lin.weight.data + lin.bias.data
+        )
+
+    def test_no_bias(self):
+        lin = Linear(4, 3, bias=False, seed=0)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_gradcheck_weight(self):
+        x = RNG.normal(size=(2, 4))
+
+        def build(t):
+            lin = Linear(4, 3, seed=0)
+            lin.weight.data = t.data  # share storage won't track; rebuild manually
+            return Tensor(x) @ t + lin.bias
+
+        assert_grad_matches(build, RNG.normal(size=(4, 3)))
+
+    def test_3d_input(self):
+        lin = Linear(4, 3, seed=0)
+        out = lin(Tensor(RNG.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+
+class TestLayerNorm:
+    def test_output_normalized(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(RNG.normal(loc=5.0, scale=3.0, size=(4, 8)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gradcheck(self):
+        def build(t):
+            return LayerNorm(5)(t)
+
+        assert_grad_matches(build, RNG.normal(size=(3, 5)), rtol=1e-3, atol=1e-5)
+
+    def test_learnable_scale_shift(self):
+        ln = LayerNorm(4)
+        ln.gamma.data = np.full(4, 2.0)
+        ln.beta.data = np.full(4, 7.0)
+        out = ln(Tensor(RNG.normal(size=(2, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.full(2, 7.0), atol=1e-6)
+
+
+class TestDropout:
+    def test_eval_identity(self):
+        d = Dropout(0.5, seed=0)
+        d.eval()
+        x = Tensor(RNG.normal(size=(10,)))
+        np.testing.assert_allclose(d(x).data, x.data)
+
+    def test_train_zeros_some(self):
+        d = Dropout(0.5, seed=0)
+        out = d(Tensor(np.ones(1000))).data
+        assert (out == 0).sum() > 300
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestSequentialAndFeedForward:
+    def test_sequential_chains(self):
+        net = Sequential(Linear(4, 8, seed=0), ReLU(), Linear(8, 2, seed=1))
+        out = net(Tensor(RNG.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        assert len(net.parameters()) == 4
+
+    def test_feedforward_shapes_and_grad(self):
+        ff = FeedForward(4, 16, 2, seed=0)
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        out = ff(x)
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in ff.parameters())
+
+    def test_feedforward_default_out_features(self):
+        ff = FeedForward(4, 16, seed=0)
+        assert ff(Tensor(RNG.normal(size=(3, 4)))).shape == (3, 4)

@@ -1,0 +1,83 @@
+"""Tests for the serverless platform invocation model."""
+
+import numpy as np
+import pytest
+
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.pricing import LambdaPricing
+from repro.serverless.service_profile import ColdStartModel, ServiceProfile
+
+
+class TestInvokeBatches:
+    def test_records_align_with_inputs(self):
+        plat = ServerlessPlatform()
+        recs = plat.invoke_batches(np.array([0.0, 1.0]), np.array([4, 8]), 1024.0)
+        assert len(recs) == 2
+        assert recs[0].batch_size == 4 and recs[1].batch_size == 8
+        assert recs[0].dispatch_time == 0.0
+
+    def test_completion_time(self):
+        plat = ServerlessPlatform()
+        rec = plat.invoke_batches(np.array([2.0]), np.array([1]), 1792.0)[0]
+        expected = plat.profile.service_time(1792.0, 1)
+        assert rec.completion_time == pytest.approx(2.0 + expected)
+
+    def test_cost_matches_pricing(self):
+        plat = ServerlessPlatform()
+        rec = plat.invoke_batches(np.array([0.0]), np.array([2]), 1024.0)[0]
+        expected = plat.pricing.invocation_cost(1024.0, rec.service_time)
+        assert rec.cost == pytest.approx(expected)
+
+    def test_empty_input(self):
+        assert ServerlessPlatform().invoke_batches(np.array([]), np.array([]), 1024.0) == []
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ServerlessPlatform().invoke_batches(np.array([0.0]), np.array([1, 2]), 1024.0)
+
+
+class TestColdStarts:
+    def test_cold_start_adds_latency_and_cost(self):
+        warm = ServerlessPlatform()
+        cold = ServerlessPlatform(
+            cold_start=ColdStartModel(cold_probability=1.0, base_delay=0.5), seed=0
+        )
+        rw = warm.invoke_batches(np.array([0.0]), np.array([1]), 1024.0)[0]
+        rc = cold.invoke_batches(np.array([0.0]), np.array([1]), 1024.0)[0]
+        assert rc.completion_time > rw.completion_time
+        assert rc.cost > rw.cost
+        assert rc.cold_start > 0
+
+
+class TestConcurrencyLimit:
+    def test_unlimited_runs_in_parallel(self):
+        plat = ServerlessPlatform()
+        recs = plat.invoke_batches(np.zeros(5), np.full(5, 1), 1024.0)
+        assert all(r.dispatch_time == 0.0 for r in recs)
+
+    def test_limit_serializes_excess(self):
+        plat = ServerlessPlatform(concurrency_limit=1)
+        recs = plat.invoke_batches(np.zeros(3), np.full(3, 1), 1024.0)
+        starts = [r.dispatch_time for r in recs]
+        svc = plat.profile.service_time(1024.0, 1)
+        np.testing.assert_allclose(starts, [0.0, svc, 2 * svc], rtol=1e-9)
+
+    def test_limit_two_interleaves(self):
+        plat = ServerlessPlatform(concurrency_limit=2)
+        recs = plat.invoke_batches(np.zeros(4), np.full(4, 1), 1024.0)
+        starts = sorted(r.dispatch_time for r in recs)
+        svc = plat.profile.service_time(1024.0, 1)
+        np.testing.assert_allclose(starts, [0.0, 0.0, svc, svc], rtol=1e-9)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            ServerlessPlatform(concurrency_limit=0)
+
+    def test_custom_profile_and_pricing(self):
+        plat = ServerlessPlatform(
+            profile=ServiceProfile(base_time=0.1, batch_time=0.0),
+            pricing=LambdaPricing(request_price=0.0),
+        )
+        rec = plat.invoke_batches(np.array([0.0]), np.array([1]), 1792.0)[0]
+        assert rec.service_time == pytest.approx(0.1)
+        assert rec.cost == pytest.approx(1.75 * 0.1 * plat.pricing.gb_second_price)

@@ -1,0 +1,71 @@
+"""Tests for the Lambda pricing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serverless.pricing import LambdaPricing, cost_per_million
+
+
+class TestBilledDuration:
+    def test_rounds_up_to_millisecond(self):
+        p = LambdaPricing()
+        assert p.billed_duration(0.0101) == pytest.approx(0.011)
+        assert p.billed_duration(0.010) == pytest.approx(0.010)
+
+    def test_vectorized(self):
+        p = LambdaPricing()
+        np.testing.assert_allclose(
+            p.billed_duration(np.array([0.0001, 0.0015])), [0.001, 0.002]
+        )
+
+
+class TestInvocationCost:
+    def test_matches_hand_computation(self):
+        p = LambdaPricing()
+        # 1 GB for exactly 100 ms + request fee
+        expected = 1.0 * 0.1 * p.gb_second_price + p.request_price
+        assert p.invocation_cost(1024.0, 0.1) == pytest.approx(expected)
+
+    def test_linear_in_memory(self):
+        p = LambdaPricing()
+        c1 = p.invocation_cost(512.0, 0.1) - p.request_price
+        c2 = p.invocation_cost(1024.0, 0.1) - p.request_price
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            LambdaPricing().invocation_cost(0.0, 0.1)
+
+    def test_invalid_constants(self):
+        with pytest.raises(ValueError):
+            LambdaPricing(gb_second_price=-1.0)
+        with pytest.raises(ValueError):
+            LambdaPricing(billing_granularity=0.0)
+
+
+class TestPerRequestCost:
+    def test_batching_divides_cost(self):
+        p = LambdaPricing()
+        single = p.per_request_cost(1024.0, 0.05, 1)
+        batched = p.per_request_cost(1024.0, 0.05, 10)
+        assert batched == pytest.approx(single / 10)
+
+    def test_rejects_batch_below_one(self):
+        with pytest.raises(ValueError):
+            LambdaPricing().per_request_cost(1024.0, 0.05, 0)
+
+    @given(st.floats(0.001, 1.0), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_per_request_cost_decreases_with_batch(self, duration, b):
+        """Property: per-request cost is non-increasing in batch size for a
+        fixed duration (the core batching economics of Fig. 1b)."""
+        p = LambdaPricing()
+        assert p.per_request_cost(1024.0, duration, b + 1) <= p.per_request_cost(
+            1024.0, duration, b
+        )
+
+
+def test_cost_per_million_scaling():
+    assert cost_per_million(2.5e-7) == pytest.approx(0.25)

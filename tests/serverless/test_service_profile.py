@@ -1,0 +1,124 @@
+"""Tests for the deterministic service-time profile and cold starts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serverless.service_profile import (
+    MAX_MEMORY_MB,
+    VCPU_KNEE_MB,
+    ColdStartModel,
+    ServiceProfile,
+)
+
+
+class TestSpeedup:
+    def test_unity_at_knee(self):
+        assert ServiceProfile().speedup(VCPU_KNEE_MB) == pytest.approx(1.0)
+
+    def test_sublinear_below_knee(self):
+        p = ServiceProfile()
+        # CPU share halves, but measured speedup falls less than linearly
+        # (memory_sublinearity); with exponent 1.0 it is exactly linear.
+        assert p.speedup(VCPU_KNEE_MB / 2) == pytest.approx(0.5**p.memory_sublinearity)
+        linear = ServiceProfile(memory_sublinearity=1.0)
+        assert linear.speedup(VCPU_KNEE_MB / 2) == pytest.approx(0.5)
+
+    def test_cost_rises_with_memory(self):
+        """Fig. 1a cost shape: with sublinear speedup, paying for more
+        memory is a net cost increase even below the knee."""
+        from repro.serverless.pricing import LambdaPricing
+
+        p, pricing = ServiceProfile(), LambdaPricing()
+        mems = np.array([256.0, 512.0, 1024.0, 1792.0, 3008.0])
+        cost = pricing.per_request_cost(mems, p.service_time(mems, 8), 8)
+        assert np.all(np.diff(cost) > 0)
+
+    def test_diminishing_above_knee(self):
+        p = ServiceProfile(multicore_efficiency=0.3)
+        s = p.speedup(2 * VCPU_KNEE_MB)
+        assert 1.0 < s < 2.0
+
+    def test_memory_bounds_enforced(self):
+        p = ServiceProfile()
+        with pytest.raises(ValueError):
+            p.speedup(64.0)
+        with pytest.raises(ValueError):
+            p.speedup(MAX_MEMORY_MB + 1)
+
+
+class TestServiceTime:
+    def test_monotone_decreasing_in_memory(self):
+        """Fig. 1a shape: more memory -> lower latency."""
+        p = ServiceProfile()
+        mems = np.array([256.0, 512.0, 1024.0, 1792.0, 3008.0])
+        times = p.service_time(mems, 8)
+        assert np.all(np.diff(times) < 0)
+
+    def test_monotone_increasing_in_batch(self):
+        p = ServiceProfile()
+        times = p.service_time(1024.0, np.array([1, 2, 4, 8, 16]))
+        assert np.all(np.diff(times) > 0)
+
+    def test_per_request_time_decreases_with_batch(self):
+        """The batching parallelism win: amortized time falls with B."""
+        p = ServiceProfile()
+        per = p.per_request_time(1024.0, np.array([1, 2, 4, 8, 16, 32]))
+        assert np.all(np.diff(per) < 0)
+
+    def test_sublinear_batch_growth(self):
+        p = ServiceProfile()
+        t1 = p.service_time(1792.0, 1)
+        t16 = p.service_time(1792.0, 16)
+        assert t16 < 16 * t1
+
+    def test_rejects_memory_below_footprint(self):
+        p = ServiceProfile(min_memory_mb=512.0)
+        with pytest.raises(ValueError):
+            p.service_time(256.0, 1)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            ServiceProfile().service_time(1024.0, 0)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            ServiceProfile(base_time=-1.0)
+        with pytest.raises(ValueError):
+            ServiceProfile(batch_exponent=1.5)
+        with pytest.raises(ValueError):
+            ServiceProfile(multicore_efficiency=2.0)
+
+    @given(
+        st.floats(128.0, 10240.0),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_service_time_positive_and_deterministic(self, mem, b):
+        p = ServiceProfile()
+        t = p.service_time(mem, b)
+        assert t > 0
+        assert t == p.service_time(mem, b)  # deterministic (§IV-A)
+
+
+class TestColdStart:
+    def test_delay_decreases_with_memory(self):
+        c = ColdStartModel(base_delay=0.25)
+        assert c.delay(3008.0) < c.delay(256.0)
+
+    def test_zero_probability_gives_no_delays(self):
+        c = ColdStartModel(cold_probability=0.0)
+        d = c.sample_delays(1024.0, 100, np.random.default_rng(0))
+        np.testing.assert_allclose(d, 0.0)
+
+    def test_probability_respected(self):
+        c = ColdStartModel(cold_probability=0.3)
+        d = c.sample_delays(1024.0, 10_000, np.random.default_rng(0))
+        assert (d > 0).mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ColdStartModel(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            ColdStartModel(cold_probability=1.5)

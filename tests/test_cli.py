@@ -1,0 +1,97 @@
+"""Tests for the command-line interface (in-process, via cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.arrival.io import load_trace
+from repro.cli import main
+from repro.core.training import load_trained
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "trace.npz"
+    rc = main([
+        "traces", "generate", "--kind", "azure", "--seed", "0",
+        "--segments", "3", "--segment-duration", "15", "--out", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+@pytest.fixture()
+def model_path(tmp_path, trace_path):
+    path = tmp_path / "model.npz"
+    rc = main([
+        "train", "--trace", str(trace_path), "--train-segments", "2",
+        "--samples", "60", "--seq-len", "16", "--epochs", "2",
+        "--batch-size", "16", "--out", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+class TestTracesCommand:
+    def test_generate_npz(self, trace_path):
+        trace = load_trace(trace_path)
+        assert trace.n_segments == 3
+        assert trace.timestamps.size > 100
+
+    def test_generate_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        rc = main(["traces", "generate", "--kind", "twitter",
+                   "--segments", "2", "--segment-duration", "10",
+                   "--out", str(path)])
+        assert rc == 0
+        assert path.read_text().startswith("# twitter")
+
+    def test_generate_requires_out(self):
+        assert main(["traces", "generate"]) == 2
+
+    def test_stats(self, trace_path, capsys):
+        rc = main(["traces", "stats", "--path", str(trace_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IDC" in out and "rate req/s" in out
+
+    def test_stats_requires_path(self):
+        assert main(["traces", "stats"]) == 2
+
+
+class TestTrainCommand:
+    def test_checkpoint_loadable(self, model_path):
+        trained = load_trained(model_path)
+        preds = trained.predict(np.full(16, 0.01), np.array([[1024.0, 4, 0.05]]))
+        assert preds.shape == (1, 6)
+
+    def test_bad_train_segments(self, trace_path, tmp_path):
+        rc = main(["train", "--trace", str(trace_path), "--train-segments", "99",
+                   "--samples", "10", "--seq-len", "8", "--epochs", "1",
+                   "--out", str(tmp_path / "m.npz")])
+        assert rc == 2
+
+
+class TestOptimizeCommand:
+    def test_prints_decision(self, trace_path, model_path, capsys):
+        rc = main(["optimize", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segment", "2", "--slo", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted p95 latency" in out
+        assert "MB" in out
+
+
+class TestEvaluateCommand:
+    def test_deepbat_only(self, trace_path, model_path, capsys):
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:3",
+                   "--controllers", "deepbat", "--update-every", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean VCR %" in out
+
+    def test_unknown_controller(self, trace_path, model_path):
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:2",
+                   "--controllers", "nope"])
+        assert rc == 2

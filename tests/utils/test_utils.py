@@ -1,0 +1,93 @@
+"""Tests for RNG plumbing, validation helpers, and the timer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability_vector,
+    check_sorted,
+)
+
+
+class TestRng:
+    def test_as_rng_from_int_is_deterministic(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_as_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_spawn_independent_children(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic(self):
+        a1, a2 = spawn_rngs(7, 2)
+        b1, b2 = spawn_rngs(7, 2)
+        assert a1.random() == b1.random()
+        assert a2.random() == b2.random()
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 3)
+        assert len(children) == 3
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_finite(self):
+        check_finite(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            check_finite(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            check_finite(np.array([np.inf]))
+
+    def test_check_positive(self):
+        check_positive(1.0)
+        check_positive(0.0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+        with pytest.raises(ValueError):
+            check_positive(-1.0, strict=False)
+
+    def test_check_probability_vector(self):
+        check_probability_vector(np.array([0.3, 0.7]))
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([[0.5], [0.5]]))
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([-0.1, 1.1]))
+
+    def test_check_sorted(self):
+        check_sorted(np.array([1.0, 1.0, 2.0]))
+        check_sorted(np.array([1.0, 2.0]), strict=True)
+        with pytest.raises(ValueError):
+            check_sorted(np.array([2.0, 1.0]))
+        with pytest.raises(ValueError):
+            check_sorted(np.array([1.0, 1.0]), strict=True)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first
