@@ -1,0 +1,24 @@
+# Developer entry points. Everything runs from the repo root with the
+# in-tree package (PYTHONPATH=src) — no install step required.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test bench-smoke bench lint
+
+## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
+test:
+	$(PYTEST) -x -q -m "not bench"
+
+## Quick benchmark sanity check: the §IV-F decision-time speedup table.
+## First run trains the shared workbench models; later runs load the cache.
+bench-smoke:
+	$(PYTEST) -q benchmarks/test_speedup_table.py
+
+## Full figure/table reproduction suite (slow; writes benchmarks/results/).
+bench:
+	$(PYTEST) -q benchmarks
+
+## Syntax check of every tree we ship (no third-party linter in the image).
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -23,6 +23,18 @@ VCR_SEGMENTS = range(1, 13)
 #: How often DeepBAT re-optimizes inside a segment (its fast decisions make
 #: intra-segment adaptation affordable; BATCH re-fits only per segment).
 UPDATE_EVERY = 512
+#: Eq. 11's request-sequence length for VCR, forced uniform across
+#: controllers so the figures compare like with like (DeepBAT's own
+#: observation window is shorter and would otherwise chunk differently).
+VCR_SEQUENCE_LENGTH = 256
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is the slow tier: mark it ``bench`` so
+    ``-m "not bench"`` (the Makefile's ``test`` target) skips it even when
+    benchmarks are collected alongside the unit tests."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 def write_result(name: str, text: str) -> None:
@@ -73,7 +85,7 @@ def _controller_logs(wb, trace_name: str) -> dict:
     )
     logs["batch"] = run_experiment(
         trace, batch, slo=slo, platform=wb.platform,
-        segments=VCR_SEGMENTS, name="BATCH",
+        segments=VCR_SEGMENTS, sequence_length=VCR_SEQUENCE_LENGTH, name="BATCH",
     )
 
     # γ is estimated on segment 0 — the same observable data used for
@@ -81,13 +93,15 @@ def _controller_logs(wb, trace_name: str) -> dict:
     pre = deepbat_controller(wb, wb.base_model(), trace.segment(0))
     logs["deepbat_pre"] = run_experiment(
         trace, pre, slo=slo, platform=wb.platform,
-        segments=VCR_SEGMENTS, update_every=UPDATE_EVERY, name="DeepBAT-pretrained",
+        segments=VCR_SEGMENTS, update_every=UPDATE_EVERY,
+        sequence_length=VCR_SEQUENCE_LENGTH, name="DeepBAT-pretrained",
     )
 
     ft = deepbat_controller(wb, wb.finetuned_model(trace_name), trace.segment(0))
     logs["deepbat_ft"] = run_experiment(
         trace, ft, slo=slo, platform=wb.platform,
-        segments=VCR_SEGMENTS, update_every=UPDATE_EVERY, name="DeepBAT-finetuned",
+        segments=VCR_SEGMENTS, update_every=UPDATE_EVERY,
+        sequence_length=VCR_SEQUENCE_LENGTH, name="DeepBAT-finetuned",
     )
     return logs
 

@@ -9,7 +9,7 @@ figures):
 
 import numpy as np
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import VCR_SEQUENCE_LENGTH, write_result
 from repro.core import DeepBATController
 from repro.evaluation import format_table, run_experiment
 
@@ -26,6 +26,7 @@ def test_ablation_gamma_margin(wb, benchmark):
         ctrl = DeepBATController(model, configs=wb.grid, gamma=gamma)
         log = run_experiment(trace, ctrl, slo=slo, platform=wb.platform,
                              segments=SEGMENTS, update_every=512,
+                             sequence_length=VCR_SEQUENCE_LENGTH,
                              name=f"gamma={gamma}")
         outcomes[gamma] = (log.vcr_series().mean(), np.nanmean(log.cost_series()))
         rows.append([f"{gamma:.1f}", f"{outcomes[gamma][0]:.2f}",
@@ -48,6 +49,7 @@ def test_ablation_gamma_margin(wb, benchmark):
         ctrl = deepbat_controller(wb, model, trace.segment(0))
         log = run_experiment(trace, ctrl, slo=slo, platform=wb.platform,
                              segments=SEGMENTS, update_every=every,
+                             sequence_length=VCR_SEQUENCE_LENGTH,
                              name=f"every={every}")
         key = "per-segment" if every is None else str(every)
         freq_outcomes[key] = log.vcr_series().mean()

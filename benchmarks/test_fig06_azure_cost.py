@@ -7,7 +7,12 @@ model generalizes to Twitter without retraining."""
 
 import numpy as np
 
-from benchmarks.conftest import UPDATE_EVERY, deepbat_controller, write_result
+from benchmarks.conftest import (
+    UPDATE_EVERY,
+    VCR_SEQUENCE_LENGTH,
+    deepbat_controller,
+    write_result,
+)
 from repro.baseline import BATCHController
 from repro.core import DeepBATController
 from repro.evaluation import format_series, format_table, run_experiment
@@ -23,9 +28,11 @@ def _run(wb, trace_name):
     # γ estimated on the segment just before the evaluation window.
     deepbat = deepbat_controller(wb, wb.base_model(), trace.segment(12))
     log_b = run_experiment(trace, batch, slo=slo, platform=wb.platform,
-                           segments=SEGMENTS, name="BATCH")
+                           segments=SEGMENTS,
+                           sequence_length=VCR_SEQUENCE_LENGTH, name="BATCH")
     log_d = run_experiment(trace, deepbat, slo=slo, platform=wb.platform,
                            segments=SEGMENTS, update_every=UPDATE_EVERY,
+                           sequence_length=VCR_SEQUENCE_LENGTH,
                            name="DeepBAT")
     return log_b, log_d
 

@@ -55,7 +55,9 @@ def main() -> None:
         controller = DeepBATController(model, configs=wb.grid, gamma=gamma)
         log = run_experiment(
             trace, controller, slo=slo, platform=wb.platform,
-            segments=SEGMENTS, update_every=512, name=label,
+            segments=SEGMENTS, update_every=512,
+            sequence_length=256,  # Eq. 11's paper constant
+            name=label,
         )
         rows.append([
             label,

@@ -22,21 +22,28 @@ from repro.arrival.fitting import FitReport, fit_map, fit_map_kpc
 from repro.arrival.map_process import MAP
 from repro.baseline.analytic import AnalyticPrediction, BatchAnalyticModel
 from repro.batching.config import BatchConfig, config_grid
+from repro.core.types import Decision
 from repro.serverless.pricing import LambdaPricing
 from repro.serverless.service_profile import ServiceProfile
+from repro.telemetry.events import DecisionEvent
+from repro.telemetry.metrics import get_registry
 from repro.utils.timing import Timer
 
 
 @dataclass(frozen=True)
-class BatchDecision:
-    """Outcome of one BATCH optimization round."""
+class BatchDecision(Decision):
+    """Outcome of one BATCH optimization round.
 
-    config: BatchConfig
-    prediction: AnalyticPrediction
-    fit_report: FitReport
-    fit_time: float
-    solve_time: float
-    feasible: bool
+    ``decision_time`` (the unified API's timing field) equals
+    ``fit_time + solve_time``; :attr:`total_time` remains as an alias for
+    older call sites.
+    """
+
+    prediction: AnalyticPrediction | None = None
+    fit_report: FitReport | None = None
+    fit_time: float = 0.0
+    solve_time: float = 0.0
+    feasible: bool = True
 
     @property
     def total_time(self) -> float:
@@ -89,39 +96,57 @@ class BATCHController:
         if slo <= 0:
             raise ValueError(f"slo must be > 0, got {slo}")
 
-        with Timer() as t_fit:
-            if self.fitting == "kpc":
-                fitted, report = fit_map_kpc(x, order=self.fit_order)
-            else:
-                fitted, report = fit_map(x)
-        self.last_map = fitted
+        registry = get_registry()
+        with registry.span("batch.choose"):
+            with Timer() as t_fit, registry.span("batch.fit"):
+                if self.fitting == "kpc":
+                    fitted, report = fit_map_kpc(x, order=self.fit_order)
+                else:
+                    fitted, report = fit_map(x)
+            self.last_map = fitted
 
-        model = BatchAnalyticModel(
-            fitted, profile=self.profile, pricing=self.pricing, n_steps=self.n_steps
-        )
-        with Timer() as t_solve:
-            preds = model.evaluate_grid(self.configs, percentiles=(self.percentile,))
-            feasible = [
-                (p.cost_per_request, i)
-                for i, p in enumerate(preds)
-                if p.latency_percentiles[0] <= slo
-            ]
-            if feasible:
-                _, best = min(feasible)
-                ok = True
-            else:
-                _, best = min(
-                    (p.latency_percentiles[0], i) for i, p in enumerate(preds)
+            model = BatchAnalyticModel(
+                fitted, profile=self.profile, pricing=self.pricing, n_steps=self.n_steps
+            )
+            with Timer() as t_solve, registry.span("batch.solve"):
+                preds = model.evaluate_grid(
+                    self.configs, percentiles=(self.percentile,)
                 )
-                ok = False
+                feasible = [
+                    (p.cost_per_request, i)
+                    for i, p in enumerate(preds)
+                    if p.latency_percentiles[0] <= slo
+                ]
+                if feasible:
+                    _, best = min(feasible)
+                    ok = True
+                else:
+                    _, best = min(
+                        (p.latency_percentiles[0], i) for i, p in enumerate(preds)
+                    )
+                    ok = False
 
         decision = BatchDecision(
             config=self.configs[best],
+            decision_time=t_fit.elapsed + t_solve.elapsed,
             prediction=preds[best],
             fit_report=report,
             fit_time=t_fit.elapsed,
             solve_time=t_solve.elapsed,
             feasible=ok,
         )
+        if registry.enabled:
+            registry.counter("batch.decisions").inc()
+            registry.histogram("batch.decision_time").observe(decision.decision_time)
+            registry.record_event(DecisionEvent(
+                controller="batch",
+                memory_mb=decision.config.memory_mb,
+                batch_size=decision.config.batch_size,
+                timeout=decision.config.timeout,
+                decision_time=decision.decision_time,
+                predicted_cost=preds[best].cost_per_request * 1e6,
+                predicted_p95=float(preds[best].latency_percentiles[0]),
+                feasible=ok,
+            ))
         self.last_decision = decision
         return decision

@@ -23,18 +23,19 @@ import numpy as np
 from repro.arrival.map_process import poisson_map
 from repro.batching.config import BatchConfig, config_grid
 from repro.batching.simulator import ground_truth_optimum
+from repro.core.types import Decision
 from repro.serverless.platform import ServerlessPlatform
+from repro.telemetry.events import DecisionEvent
+from repro.telemetry.metrics import get_registry
 from repro.utils.timing import Timer
 
 
 @dataclass(frozen=True)
-class ReactiveDecision:
+class ReactiveDecision(Decision):
     """Outcome of one table lookup."""
 
-    config: BatchConfig
-    observed_rate: float
-    band_rate: float
-    decision_time: float
+    observed_rate: float = 0.0
+    band_rate: float = 0.0
 
 
 class ReactiveController:
@@ -85,13 +86,23 @@ class ReactiveController:
                 "rebuild the table for a different target"
             )
         x = np.asarray(interarrival_history, dtype=float)
-        with Timer() as t:
+        registry = get_registry()
+        with Timer() as t, registry.span("reactive.choose"):
             tail = x[-256:]
             mean = float(tail.mean()) if tail.size else np.inf
             rate = 1.0 / mean if mean > 0 and np.isfinite(mean) else 0.0
             bands = np.asarray(self.rate_bands)
             band = float(bands[int(np.argmin(np.abs(np.log(bands) - np.log(max(rate, 1e-6)))))])
             config = self._table[band]
+        if registry.enabled:
+            registry.counter("reactive.decisions").inc()
+            registry.record_event(DecisionEvent(
+                controller="reactive",
+                memory_mb=config.memory_mb,
+                batch_size=config.batch_size,
+                timeout=config.timeout,
+                decision_time=t.elapsed,
+            ))
         return ReactiveDecision(
             config=config, observed_rate=rate, band_rate=band, decision_time=t.elapsed
         )

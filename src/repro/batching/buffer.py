@@ -14,6 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.batching.config import BatchConfig
+from repro.telemetry.events import DispatchEvent
+from repro.telemetry.metrics import get_registry
 
 
 @dataclass(frozen=True)
@@ -114,4 +116,14 @@ class BatchingBuffer:
         del self._pending_idx[:count]
         del self._pending_times[:count]
         self._dispatched.append(batch)
+        registry = get_registry()
+        if registry.enabled:
+            waits = batch.waits()
+            registry.histogram("buffer.batch_size").observe(batch.size)
+            registry.histogram("buffer.wait").observe_many(waits)
+            registry.record_event(DispatchEvent(
+                batch_size=batch.size,
+                dispatch_time=batch.dispatch_time,
+                max_wait=float(waits.max()) if batch.size else 0.0,
+            ))
         return batch

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.batching.config import BatchConfig
 from repro.serverless.platform import ServerlessPlatform
+from repro.telemetry.metrics import get_registry
 from repro.utils.validation import check_sorted
 
 #: Latency percentiles the surrogate predicts (plus cost) — the output O.
@@ -136,6 +137,15 @@ def simulate(
     batch_of_request = np.repeat(np.arange(sizes.size), sizes)
     latencies = completion[batch_of_request] - ts
     waits = np.array([r.dispatch_time for r in records])[batch_of_request] - ts
+    registry = get_registry()
+    if registry.enabled:
+        # Note: grid searches (oracle/profiling) also land here, so these
+        # histograms cover every simulated configuration, not only served
+        # traffic; the harness's per-segment metrics cover the latter.
+        registry.counter("simulator.requests").inc(ts.size)
+        registry.counter("simulator.batches").inc(sizes.size)
+        registry.histogram("simulator.batch_size").observe_many(sizes)
+        registry.histogram("simulator.buffer_wait").observe_many(waits)
     return SimulationResult(
         config=config,
         latencies=latencies,

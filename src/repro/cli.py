@@ -5,12 +5,15 @@ Subcommands cover the full workflow without writing Python:
 * ``traces``   — generate/inspect workload traces (npz or csv);
 * ``train``    — label windows with the simulator and train a surrogate;
 * ``optimize`` — one DeepBAT decision for a trace segment;
-* ``evaluate`` — closed-loop DeepBAT-vs-BATCH comparison over segments.
+* ``evaluate`` — closed-loop DeepBAT-vs-BATCH comparison over segments
+  (``--telemetry PATH`` additionally dumps spans/metrics/events as JSONL);
+* ``report``   — render the ASCII telemetry dashboard from such a dump.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
@@ -26,6 +29,13 @@ from repro.core.training import TrainConfig, load_trained, save_trained, train_s
 from repro.evaluation.harness import run_experiment
 from repro.evaluation.reporting import format_table
 from repro.serverless.platform import ServerlessPlatform
+from repro.telemetry import (
+    MetricsRegistry,
+    read_jsonl,
+    render_dashboard,
+    use_registry,
+    write_jsonl,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--segments", default="1:13", help="segment range a:b")
     p_eval.add_argument("--controllers", default="deepbat,batch")
     p_eval.add_argument("--update-every", type=int, default=512)
+    p_eval.add_argument("--telemetry", metavar="PATH",
+                        help="collect telemetry and dump it as JSONL here")
+
+    p_rep = sub.add_parser("report", help="render a telemetry dashboard")
+    p_rep.add_argument("path", help="JSONL dump written by evaluate --telemetry")
     return parser
 
 
@@ -140,40 +155,64 @@ def _cmd_optimize(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    if args.telemetry:
+        # Fail before the (expensive) run, not when dumping afterwards.
+        try:
+            with open(args.telemetry, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write {args.telemetry}: {exc}", file=sys.stderr)
+            return 2
     lo, _, hi = args.segments.partition(":")
     segments = range(int(lo), int(hi))
     trained = load_trained(args.model)
     trace = load_trace(args.trace)
     platform = ServerlessPlatform()
     grid = config_grid()
+    registry = MetricsRegistry() if args.telemetry else None
     rows = []
-    for name in args.controllers.split(","):
-        name = name.strip().lower()
-        if name == "deepbat":
-            chooser = DeepBATController(trained, configs=grid)
-            log = run_experiment(trace, chooser, slo=args.slo, platform=platform,
-                                 segments=segments, update_every=args.update_every,
-                                 name="deepbat")
-        elif name == "batch":
-            chooser = BATCHController(configs=grid, profile=platform.profile,
-                                      pricing=platform.pricing)
-            log = run_experiment(trace, chooser, slo=args.slo, platform=platform,
-                                 segments=segments, name="batch")
-        else:
-            print(f"error: unknown controller {name!r}", file=sys.stderr)
-            return 2
-        rows.append([
-            name,
-            f"{log.vcr_series().mean():.2f}",
-            f"{np.nanmean(log.latency_series(95)) * 1e3:.1f}",
-            f"{np.nanmean(log.cost_series()) * 1e6:.4f}",
-            f"{log.mean_decision_time * 1e3:.0f}",
-        ])
+    scope = use_registry(registry) if registry is not None else contextlib.nullcontext()
+    with scope:
+        for name in args.controllers.split(","):
+            name = name.strip().lower()
+            if name == "deepbat":
+                chooser = DeepBATController(trained, configs=grid)
+                log = run_experiment(trace, chooser, slo=args.slo, platform=platform,
+                                     segments=segments, update_every=args.update_every,
+                                     name="deepbat")
+            elif name == "batch":
+                chooser = BATCHController(configs=grid, profile=platform.profile,
+                                          pricing=platform.pricing)
+                log = run_experiment(trace, chooser, slo=args.slo, platform=platform,
+                                     segments=segments, name="batch")
+            else:
+                print(f"error: unknown controller {name!r}", file=sys.stderr)
+                return 2
+            rows.append([
+                name,
+                f"{log.vcr_series().mean():.2f}",
+                f"{np.nanmean(log.latency_series(95)) * 1e3:.1f}",
+                f"{np.nanmean(log.cost_series()) * 1e6:.4f}",
+                f"{log.mean_decision_time * 1e3:.0f}",
+            ])
     print(format_table(
         ["controller", "mean VCR %", "mean p95 ms", "cost $/1M", "decision ms"],
         rows,
         title=f"{trace.name}: segments {args.segments}, SLO {args.slo * 1e3:.0f} ms",
     ))
+    if registry is not None:
+        n = write_jsonl(registry, args.telemetry)
+        print(f"wrote {n} telemetry records to {args.telemetry}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    try:
+        records = read_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    print(render_dashboard(records, title=f"telemetry dashboard — {args.path}"))
     return 0
 
 
@@ -186,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
             "train": _cmd_train,
             "optimize": _cmd_optimize,
             "evaluate": _cmd_evaluate,
+            "report": _cmd_report,
         }[args.command](args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.

@@ -22,6 +22,7 @@ from repro.core.features import (
 from repro.core.optimizer import OptimizationResult, SloAwareOptimizer
 from repro.core.parser import WorkloadParser
 from repro.core.surrogate import DeepBATSurrogate
+from repro.core.types import Decision
 from repro.core.training import (
     TrainConfig,
     TrainedSurrogate,
@@ -35,6 +36,7 @@ from repro.core.training import (
 )
 
 __all__ = [
+    "Decision",
     "DeepBATController",
     "DeepBATDecision",
     "DeepBATSurrogate",

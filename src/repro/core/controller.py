@@ -5,6 +5,12 @@ optimizer, and (for live serving) the batching buffer: observe arrivals →
 build the inter-arrival window → batch-predict every candidate
 configuration in one surrogate forward → pick the cheapest SLO-feasible
 configuration → reconfigure the buffer.
+
+Each optimization round is traced through :mod:`repro.telemetry`: nested
+spans attribute decision time to window building, the surrogate forward,
+and the optimizer search, and a :class:`DecisionEvent` records the chosen
+``(M, B, T)`` with its predicted cost/latency. With the default no-op
+registry this instrumentation adds only attribute lookups.
 """
 
 from __future__ import annotations
@@ -19,18 +25,23 @@ from repro.batching.config import BatchConfig, config_grid
 from repro.core.optimizer import OptimizationResult, SloAwareOptimizer
 from repro.core.parser import WorkloadParser
 from repro.core.training import TrainedSurrogate
+from repro.core.types import Decision
+from repro.telemetry.events import DecisionEvent
+from repro.telemetry.metrics import get_registry
 from repro.utils.timing import Timer
 
 
 @dataclass(frozen=True)
-class DeepBATDecision:
-    """Outcome of one DeepBAT optimization round."""
+class DeepBATDecision(Decision):
+    """Outcome of one DeepBAT optimization round.
 
-    config: BatchConfig
-    optimization: OptimizationResult
-    predictions: np.ndarray  # (n_configs, n_outputs), unscaled targets
-    inference_time: float  # surrogate forward over the whole grid
-    decision_time: float  # inference + optimizer search
+    Inherits the unified :class:`~repro.core.types.Decision` surface
+    (``config``, ``decision_time``, ``predictions``) and adds the
+    optimizer's full result plus the surrogate-forward share of the time.
+    """
+
+    optimization: OptimizationResult | None = None
+    inference_time: float = 0.0  # surrogate forward over the whole grid
 
 
 class DeepBATController:
@@ -63,13 +74,18 @@ class DeepBATController:
     # ------------------------------------------------------------ decisions
     def choose(self, interarrival_history: np.ndarray, slo: float) -> DeepBATDecision:
         """One optimization round from a raw inter-arrival history."""
-        window = latest_window(
-            np.asarray(interarrival_history, dtype=float), self.window_length
-        )
-        with Timer() as t_inf:
-            preds = self.surrogate.predict(window, self.optimizer.features)
-        with Timer() as t_opt:
-            result = self.optimizer.choose(preds, slo)
+        registry = get_registry()
+        with registry.span("deepbat.choose"):
+            with registry.span("deepbat.window"):
+                window = latest_window(
+                    np.asarray(interarrival_history, dtype=float), self.window_length
+                )
+            with Timer() as t_inf:
+                with registry.span("deepbat.forward"):
+                    preds = self.surrogate.predict(window, self.optimizer.features)
+            with Timer() as t_opt:
+                with registry.span("deepbat.search"):
+                    result = self.optimizer.choose(preds, slo)
         decision = DeepBATDecision(
             config=result.config,
             optimization=result,
@@ -77,6 +93,19 @@ class DeepBATController:
             inference_time=t_inf.elapsed,
             decision_time=t_inf.elapsed + t_opt.elapsed,
         )
+        if registry.enabled:
+            registry.counter("deepbat.decisions").inc()
+            registry.histogram("deepbat.decision_time").observe(decision.decision_time)
+            registry.record_event(DecisionEvent(
+                controller="deepbat",
+                memory_mb=result.config.memory_mb,
+                batch_size=result.config.batch_size,
+                timeout=result.config.timeout,
+                decision_time=decision.decision_time,
+                predicted_cost=result.predicted_cost_per_million,
+                predicted_p95=result.predicted_latency,
+                feasible=result.feasible,
+            ))
         self.last_decision = decision
         return decision
 
@@ -98,16 +127,20 @@ class DeepBATController:
         if reoptimize_every < 1:
             raise ValueError("reoptimize_every must be >= 1")
         arrival_times = np.asarray(arrival_times, dtype=float)
-        decisions: list[DeepBATDecision] = []
-        buffer = BatchingBuffer(self.optimizer.configs[0])
-        batches = []
-        for i, t in enumerate(arrival_times):
-            self.parser.observe(float(t))
-            batches.extend(buffer.observe(float(t)))
-            if self.parser.has_full_window() and (i + 1) % reoptimize_every == 0:
-                decision = self.choose(self.parser.interarrivals(), slo)
-                decisions.append(decision)
-                buffer.reconfigure(decision.config)
-        if arrival_times.size:
-            batches.extend(buffer.flush(float(arrival_times[-1])))
+        registry = get_registry()
+        with registry.span("deepbat.serve"):
+            decisions: list[DeepBATDecision] = []
+            buffer = BatchingBuffer(self.optimizer.configs[0])
+            batches = []
+            for i, t in enumerate(arrival_times):
+                self.parser.observe(float(t))
+                batches.extend(buffer.observe(float(t)))
+                if self.parser.has_full_window() and (i + 1) % reoptimize_every == 0:
+                    decision = self.choose(self.parser.interarrivals(), slo)
+                    decisions.append(decision)
+                    buffer.reconfigure(decision.config)
+            if arrival_times.size:
+                batches.extend(buffer.flush(float(arrival_times[-1])))
+        if registry.enabled:
+            registry.counter("deepbat.served_requests").inc(arrival_times.size)
         return batches, decisions

@@ -20,6 +20,7 @@ from repro.nn.data import ArrayDataset, DataLoader, train_val_split
 from repro.nn.losses import combined_loss, slo_violation_weights
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor
+from repro.telemetry.metrics import get_registry
 from repro.utils.rng import as_rng
 
 
@@ -121,6 +122,7 @@ def train_surrogate(
 
     optimizer = Adam(model.parameters(), lr=cfg.lr)
     history = TrainingHistory()
+    registry = get_registry()
     best_state = None
     best_val = np.inf
     stale = 0
@@ -128,23 +130,30 @@ def train_surrogate(
     for _ in range(cfg.epochs):
         model.train()
         losses = []
-        for seq_b, feat_b, tgt_b in loader:
-            pred = model(Tensor(seq_b), Tensor(feat_b))
-            weights = _epoch_weights(tgt_b, cfg, dataset.spec)
-            loss = combined_loss(
-                pred, Tensor(tgt_b), alpha=cfg.alpha, delta=cfg.huber_delta,
-                weights=weights,
-            )
-            optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(optimizer.params, cfg.grad_clip)
-            optimizer.step()
-            losses.append(loss.item())
-        history.train_loss.append(float(np.mean(losses)))
+        with registry.span("train.epoch"):
+            for seq_b, feat_b, tgt_b in loader:
+                pred = model(Tensor(seq_b), Tensor(feat_b))
+                weights = _epoch_weights(tgt_b, cfg, dataset.spec)
+                loss = combined_loss(
+                    pred, Tensor(tgt_b), alpha=cfg.alpha, delta=cfg.huber_delta,
+                    weights=weights,
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(optimizer.params, cfg.grad_clip)
+                optimizer.step()
+                losses.append(loss.item())
+            history.train_loss.append(float(np.mean(losses)))
 
-        val_loss, val_mape = _validate(model, val_set, cfg)
-        history.val_loss.append(val_loss)
-        history.val_mape.append(val_mape)
+            val_loss, val_mape = _validate(model, val_set, cfg)
+            history.val_loss.append(val_loss)
+            history.val_mape.append(val_mape)
+        if registry.enabled:
+            registry.counter("train.epochs").inc()
+            registry.gauge("train.loss").set(history.train_loss[-1])
+            registry.gauge("train.val_loss").set(val_loss)
+            registry.gauge("train.val_mape").set(val_mape)
+            registry.gauge("train.lr").set(optimizer.lr)
 
         if val_loss < best_val - 1e-9:
             best_val = val_loss

@@ -1,0 +1,33 @@
+"""The unified Controller/Decision API.
+
+Every chooser — DeepBAT, BATCH, the reactive baseline, the ground-truth
+oracle, and any test double — returns a :class:`Decision` (or a subclass
+adding controller-specific detail). The evaluation harness and the
+telemetry layer program against exactly this surface, so there is one
+contract instead of per-controller duck typing:
+
+* ``config`` — the chosen ``(M, B, T)`` batching configuration;
+* ``decision_time`` — wall-clock seconds the controller spent deciding
+  (the §IV-F comparison metric);
+* ``predictions`` — optional model outputs that justified the choice;
+* ``diagnostics`` — optional free-form extras for logging/debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.batching.config import BatchConfig
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What every chooser returns: a configuration plus how it was reached."""
+
+    config: BatchConfig
+    decision_time: float = 0.0
+    predictions: np.ndarray | None = None
+    diagnostics: Mapping[str, Any] | None = None

@@ -3,6 +3,8 @@ and the cached experiment workbench."""
 
 from repro.evaluation.comparison import ComparisonReport, compare_controllers
 from repro.evaluation.harness import (
+    DEFAULT_SEQUENCE_LENGTH,
+    Chooser,
     ExperimentLog,
     OracleChooser,
     SegmentOutcome,
@@ -16,7 +18,9 @@ from repro.evaluation.reporting import format_series, format_table
 from repro.evaluation.workbench import Workbench, WorkbenchSettings, get_workbench
 
 __all__ = [
+    "Chooser",
     "ComparisonReport",
+    "DEFAULT_SEQUENCE_LENGTH",
     "ExperimentLog",
     "compare_controllers",
     "OracleChooser",

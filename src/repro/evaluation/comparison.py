@@ -14,7 +14,13 @@ import numpy as np
 
 from repro.arrival.traces import Trace
 from repro.batching.config import BatchConfig
-from repro.evaluation.harness import Chooser, ExperimentLog, run_experiment, run_oracle
+from repro.evaluation.harness import (
+    DEFAULT_SEQUENCE_LENGTH,
+    Chooser,
+    ExperimentLog,
+    run_experiment,
+    run_oracle,
+)
 from repro.evaluation.reporting import format_table
 from repro.serverless.platform import ServerlessPlatform
 
@@ -72,25 +78,30 @@ def compare_controllers(
     segments: range | None = None,
     include_oracle: bool = False,
     oracle_configs: list[BatchConfig] | None = None,
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH,
 ) -> ComparisonReport:
     """Replay every controller over the same segments.
 
     ``controllers`` maps a display name to ``(chooser, update_every)``;
     ``update_every=None`` means one decision per segment (BATCH-style).
     With ``include_oracle`` the exhaustive ground-truth optimum is added
-    as the reference line (requires ``oracle_configs``).
+    as the reference line (requires ``oracle_configs``). The VCR chunk
+    length is forced uniform across controllers (``sequence_length``) so
+    the summary table compares like with like.
     """
     platform = platform if platform is not None else ServerlessPlatform()
     report = ComparisonReport(trace=trace.name, slo=slo)
     for name, (chooser, update_every) in controllers.items():
         report.logs[name] = run_experiment(
             trace, chooser, slo=slo, platform=platform,
-            segments=segments, update_every=update_every, name=name,
+            segments=segments, update_every=update_every,
+            sequence_length=sequence_length, name=name,
         )
     if include_oracle:
         if not oracle_configs:
             raise ValueError("include_oracle requires oracle_configs")
         report.logs["ground-truth"] = run_oracle(
-            trace, oracle_configs, slo=slo, platform=platform, segments=segments
+            trace, oracle_configs, slo=slo, platform=platform,
+            segments=segments, sequence_length=sequence_length,
         )
     return report

@@ -7,12 +7,16 @@ under that choice in the ground-truth simulator, and per-segment metrics
 are logged. DeepBAT can additionally re-optimize *within* a segment (its
 fast decisions make that affordable — the adaptivity advantage of §IV-C/D),
 while BATCH re-fits only at segment boundaries, exactly as in the paper.
+
+Every chooser returns the unified :class:`repro.core.types.Decision`
+surface, and each served segment emits a :class:`SegmentEvent` (plus a
+:class:`ViolationEvent` on SLO breaches) through :mod:`repro.telemetry`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Protocol
 
 import numpy as np
 
@@ -20,16 +24,33 @@ from repro.arrival.stats import interarrivals
 from repro.arrival.traces import Trace
 from repro.batching.config import BatchConfig
 from repro.batching.simulator import SimulationResult, simulate
+from repro.core.types import Decision
 from repro.evaluation.metrics import vcr
 from repro.serverless.platform import ServerlessPlatform
+from repro.telemetry.events import SegmentEvent, ViolationEvent
+from repro.telemetry.metrics import get_registry
+
+#: Eq. 11's request-sequence length, used when a chooser does not expose
+#: the window length it actually observes.
+DEFAULT_SEQUENCE_LENGTH = 256
 
 
 class Chooser(Protocol):
     """Anything that picks a configuration from an inter-arrival history."""
 
-    def choose(self, interarrival_history: np.ndarray, slo: float):
-        """Returns an object with a ``.config`` attribute."""
+    def choose(self, interarrival_history: np.ndarray, slo: float) -> Decision:
+        """Returns a :class:`repro.core.types.Decision` (or a subclass)."""
         ...
+
+
+def _resolve_sequence_length(chooser: Chooser, sequence_length: int | None) -> int:
+    """The VCR chunk length for a run: explicit > chooser's window > Eq. 11."""
+    if sequence_length is not None:
+        if sequence_length < 1:
+            raise ValueError(f"sequence_length must be >= 1, got {sequence_length}")
+        return int(sequence_length)
+    window = getattr(chooser, "window_length", None)
+    return int(window) if window else DEFAULT_SEQUENCE_LENGTH
 
 
 @dataclass(frozen=True)
@@ -42,6 +63,7 @@ class SegmentOutcome:
     total_cost: float
     n_requests: int
     decision_times: tuple[float, ...]
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH
 
     def p(self, percentile: float) -> float:
         if self.latencies.size == 0:
@@ -52,8 +74,16 @@ class SegmentOutcome:
     def cost_per_request(self) -> float:
         return self.total_cost / self.n_requests if self.n_requests else np.nan
 
-    def vcr(self, slo: float, sequence_length: int = 256, percentile: float = 95.0) -> float:
-        return vcr(self.latencies, slo, sequence_length, percentile)
+    def vcr(
+        self,
+        slo: float,
+        sequence_length: int | None = None,
+        percentile: float = 95.0,
+    ) -> float:
+        """VCR of this segment; chunked by the run's recorded sequence
+        length unless an explicit ``sequence_length`` overrides it."""
+        length = self.sequence_length if sequence_length is None else sequence_length
+        return vcr(self.latencies, slo, length, percentile)
 
 
 @dataclass
@@ -64,10 +94,14 @@ class ExperimentLog:
     trace: str
     slo: float
     outcomes: list[SegmentOutcome] = field(default_factory=list)
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH
 
-    def vcr_series(self, sequence_length: int = 256, percentile: float = 95.0) -> np.ndarray:
+    def vcr_series(
+        self, sequence_length: int | None = None, percentile: float = 95.0
+    ) -> np.ndarray:
+        length = self.sequence_length if sequence_length is None else sequence_length
         return np.array(
-            [o.vcr(self.slo, sequence_length, percentile) for o in self.outcomes]
+            [o.vcr(self.slo, length, percentile) for o in self.outcomes]
         )
 
     def cost_series(self) -> np.ndarray:
@@ -99,6 +133,7 @@ def run_segment(
     platform: ServerlessPlatform,
     update_every: int | None = None,
     history_tail: int = 4096,
+    sequence_length: int | None = None,
 ) -> SegmentOutcome:
     """Serve one segment under the chooser's decisions.
 
@@ -106,14 +141,18 @@ def run_segment(
     segment (None = one decision per segment, BATCH-style). The history
     handed to the chooser is the previous segment plus the part of the
     current segment already served, truncated to ``history_tail`` samples.
+    ``sequence_length``: the VCR chunk length recorded on the outcome;
+    defaults to the chooser's observation window (falling back to Eq. 11's
+    256 for window-less choosers).
     """
     if segment < 1:
         raise ValueError("segment must be >= 1 (segment 0 has no history)")
+    seq_len = _resolve_sequence_length(chooser, sequence_length)
     prev = trace.segment(segment - 1, relative=False)
     current = trace.segment(segment, relative=False)
 
     if current.size == 0:
-        return SegmentOutcome(segment, (), np.empty(0), 0.0, 0, ())
+        return SegmentOutcome(segment, (), np.empty(0), 0.0, 0, (), seq_len)
 
     blocks: list[np.ndarray]
     if update_every is None or current.size <= update_every:
@@ -132,23 +171,47 @@ def run_segment(
         hist = interarrivals(history_ts)[-history_tail:]
         decision = chooser.choose(hist, slo)
         configs.append(decision.config)
-        if hasattr(decision, "decision_time"):
-            dtimes.append(decision.decision_time)
-        elif hasattr(decision, "total_time"):
-            dtimes.append(decision.total_time)
+        dtimes.append(float(decision.decision_time))
         result: SimulationResult = simulate(block, decision.config, platform)
         latencies.append(result.latencies)
         cost += result.total_cost
         served = np.concatenate([served, block])
 
-    return SegmentOutcome(
+    outcome = SegmentOutcome(
         segment=segment,
         configs=tuple(configs),
         latencies=np.concatenate(latencies),
         total_cost=cost,
         n_requests=current.size,
         decision_times=tuple(dtimes),
+        sequence_length=seq_len,
     )
+    registry = get_registry()
+    if registry.enabled:
+        p95 = outcome.p(95.0)
+        registry.histogram("harness.segment_p95").observe(p95)
+        registry.histogram("harness.segment_cost_per_request").observe(
+            outcome.cost_per_request
+        )
+        registry.histogram("harness.decision_time").observe_many(
+            np.asarray(dtimes, dtype=float)
+        )
+        registry.record_event(SegmentEvent(
+            segment=segment,
+            n_requests=outcome.n_requests,
+            p95=p95,
+            cost_per_request=outcome.cost_per_request,
+            vcr=outcome.vcr(slo),
+            mean_decision_time=float(np.mean(dtimes)) if dtimes else 0.0,
+            slo=slo,
+            controller=type(chooser).__name__,
+        ))
+        if p95 > slo:
+            registry.counter("harness.slo_violations").inc()
+            registry.record_event(
+                ViolationEvent(segment=segment, observed_p95=p95, slo=slo)
+            )
+    return outcome
 
 
 def run_experiment(
@@ -158,15 +221,25 @@ def run_experiment(
     platform: ServerlessPlatform | None = None,
     segments: range | None = None,
     update_every: int | None = None,
+    history_tail: int = 4096,
+    sequence_length: int | None = None,
     name: str = "chooser",
 ) -> ExperimentLog:
     """Run a chooser over a range of segments (default: 1 … n−1)."""
     platform = platform if platform is not None else ServerlessPlatform()
     segments = segments if segments is not None else range(1, trace.n_segments)
-    log = ExperimentLog(name=name, trace=trace.name, slo=slo)
+    seq_len = _resolve_sequence_length(chooser, sequence_length)
+    log = ExperimentLog(
+        name=name, trace=trace.name, slo=slo, sequence_length=seq_len
+    )
     for seg in segments:
         log.outcomes.append(
-            run_segment(trace, seg, chooser, slo, platform, update_every)
+            run_segment(
+                trace, seg, chooser, slo, platform,
+                update_every=update_every,
+                history_tail=history_tail,
+                sequence_length=seq_len,
+            )
         )
     return log
 
@@ -177,7 +250,9 @@ class OracleChooser:
 
     Used as the "Ground Truth" line of the paper's figures. Because it sees
     the future it is not a real controller — it bounds what any controller
-    could achieve.
+    could achieve. Its decisions report ``decision_time`` 0 for the same
+    reason: exhaustive search over the future is not a cost any deployable
+    controller would pay.
     """
 
     configs: list[BatchConfig]
@@ -188,7 +263,7 @@ class OracleChooser:
     def set_future(self, timestamps: np.ndarray) -> None:
         self.future = np.asarray(timestamps, dtype=float)
 
-    def choose(self, interarrival_history: np.ndarray, slo: float):
+    def choose(self, interarrival_history: np.ndarray, slo: float) -> Decision:
         from repro.batching.simulator import ground_truth_optimum
 
         if self.future is None:
@@ -196,13 +271,7 @@ class OracleChooser:
         config, _ = ground_truth_optimum(
             self.future, self.configs, self.platform, slo, self.percentile
         )
-
-        @dataclass(frozen=True)
-        class _Decision:
-            config: BatchConfig
-            decision_time: float = 0.0
-
-        return _Decision(config=config)
+        return Decision(config=config)
 
 
 def run_oracle(
@@ -211,14 +280,32 @@ def run_oracle(
     slo: float,
     platform: ServerlessPlatform | None = None,
     segments: range | None = None,
+    update_every: int | None = None,
+    history_tail: int = 4096,
+    sequence_length: int | None = None,
     percentile: float = 95.0,
 ) -> ExperimentLog:
-    """Ground-truth line: per segment, the exhaustive-search optimum."""
+    """Ground-truth line: per segment, the exhaustive-search optimum.
+
+    Accepts the same ``segments``/``update_every``/``history_tail``/
+    ``sequence_length`` knobs as :func:`run_experiment`, so oracle and
+    controller runs are configured through one signature.
+    """
     platform = platform if platform is not None else ServerlessPlatform()
     segments = segments if segments is not None else range(1, trace.n_segments)
     oracle = OracleChooser(configs, platform, percentile)
-    log = ExperimentLog(name="ground-truth", trace=trace.name, slo=slo)
+    seq_len = _resolve_sequence_length(oracle, sequence_length)
+    log = ExperimentLog(
+        name="ground-truth", trace=trace.name, slo=slo, sequence_length=seq_len
+    )
     for seg in segments:
         oracle.set_future(trace.segment(seg, relative=False))
-        log.outcomes.append(run_segment(trace, seg, oracle, slo, platform))
+        log.outcomes.append(
+            run_segment(
+                trace, seg, oracle, slo, platform,
+                update_every=update_every,
+                history_tail=history_tail,
+                sequence_length=seq_len,
+            )
+        )
     return log

@@ -1,0 +1,105 @@
+"""Structured event records emitted by the serving and evaluation loops.
+
+Events are frozen dataclasses with a class-level ``kind`` discriminator and
+a flat ``to_record()``/:func:`event_from_record` wire format, so a JSONL
+dump round-trips losslessly:
+
+* :class:`DecisionEvent` — one controller optimization round (who decided,
+  the chosen ``(M, B, T)``, how long it took, what it predicted);
+* :class:`DispatchEvent` — one batch leaving the online buffer;
+* :class:`ViolationEvent` — a served segment whose observed tail latency
+  exceeded the SLO;
+* :class:`SegmentEvent` — the per-segment scorecard the evaluation harness
+  logs (p95, cost/request, VCR, decision time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base class; subclasses set ``kind`` and add their payload fields."""
+
+    kind: ClassVar[str] = "event"
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["type"] = "event"
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True)
+class DecisionEvent(TelemetryEvent):
+    """One optimization round of any controller."""
+
+    kind: ClassVar[str] = "decision"
+
+    controller: str
+    memory_mb: float
+    batch_size: int
+    timeout: float
+    decision_time: float
+    predicted_cost: float | None = None
+    predicted_p95: float | None = None
+    feasible: bool | None = None
+
+
+@dataclass(frozen=True)
+class DispatchEvent(TelemetryEvent):
+    """One batch dispatched by the online buffer."""
+
+    kind: ClassVar[str] = "dispatch"
+
+    batch_size: int
+    dispatch_time: float
+    max_wait: float
+
+
+@dataclass(frozen=True)
+class ViolationEvent(TelemetryEvent):
+    """A segment whose observed tail latency broke the SLO."""
+
+    kind: ClassVar[str] = "violation"
+
+    segment: int
+    observed_p95: float
+    slo: float
+
+
+@dataclass(frozen=True)
+class SegmentEvent(TelemetryEvent):
+    """Per-segment scorecard from the closed-loop harness."""
+
+    kind: ClassVar[str] = "segment"
+
+    segment: int
+    n_requests: int
+    p95: float
+    cost_per_request: float
+    vcr: float
+    mean_decision_time: float
+    slo: float
+    controller: str = ""
+
+
+EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
+    cls.kind: cls
+    for cls in (DecisionEvent, DispatchEvent, ViolationEvent, SegmentEvent)
+}
+
+
+def event_from_record(record: dict) -> TelemetryEvent | dict:
+    """Rebuild an event from its wire record.
+
+    Unknown kinds come back as the raw dict so readers stay forward-
+    compatible with dumps written by newer code.
+    """
+    cls = EVENT_TYPES.get(record.get("kind", ""))
+    if cls is None:
+        return dict(record)
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in record.items() if k in names})

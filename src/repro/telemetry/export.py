@@ -1,0 +1,208 @@
+"""JSONL persistence and the ASCII dashboard for telemetry dumps.
+
+A dump is one JSON object per line — counters, gauges, histogram summaries,
+spans, and events exactly as :meth:`MetricsRegistry.records` yields them —
+so it streams, appends, and greps. :func:`render_dashboard` turns a dump
+(or a live registry) back into the fixed-width tables the rest of the
+reproduction prints, including the per-segment scorecard (p95 latency,
+cost/request, VCR, decision time) the ``repro report`` subcommand shows.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _as_records(source: MetricsRegistry | Iterable[dict]) -> list[dict]:
+    if isinstance(source, MetricsRegistry):
+        return list(source.records())
+    return list(source)
+
+
+def write_jsonl(source: MetricsRegistry | Iterable[dict], path) -> int:
+    """Write a registry (or record iterable) as JSONL; returns #records."""
+    records = _as_records(source)
+    with Path(path).open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, default=_json_default) + "\n")
+    return len(records)
+
+
+def read_jsonl(path) -> list[dict]:
+    """Read a JSONL dump back into a list of record dicts."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _json_default(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+# ------------------------------------------------------------------ dashboard
+def render_dashboard(
+    source: MetricsRegistry | Iterable[dict], title: str = "telemetry dashboard"
+) -> str:
+    """Render every section of a dump as stacked ASCII tables."""
+    from repro.evaluation.reporting import format_table  # avoid import cycle
+
+    records = _as_records(source)
+    by_type = defaultdict(list)
+    for record in records:
+        by_type[record.get("type", "?")].append(record)
+    events = by_type.get("event", [])
+    by_kind = defaultdict(list)
+    for event in events:
+        by_kind[event.get("kind", "?")].append(event)
+
+    sections = [title]
+
+    segments = by_kind.get("segment", [])
+    if segments:
+        rows = [
+            [
+                e.get("controller", ""),
+                e["segment"],
+                e["n_requests"],
+                f"{e['p95'] * 1e3:.1f}",
+                f"{e['cost_per_request'] * 1e6:.4f}",
+                f"{e['vcr']:.1f}",
+                f"{e['mean_decision_time'] * 1e3:.2f}",
+            ]
+            for e in sorted(
+                segments,
+                key=lambda e: (e.get("controller", ""), e["segment"]),
+            )
+        ]
+        rows.append([
+            "mean",
+            "",
+            int(np.mean([e["n_requests"] for e in segments])),
+            f"{np.mean([e['p95'] for e in segments]) * 1e3:.1f}",
+            f"{np.mean([e['cost_per_request'] for e in segments]) * 1e6:.4f}",
+            f"{np.mean([e['vcr'] for e in segments]):.1f}",
+            f"{np.mean([e['mean_decision_time'] for e in segments]) * 1e3:.2f}",
+        ])
+        sections.append(format_table(
+            ["controller", "segment", "requests", "p95 ms", "cost $/1M",
+             "VCR %", "decision ms"],
+            rows,
+            title="segments",
+        ))
+
+    decisions = by_kind.get("decision", [])
+    if decisions:
+        per_controller = defaultdict(list)
+        for event in decisions:
+            per_controller[event.get("controller", "?")].append(event)
+        rows = []
+        for name, evts in sorted(per_controller.items()):
+            times = [e["decision_time"] for e in evts]
+            feasible = [e for e in evts if e.get("feasible")]
+            configs = defaultdict(int)
+            for e in evts:
+                configs[(e["memory_mb"], e["batch_size"], e["timeout"])] += 1
+            (mem, bsz, tout), _ = max(configs.items(), key=lambda kv: kv[1])
+            rows.append([
+                name,
+                len(evts),
+                f"{np.mean(times) * 1e3:.2f}",
+                f"{np.max(times) * 1e3:.2f}",
+                f"{100.0 * len(feasible) / len(evts):.0f}",
+                f"({mem:g} MB, B={bsz}, T={tout:g}s)",
+            ])
+        sections.append(format_table(
+            ["controller", "decisions", "mean ms", "max ms", "feasible %",
+             "modal config"],
+            rows,
+            title="decisions",
+        ))
+
+    violations = by_kind.get("violation", [])
+    if violations:
+        rows = [
+            [e["segment"], f"{e['observed_p95'] * 1e3:.1f}", f"{e['slo'] * 1e3:.1f}"]
+            for e in violations
+        ]
+        sections.append(format_table(
+            ["segment", "observed p95 ms", "SLO ms"], rows, title="SLO violations"
+        ))
+
+    spans = by_type.get("span", [])
+    if spans:
+        agg = defaultdict(list)
+        parents = {}
+        for span in spans:
+            agg[span["name"]].append(span["duration"])
+            parents.setdefault(span["name"], span.get("parent") or "")
+        rows = [
+            [
+                name,
+                parents[name],
+                len(durs),
+                f"{np.mean(durs) * 1e3:.3f}",
+                f"{np.max(durs) * 1e3:.3f}",
+                f"{np.sum(durs):.4f}",
+            ]
+            for name, durs in sorted(agg.items())
+        ]
+        sections.append(format_table(
+            ["span", "parent", "count", "mean ms", "max ms", "total s"],
+            rows,
+            title="spans",
+        ))
+
+    histograms = by_type.get("histogram", [])
+    if histograms:
+        rows = [
+            [
+                h["name"],
+                h["count"],
+                _g(h.get("mean")),
+                _g(h.get("percentiles", {}).get("50")),
+                _g(h.get("percentiles", {}).get("95")),
+                _g(h.get("max")),
+            ]
+            for h in sorted(histograms, key=lambda h: h["name"])
+        ]
+        sections.append(format_table(
+            ["histogram", "count", "mean", "p50", "p95", "max"],
+            rows,
+            title="histograms",
+        ))
+
+    counters = by_type.get("counter", [])
+    gauges = by_type.get("gauge", [])
+    if counters or gauges:
+        rows = [[c["name"], "counter", _g(c["value"])] for c in sorted(
+            counters, key=lambda c: c["name"])]
+        rows += [[g["name"], "gauge", _g(g["value"])] for g in sorted(
+            gauges, key=lambda g: g["name"])]
+        sections.append(format_table(
+            ["metric", "type", "value"], rows, title="scalars"
+        ))
+
+    if len(sections) == 1:
+        sections.append("(no telemetry records)")
+    return "\n\n".join(sections)
+
+
+def _g(value) -> str:
+    if value is None:
+        return "-"
+    return f"{float(value):.4g}"

@@ -7,6 +7,7 @@ import pytest
 
 from repro.arrival.traces import azure_like
 from repro.batching.config import BatchConfig, config_grid
+from repro.core.types import Decision
 from repro.evaluation.harness import (
     ExperimentLog,
     run_experiment,
@@ -30,14 +31,7 @@ class FixedChooser:
 
     def choose(self, interarrival_history, slo):
         self.calls += 1
-        chooser = self
-
-        @dataclass(frozen=True)
-        class _D:
-            config: BatchConfig
-            decision_time: float
-
-        return _D(config=chooser.config, decision_time=chooser.decision_time)
+        return Decision(config=self.config, decision_time=self.decision_time)
 
 
 class TestRunSegment:

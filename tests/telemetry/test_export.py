@@ -1,0 +1,95 @@
+"""Tests for JSONL persistence, event round-trips, and the dashboard."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.events import (
+    DecisionEvent,
+    DispatchEvent,
+    SegmentEvent,
+    ViolationEvent,
+    event_from_record,
+)
+from repro.telemetry.export import read_jsonl, render_dashboard, write_jsonl
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests").inc(42)
+    reg.gauge("loss").set(0.25)
+    reg.histogram("latency").observe_many(np.linspace(0.01, 0.2, 50))
+    with reg.span("choose"):
+        with reg.span("forward"):
+            pass
+    reg.record_event(DecisionEvent(
+        controller="deepbat", memory_mb=1024.0, batch_size=8, timeout=0.05,
+        decision_time=0.002, predicted_cost=1.5, predicted_p95=0.08,
+        feasible=True,
+    ))
+    reg.record_event(DispatchEvent(batch_size=4, dispatch_time=1.0, max_wait=0.01))
+    reg.record_event(SegmentEvent(
+        segment=1, n_requests=900, p95=0.09, cost_per_request=2e-6,
+        vcr=3.0, mean_decision_time=0.002, slo=0.1, controller="DeepBATController",
+    ))
+    reg.record_event(ViolationEvent(segment=2, observed_p95=0.15, slo=0.1))
+    return reg
+
+
+class TestJsonlRoundTrip:
+    def test_write_read_preserves_records(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "dump.jsonl"
+        n = write_jsonl(reg, path)
+        records = read_jsonl(path)
+        assert len(records) == n
+        assert records == list(reg.records())
+
+    def test_numpy_scalars_serializable(self, tmp_path):
+        records = [{"type": "gauge", "name": "g",
+                    "value": np.float64(1.5), "arr": np.arange(3)}]
+        path = tmp_path / "np.jsonl"
+        write_jsonl(records, path)
+        back = read_jsonl(path)
+        assert back == [{"type": "gauge", "name": "g", "value": 1.5,
+                         "arr": [0, 1, 2]}]
+
+    def test_events_rebuild_from_records(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "dump.jsonl"
+        write_jsonl(reg, path)
+        events = [event_from_record(r) for r in read_jsonl(path)
+                  if r["type"] == "event"]
+        originals = [e for _, e in reg.events]
+        assert events == originals
+
+    def test_unknown_kind_passes_through(self):
+        raw = {"type": "event", "kind": "from-the-future", "payload": 1}
+        assert event_from_record(raw) == raw
+
+
+class TestDashboard:
+    def test_renders_every_section(self):
+        text = render_dashboard(populated_registry())
+        for section in ("segments", "decisions", "SLO violations", "spans",
+                        "histograms", "scalars"):
+            assert section in text
+        # Per-segment scorecard values survive formatting.
+        assert "DeepBATController" in text
+        assert "90.0" in text       # p95 in ms
+        assert "2.0000" in text     # cost $/1M
+        # Nested span shows its parent.
+        assert "forward" in text and "choose" in text
+
+    def test_accepts_record_list(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "dump.jsonl"
+        write_jsonl(reg, path)
+        assert render_dashboard(read_jsonl(path)) == render_dashboard(reg)
+
+    def test_empty_dump(self):
+        assert "(no telemetry records)" in render_dashboard([])
+
+    def test_title(self):
+        text = render_dashboard([], title="custom title")
+        assert text.startswith("custom title")

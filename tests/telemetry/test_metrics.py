@@ -1,0 +1,144 @@
+"""Tests for counters, gauges, histograms, spans, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc(2.5)
+        assert reg.counter("x").value == 3.5
+
+    def test_counter_is_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x") is not reg.counter("y")
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("loss")
+        g.set(1.0)
+        g.set(0.5)
+        assert g.value == 0.5
+        assert g.updates == 2
+
+
+class TestHistogram:
+    def test_percentiles_exact_under_cap(self):
+        h = Histogram("h")
+        h.observe_many(np.arange(1.0, 1001.0))
+        assert h.count == 1000
+        assert h.min == 1.0
+        assert h.max == 1000.0
+        assert h.mean == pytest.approx(500.5)
+        assert h.percentile(50) == pytest.approx(np.percentile(np.arange(1.0, 1001.0), 50))
+        assert h.percentile(95) == pytest.approx(np.percentile(np.arange(1.0, 1001.0), 95))
+
+    def test_reservoir_bounds_memory_keeps_exact_scalars(self):
+        h = Histogram("h", max_samples=100)
+        values = np.linspace(0.0, 1.0, 10_000)
+        h.observe_many(values)
+        assert len(h._samples) == 100
+        assert h.count == 10_000
+        assert h.total == pytest.approx(values.sum())
+        assert h.min == 0.0
+        assert h.max == 1.0
+        # The reservoir is an unbiased sample of a uniform stream, so the
+        # median estimate should land near the true median.
+        assert abs(h.percentile(50) - 0.5) < 0.15
+
+    def test_single_observe_and_summary(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        s = h.summary()
+        assert s["count"] == 1
+        assert s["sum"] == 2.0
+        assert s["percentiles"]["95"] == 2.0
+
+    def test_empty_summary_is_nan(self):
+        h = Histogram("h")
+        assert np.isnan(h.percentile(50))
+        assert np.isnan(h.summary()["mean"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", max_samples=0)
+
+
+class TestSpans:
+    def test_nesting_records_parent(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        names = {s.name: s for s in reg.spans}
+        assert names["outer"].parent is None
+        assert names["inner"].parent == "outer"
+        assert names["inner"].duration <= names["outer"].duration
+        assert reg._span_stack == []
+
+    def test_stack_unwinds_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("broken"):
+                raise RuntimeError("boom")
+        assert reg._span_stack == []
+        assert len(reg.spans) == 1
+
+
+class TestRegistry:
+    def test_default_is_disabled_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_use_registry_scopes_and_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg) as active:
+            assert active is reg
+            assert get_registry() is reg
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_none_restores_default(self):
+        set_registry(MetricsRegistry())
+        try:
+            assert get_registry().enabled
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY
+
+    def test_null_instruments_are_shared_noops(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b")
+        null.counter("a").inc()
+        assert null.counter("a").value == 0.0
+        null.histogram("h").observe_many(np.ones(10))
+        assert null.histogram("h").count == 0
+        with null.span("s"):
+            pass
+        assert null.spans == []
+
+    def test_records_and_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(0.5)
+        with reg.span("s"):
+            pass
+        records = list(reg.records())
+        assert {r["type"] for r in records} == {
+            "counter", "gauge", "histogram", "span"
+        }
+        reg.clear()
+        assert list(reg.records()) == []

@@ -6,6 +6,7 @@ import pytest
 from repro.arrival.io import load_trace
 from repro.cli import main
 from repro.core.training import load_trained
+from repro.telemetry import get_registry, read_jsonl
 
 
 @pytest.fixture()
@@ -95,3 +96,45 @@ class TestEvaluateCommand:
                    "--trace", str(trace_path), "--segments", "1:2",
                    "--controllers", "nope"])
         assert rc == 2
+
+    def test_telemetry_dump(self, trace_path, model_path, tmp_path, capsys):
+        dump = tmp_path / "telemetry.jsonl"
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:3",
+                   "--controllers", "deepbat", "--update-every", "2000",
+                   "--telemetry", str(dump)])
+        assert rc == 0
+        assert "telemetry records" in capsys.readouterr().out
+        records = read_jsonl(dump)
+        types = {r["type"] for r in records}
+        assert {"span", "histogram", "event"} <= types
+        kinds = {r.get("kind") for r in records if r["type"] == "event"}
+        assert {"decision", "segment"} <= kinds
+        # Telemetry is scoped to the command: the process default stays off.
+        assert not get_registry().enabled
+
+    def test_no_telemetry_collects_nothing(self, trace_path, model_path, capsys):
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:2",
+                   "--controllers", "deepbat", "--update-every", "2000"])
+        assert rc == 0
+        assert "telemetry records" not in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_renders_dashboard(self, trace_path, model_path, tmp_path, capsys):
+        dump = tmp_path / "telemetry.jsonl"
+        assert main(["evaluate", "--model", str(model_path),
+                     "--trace", str(trace_path), "--segments", "1:3",
+                     "--controllers", "deepbat", "--update-every", "2000",
+                     "--telemetry", str(dump)]) == 0
+        capsys.readouterr()
+        rc = main(["report", str(dump)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for section in ("segments", "decisions", "spans", "histograms"):
+            assert section in out
+        assert "p95 ms" in out and "cost $/1M" in out and "decision ms" in out
+
+    def test_missing_file(self, tmp_path):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
