@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench-smoke bench lint
+.PHONY: test bench-smoke bench bench-perf lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
@@ -18,6 +18,11 @@ bench-smoke:
 ## Full figure/table reproduction suite (slow; writes benchmarks/results/).
 bench:
 	$(PYTEST) -q benchmarks
+
+## Simulation-core microbenchmarks: naive vs fast paths, refreshes
+## BENCH_simcore.json (grid requests/sec, labeling labels/sec).
+bench-perf:
+	$(PYTEST) -q -s -m perf benchmarks/test_perf_simcore.py
 
 ## Syntax check of every tree we ship (no third-party linter in the image).
 lint:

@@ -63,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--epochs", type=int, default=40)
     p_train.add_argument("--batch-size", type=int, default=24)
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--workers", type=int, default=1,
+                         help="label windows with this many processes "
+                              "(deterministic: results match --workers 1)")
     p_train.add_argument("--out", required=True, help="model checkpoint path (.npz)")
 
     p_opt = sub.add_parser("optimize", help="one DeepBAT decision")
@@ -125,9 +128,14 @@ def _cmd_train(args) -> int:
     head = (trace.split(args.train_segments)[0]
             if args.train_segments < trace.n_segments else trace)
     history = interarrivals(head.timestamps)
-    print(f"labelling {args.samples} windows (seq_len={args.seq_len})...")
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    print(f"labelling {args.samples} windows (seq_len={args.seq_len}, "
+          f"workers={args.workers})...")
     dataset = generate_dataset(history, n_samples=args.samples,
-                               seq_len=args.seq_len, seed=args.seed)
+                               seq_len=args.seq_len, seed=args.seed,
+                               workers=args.workers)
     print(f"training for up to {args.epochs} epochs...")
     trained = train_surrogate(
         dataset,

@@ -12,7 +12,12 @@ from repro.core.drift import (
     prediction_drift,
     window_statistics,
 )
-from repro.core.dataset import SurrogateDataset, generate_dataset, label_window
+from repro.core.dataset import (
+    SurrogateDataset,
+    generate_dataset,
+    label_window,
+    label_windows,
+)
 from repro.core.features import (
     FeaturePipeline,
     SequenceScaler,
@@ -59,6 +64,7 @@ __all__ = [
     "fine_tune",
     "generate_dataset",
     "label_window",
+    "label_windows",
     "load_trained",
     "prediction_drift",
     "save_trained",

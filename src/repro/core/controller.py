@@ -69,6 +69,10 @@ class DeepBATController:
                 f"sequence length {surrogate.model.seq_len}"
             )
         self.parser = WorkloadParser(window_length=self.window_length)
+        # The candidate grid is constant, so its standardized features are
+        # precomputed once; choose() then skips the per-call config
+        # transform (sequence scaling still runs per window).
+        self._features_scaled = surrogate.scale_features(self.optimizer.features)
         self.last_decision: DeepBATDecision | None = None
 
     # ------------------------------------------------------------ decisions
@@ -82,7 +86,7 @@ class DeepBATController:
                 )
             with Timer() as t_inf:
                 with registry.span("deepbat.forward"):
-                    preds = self.surrogate.predict(window, self.optimizer.features)
+                    preds = self.surrogate.predict_scaled(window, self._features_scaled)
             with Timer() as t_opt:
                 with registry.span("deepbat.search"):
                     result = self.optimizer.choose(preds, slo)

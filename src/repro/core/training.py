@@ -78,6 +78,26 @@ class TrainedSurrogate:
         seq_s, feats_s = self.pipeline.transform(seq, feats)
         return self.model.predict(seq_s, feats_s)
 
+    def scale_features(self, features: np.ndarray) -> np.ndarray:
+        """Standardize raw (M, B, T) features once, for reuse across calls."""
+        return self.pipeline.config.transform(
+            np.atleast_2d(np.asarray(features, dtype=float))
+        )
+
+    def predict_scaled(
+        self, sequence: np.ndarray, features_scaled: np.ndarray
+    ) -> np.ndarray:
+        """Predict with *pre-standardized* config features.
+
+        The candidate grid is constant across decisions, so callers that
+        sweep it every round (:class:`~repro.core.controller.DeepBATController`)
+        standardize it once via :meth:`scale_features` and skip the
+        per-call transform; sequence scaling still runs per window.
+        """
+        seq = np.atleast_2d(np.asarray(sequence, dtype=float))
+        seq_s = self.pipeline.sequence.transform(seq)
+        return self.model.predict(seq_s, np.atleast_2d(features_scaled))
+
 
 def _epoch_weights(targets: np.ndarray, cfg: TrainConfig, spec) -> np.ndarray | None:
     if cfg.slo is None:
@@ -262,6 +282,7 @@ def estimate_gamma(
     percentile: float = 95.0,
     stress_factors: tuple[float, ...] = (1.0 / 3.0, 3.0),
     slo: float | None = None,
+    workers: int | None = None,
 ) -> float:
     """Measure γ for a workload by coupled simulation (§III-D).
 
@@ -283,8 +304,7 @@ def estimate_gamma(
     regimes of later hours; stress calibration measures the margin the
     model needs under the shifts it will actually face.
     """
-    from repro.core.dataset import SurrogateDataset, generate_dataset, label_window
-    from repro.batching.config import grid_features
+    from repro.core.dataset import SurrogateDataset, generate_dataset, label_windows
     from repro.serverless.platform import ServerlessPlatform
 
     if method not in ("quantile", "mape"):
@@ -299,17 +319,20 @@ def estimate_gamma(
         platform=platform,
         spec=trained.pipeline.spec,
         seed=seed,
+        workers=workers,
     )
     datasets = [ds]
     feats_lookup = {tuple(c.as_array()): c for c in configs}
-    for factor in stress_factors:
+    sample_configs = [feats_lookup[tuple(row)] for row in ds.features]
+    for k, factor in enumerate(stress_factors):
         if factor == 1.0:
             continue
         seqs = ds.sequences * factor
-        targets = np.empty_like(ds.targets)
-        for i in range(len(ds)):
-            cfg = feats_lookup[tuple(ds.features[i])]
-            targets[i] = label_window(seqs[i], cfg, platform, ds.spec)
+        targets = label_windows(
+            seqs, sample_configs, platform, ds.spec,
+            seed=seed + 1 + k if seed is not None else k,
+            workers=workers,
+        )
         datasets.append(SurrogateDataset(seqs, ds.features, targets, ds.spec))
 
     all_pred, all_true = [], []

@@ -168,7 +168,10 @@ def run_segment(
     served = np.empty(0)
     for block in blocks:
         history_ts = np.concatenate([prev, served])
-        hist = interarrivals(history_ts)[-history_tail:]
+        # The last k inter-arrivals only need the last k+1 timestamps;
+        # slicing first keeps the per-block work O(history_tail), not
+        # O(total served history).
+        hist = interarrivals(history_ts[-(history_tail + 1):])
         decision = chooser.choose(hist, slo)
         configs.append(decision.config)
         dtimes.append(float(decision.decision_time))

@@ -79,8 +79,12 @@ class Workbench:
         self,
         settings: WorkbenchSettings | None = None,
         cache_dir: str | Path | None = None,
+        workers: int | None = None,
     ) -> None:
         self.settings = settings if settings is not None else WorkbenchSettings()
+        # Labeling parallelism only; results are worker-count-invariant, so
+        # this deliberately stays out of the settings fingerprint.
+        self.workers = workers
         root = Path(cache_dir) if cache_dir is not None else Path(".cache/deepbat")
         self.cache_dir = root / self.settings.fingerprint()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -150,6 +154,7 @@ class Workbench:
             platform=self.platform,
             spec=self.spec,
             seed=s.seed,
+            workers=self.workers,
         )
         model = self._fresh_model()
         return train_surrogate(
@@ -183,6 +188,7 @@ class Workbench:
             platform=self.platform,
             spec=self.spec,
             seed=s.seed + 17,
+            workers=self.workers,
         )
         # Replay: mix in an equal share of original-distribution samples so
         # fine-tuning adapts to the OOD workload without forgetting the
@@ -196,6 +202,7 @@ class Workbench:
             platform=self.platform,
             spec=self.spec,
             seed=s.seed + 29,
+            workers=self.workers,
         )
         return fine_tune(clone, ood.concat(replay), epochs=s.finetune_epochs, lr=3e-4)
 
@@ -236,9 +243,11 @@ class Workbench:
 _DEFAULT: Workbench | None = None
 
 
-def get_workbench(cache_dir: str | Path | None = None) -> Workbench:
+def get_workbench(
+    cache_dir: str | Path | None = None, workers: int | None = None
+) -> Workbench:
     """Process-wide default workbench (lazy)."""
     global _DEFAULT
     if _DEFAULT is None or cache_dir is not None:
-        _DEFAULT = Workbench(cache_dir=cache_dir)
+        _DEFAULT = Workbench(cache_dir=cache_dir, workers=workers)
     return _DEFAULT

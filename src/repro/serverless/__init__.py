@@ -1,7 +1,11 @@
 """Serverless platform substrate: Lambda pricing, deterministic service
 profiles, cold starts, and the invocation/billing model."""
 
-from repro.serverless.platform import InvocationRecord, ServerlessPlatform
+from repro.serverless.platform import (
+    BatchExecution,
+    InvocationRecord,
+    ServerlessPlatform,
+)
 from repro.serverless.pricing import (
     DEFAULT_BILLING_GRANULARITY,
     DEFAULT_GB_SECOND_PRICE,
@@ -26,6 +30,7 @@ __all__ = [
     "MAX_MEMORY_MB",
     "MIN_MEMORY_MB",
     "VCPU_KNEE_MB",
+    "BatchExecution",
     "ColdStartModel",
     "InvocationRecord",
     "LambdaPricing",

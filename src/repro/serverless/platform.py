@@ -6,11 +6,20 @@ other; the platform's role in the simulation is the deterministic service
 time, the billing record, and (optionally) cold starts and a concurrency
 cap. :class:`ServerlessPlatform` bundles those pieces behind one interface
 used by the ground-truth simulator.
+
+The hot path is :meth:`ServerlessPlatform.execute_batches`, which returns a
+struct-of-arrays :class:`BatchExecution` (start/service/cold/cost arrays)
+instead of materializing one Python object per invocation; the historical
+:meth:`invoke_batches` record-list API is kept as a lazy view over it.
+Grid sweeps that share one batch schedule across memory tiers use
+:meth:`execute_batches_grid`, which broadcasts the service-time and pricing
+math over all tiers at once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 
 import numpy as np
 
@@ -35,6 +44,72 @@ class InvocationRecord:
         return self.dispatch_time + self.cold_start + self.service_time
 
 
+@dataclass(frozen=True)
+class BatchExecution:
+    """Struct-of-arrays outcome of executing one batch schedule.
+
+    All arrays are aligned per batch. ``start_times`` is when each
+    invocation actually began — equal to the requested dispatch time unless
+    a concurrency cap delayed it. :meth:`records` materializes the legacy
+    per-invocation :class:`InvocationRecord` view on demand.
+    """
+
+    memory_mb: float
+    start_times: np.ndarray
+    batch_sizes: np.ndarray
+    service_times: np.ndarray
+    cold_starts: np.ndarray
+    costs: np.ndarray
+
+    @property
+    def n_batches(self) -> int:
+        return self.start_times.size
+
+    @property
+    def completion_times(self) -> np.ndarray:
+        return self.start_times + self.cold_starts + self.service_times
+
+    @property
+    def total_cost(self) -> float:
+        return float(self.costs.sum())
+
+    def records(self) -> list[InvocationRecord]:
+        """Lazy compatibility view: one :class:`InvocationRecord` per batch."""
+        return [
+            InvocationRecord(
+                dispatch_time=float(self.start_times[i]),
+                batch_size=int(self.batch_sizes[i]),
+                memory_mb=self.memory_mb,
+                service_time=float(self.service_times[i]),
+                cold_start=float(self.cold_starts[i]),
+                cost=float(self.costs[i]),
+            )
+            for i in range(self.n_batches)
+        ]
+
+
+def _throttled_starts(
+    dispatch_times: np.ndarray, durations: np.ndarray, limit: int
+) -> np.ndarray:
+    """Earliest-available-slot start times under a fixed concurrency pool.
+
+    A min-heap of slot free-times replaces the naive argmin-over-slots scan:
+    O(n log C) instead of O(n·C), with identical results — the start time
+    depends only on the *minimum* free time, never on which slot holds it.
+    """
+    n = dispatch_times.size
+    free = [0.0] * min(limit, n)
+    heapify(free)
+    starts = np.empty(n)
+    for i in range(n):
+        slot = heappop(free)
+        d = dispatch_times[i]
+        start = d if d > slot else slot
+        starts[i] = start
+        heappush(free, start + durations[i])
+    return starts
+
+
 @dataclass
 class ServerlessPlatform:
     """A Lambda-like platform executing batched inference invocations."""
@@ -50,17 +125,33 @@ class ServerlessPlatform:
             raise ValueError("concurrency_limit must be >= 1 or None")
         self._rng = as_rng(self.seed)
 
-    def invoke_batches(
+    def spawn_rng(self, *key: int) -> np.random.Generator:
+        """Deterministic child generator for ``(seed, key)``.
+
+        Independent of the shared ``_rng`` stream's mutable state, so
+        call sites that must be order-independent (grid sweeps evaluated in
+        any grouping, parallel dataset labeling) derive their cold-start
+        randomness from a stable key instead of consumption order.
+        """
+        entropy = self.seed if self.seed is not None else 0
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=entropy, spawn_key=tuple(key))
+        )
+
+    def execute_batches(
         self,
         dispatch_times: np.ndarray,
         batch_sizes: np.ndarray,
         memory_mb: float,
-    ) -> list[InvocationRecord]:
-        """Execute a sequence of batch dispatches; returns billing records.
+        rng: np.random.Generator | None = None,
+    ) -> BatchExecution:
+        """Execute a batch schedule; returns the struct-of-arrays outcome.
 
         With a ``concurrency_limit`` set, excess invocations are delayed
         until an execution slot frees up (Lambda's account-level throttle),
-        which adds queueing delay on top of the buffer wait.
+        which adds queueing delay on top of the buffer wait. ``rng``
+        overrides the platform's shared generator for cold-start sampling
+        (used by deterministic parallel labeling).
         """
         dispatch_times = np.asarray(dispatch_times, dtype=float)
         batch_sizes = np.asarray(batch_sizes, dtype=int)
@@ -68,36 +159,114 @@ class ServerlessPlatform:
             raise ValueError("dispatch_times and batch_sizes must align")
         n = dispatch_times.size
         if n == 0:
-            return []
+            empty = np.empty(0)
+            return BatchExecution(
+                memory_mb, empty, np.empty(0, int), empty, empty, empty
+            )
 
         service = np.asarray(
             self.profile.service_time(memory_mb, batch_sizes), dtype=float
         ).reshape(n)
         if self.cold_start is not None:
-            colds = self.cold_start.sample_delays(memory_mb, n, self._rng)
+            colds = self.cold_start.sample_delays(
+                memory_mb, n, rng if rng is not None else self._rng
+            )
         else:
             colds = np.zeros(n)
 
-        starts = dispatch_times.copy()
-        if self.concurrency_limit is not None:
-            # Earliest-available-slot assignment over a fixed pool.
-            free_at = np.zeros(self.concurrency_limit)
-            for i in range(n):
-                slot = int(np.argmin(free_at))
-                starts[i] = max(dispatch_times[i], free_at[slot])
-                free_at[slot] = starts[i] + colds[i] + service[i]
-
         durations = colds + service
+        if self.concurrency_limit is not None:
+            starts = _throttled_starts(dispatch_times, durations, self.concurrency_limit)
+        else:
+            starts = dispatch_times
         costs = self.pricing.invocation_cost(memory_mb, durations)
         costs = np.broadcast_to(np.asarray(costs), (n,))
-        return [
-            InvocationRecord(
-                dispatch_time=float(starts[i]),
-                batch_size=int(batch_sizes[i]),
-                memory_mb=memory_mb,
-                service_time=float(service[i]),
-                cold_start=float(colds[i]),
-                cost=float(costs[i]),
-            )
-            for i in range(n)
-        ]
+        return BatchExecution(
+            memory_mb=memory_mb,
+            start_times=starts,
+            batch_sizes=batch_sizes,
+            service_times=service,
+            cold_starts=colds,
+            costs=costs,
+        )
+
+    def execute_batches_grid(
+        self,
+        dispatch_times: np.ndarray,
+        batch_sizes: np.ndarray,
+        memories: "list[float] | np.ndarray",
+        rngs: "list[np.random.Generator] | None" = None,
+    ) -> list[BatchExecution]:
+        """Execute one shared batch schedule at several memory tiers.
+
+        The schedule (dispatch times and batch sizes) depends only on the
+        (B, T) policy, so grid sweeps form it once and evaluate every
+        memory tier here: the service-time and pricing math broadcasts over
+        an (M, n) matrix in one shot. Per-tier state (cold-start draws, the
+        concurrency heap) still runs per memory, matching
+        :meth:`execute_batches` exactly. ``rngs`` supplies one cold-start
+        generator per tier for order-independent sweeps.
+        """
+        dispatch_times = np.asarray(dispatch_times, dtype=float)
+        batch_sizes = np.asarray(batch_sizes, dtype=int)
+        if dispatch_times.shape != batch_sizes.shape:
+            raise ValueError("dispatch_times and batch_sizes must align")
+        mems = np.asarray(memories, dtype=float)
+        if rngs is not None and len(rngs) != mems.size:
+            raise ValueError("rngs must align with memories")
+        n = dispatch_times.size
+        if n == 0:
+            empty = np.empty(0)
+            return [
+                BatchExecution(float(m), empty, np.empty(0, int), empty, empty, empty)
+                for m in mems
+            ]
+
+        # (M, n): rows are memory tiers, columns are batches.
+        service = np.asarray(
+            self.profile.service_time(mems[:, None], batch_sizes[None, :]),
+            dtype=float,
+        ).reshape(mems.size, n)
+        if self.cold_start is not None:
+            colds = np.stack([
+                self.cold_start.sample_delays(
+                    float(m),
+                    n,
+                    (rngs[k] if rngs is not None else self._rng),
+                )
+                for k, m in enumerate(mems)
+            ])
+        else:
+            colds = np.zeros((mems.size, n))
+        durations = colds + service
+        costs = np.broadcast_to(
+            np.asarray(self.pricing.invocation_cost(mems[:, None], durations)),
+            (mems.size, n),
+        )
+
+        out = []
+        for k, m in enumerate(mems):
+            if self.concurrency_limit is not None:
+                starts = _throttled_starts(
+                    dispatch_times, durations[k], self.concurrency_limit
+                )
+            else:
+                starts = dispatch_times
+            out.append(BatchExecution(
+                memory_mb=float(m),
+                start_times=starts,
+                batch_sizes=batch_sizes,
+                service_times=service[k],
+                cold_starts=colds[k],
+                costs=costs[k],
+            ))
+        return out
+
+    def invoke_batches(
+        self,
+        dispatch_times: np.ndarray,
+        batch_sizes: np.ndarray,
+        memory_mb: float,
+    ) -> list[InvocationRecord]:
+        """Record-list view of :meth:`execute_batches` (compatibility API)."""
+        return self.execute_batches(dispatch_times, batch_sizes, memory_mb).records()

@@ -143,6 +143,14 @@ def render_dashboard(
             ["segment", "observed p95 ms", "SLO ms"], rows, title="SLO violations"
         ))
 
+    perf = _performance_rows(by_type)
+    if perf:
+        sections.append(format_table(
+            ["pipeline stage", "runs", "items", "total s", "items/s"],
+            perf,
+            title="performance (simulation core)",
+        ))
+
     spans = by_type.get("span", [])
     if spans:
         agg = defaultdict(list)
@@ -200,6 +208,41 @@ def render_dashboard(
     if len(sections) == 1:
         sections.append("(no telemetry records)")
     return "\n\n".join(sections)
+
+
+def _performance_rows(by_type: dict) -> list[list]:
+    """Throughput of the fast simulation core (grid sweeps, labeling).
+
+    Built from ``simulator.grid_time``/``dataset.label_time`` histograms and
+    their companion counters; rows appear only for stages that actually ran.
+    """
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    gauges = {g["name"]: g["value"] for g in by_type.get("gauge", [])}
+    hists = {h["name"]: h for h in by_type.get("histogram", [])}
+    rows = []
+
+    grid = hists.get("simulator.grid_time")
+    if grid and grid.get("count"):
+        total = grid["sum"]
+        configs = counters.get("simulator.grid_configs", 0)
+        rows.append([
+            "grid simulation", int(grid["count"]), int(configs),
+            f"{total:.3f}", f"{configs / total:.1f}" if total > 0 else "-",
+        ])
+
+    label = hists.get("dataset.label_time")
+    if label and label.get("count"):
+        total = label["sum"]
+        labels = counters.get("dataset.labels", 0)
+        workers = gauges.get("dataset.workers")
+        stage = "dataset labeling"
+        if workers and not np.isnan(workers):
+            stage += f" (workers={int(workers)})"
+        rows.append([
+            stage, int(label["count"]), int(labels),
+            f"{total:.3f}", f"{labels / total:.1f}" if total > 0 else "-",
+        ])
+    return rows
 
 
 def _g(value) -> str:

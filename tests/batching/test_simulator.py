@@ -153,3 +153,85 @@ class TestGroundTruth:
     def test_empty_grid_rejected(self):
         with pytest.raises(ValueError):
             ground_truth_optimum(np.array([0.0]), [], PLAT, slo=0.1)
+
+
+class TestSimulateGridEquivalence:
+    """The (B, T)-grouped fast grid must match per-config simulation for
+    every grid point."""
+
+    TS = np.sort(np.random.default_rng(0).uniform(0, 20.0, 800))
+
+    def test_matches_per_config_simulate_bit_identical(self):
+        grid = config_grid(
+            memories=(256.0, 1024.0, 3008.0),
+            batch_sizes=(1, 4, 16),
+            timeouts=(0.0, 0.05, 0.2),
+        )
+        fast = simulate_grid(self.TS, grid, PLAT)
+        assert len(fast) == len(grid)
+        for cfg, r in zip(grid, fast):
+            ref = simulate(self.TS, cfg, PLAT)
+            assert r.config == cfg
+            np.testing.assert_array_equal(r.latencies, ref.latencies)
+            np.testing.assert_array_equal(r.waits, ref.waits)
+            np.testing.assert_array_equal(r.batch_sizes, ref.batch_sizes)
+            np.testing.assert_array_equal(r.dispatch_times, ref.dispatch_times)
+            np.testing.assert_array_equal(r.batch_costs, ref.batch_costs)
+
+    def test_matches_under_concurrency_limit(self):
+        from repro.serverless.platform import ServerlessPlatform
+
+        plat = ServerlessPlatform(concurrency_limit=2)
+        grid = config_grid(
+            memories=(512.0, 1792.0), batch_sizes=(2, 8), timeouts=(0.01, 0.1)
+        )
+        for cfg, r in zip(grid, simulate_grid(self.TS[:200], grid, plat)):
+            ref = simulate(self.TS[:200], cfg, plat)
+            np.testing.assert_array_equal(r.latencies, ref.latencies)
+            np.testing.assert_array_equal(r.batch_costs, ref.batch_costs)
+
+    def test_cold_start_sweep_is_order_independent(self):
+        """With cold starts the sweep draws from per-config spawned
+        generators, so results depend on the config's position only — not
+        on the platform's shared-stream consumption history."""
+        from repro.serverless.platform import ServerlessPlatform
+        from repro.serverless.service_profile import ColdStartModel
+
+        def fresh():
+            return ServerlessPlatform(
+                cold_start=ColdStartModel(cold_probability=0.5), seed=9
+            )
+
+        grid = config_grid(
+            memories=(512.0, 1792.0), batch_sizes=(2, 8), timeouts=(0.0, 0.1)
+        )
+        ts = self.TS[:300]
+        sweep = simulate_grid(ts, grid, fresh())
+        # Identical on a platform whose shared stream was already consumed.
+        dirty = fresh()
+        dirty._rng.random(1000)
+        again = simulate_grid(ts, grid, dirty)
+        for a, b in zip(sweep, again):
+            np.testing.assert_array_equal(a.latencies, b.latencies)
+        # And each entry equals per-config simulation with the spawned rng.
+        plat = fresh()
+        for i, (cfg, r) in enumerate(zip(grid, sweep)):
+            ref = simulate(ts, cfg, plat, rng=plat.spawn_rng(i))
+            np.testing.assert_array_equal(r.latencies, ref.latencies)
+
+    def test_empty_inputs(self):
+        grid = config_grid(memories=(512.0,), batch_sizes=(1, 2), timeouts=(0.0,))
+        assert simulate_grid(np.array([]), grid, PLAT)[0].n_requests == 0
+        assert simulate_grid(self.TS, [], PLAT) == []
+
+    def test_grid_telemetry(self):
+        from repro.telemetry import MetricsRegistry, use_registry
+
+        grid = config_grid(memories=(512.0, 1024.0), batch_sizes=(4,), timeouts=(0.05,))
+        with use_registry(MetricsRegistry()) as reg:
+            simulate_grid(self.TS[:100], grid, PLAT)
+        assert reg.counter("simulator.grid_sweeps").value == 1
+        assert reg.counter("simulator.grid_configs").value == len(grid)
+        assert reg.histogram("simulator.grid_time").count == 1
+        # Per-config request accounting matches the naive path's.
+        assert reg.counter("simulator.requests").value == 100 * len(grid)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.arrival.map_process import poisson_map
+from repro.arrival.window import latest_window
 from repro.batching.config import BatchConfig, config_grid
 from repro.core.dataset import generate_dataset
 from repro.core.features import TargetSpec
@@ -155,3 +156,27 @@ class TestDeepBATController:
         ctrl = DeepBATController(trained_tiny, configs=GRID)
         with pytest.raises(ValueError):
             ctrl.serve(np.array([0.0]), slo=0.1, reoptimize_every=0)
+
+
+class TestCachedGridFeatures:
+    """The controller precomputes standardized grid features; the
+    predict_scaled fast path must not change decisions."""
+
+    def test_predict_scaled_matches_predict(self, trained_tiny):
+        window = np.full(16, 0.005)
+        feats = np.stack([c.as_array() for c in GRID])
+        ref = trained_tiny.predict(window, feats)
+        fast = trained_tiny.predict_scaled(window, trained_tiny.scale_features(feats))
+        np.testing.assert_array_equal(ref, fast)
+
+    def test_controller_decision_unchanged_by_caching(self, trained_tiny):
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        np.testing.assert_array_equal(
+            ctrl._features_scaled,
+            trained_tiny.pipeline.config.transform(ctrl.optimizer.features),
+        )
+        hist = np.diff(poisson_map(150.0).sample(duration=10.0, seed=5))
+        decision = ctrl.choose(hist, slo=0.1)
+        window = latest_window(hist, ctrl.window_length)
+        ref = trained_tiny.predict(window, ctrl.optimizer.features)
+        np.testing.assert_array_equal(decision.predictions, ref)

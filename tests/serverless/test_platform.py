@@ -81,3 +81,94 @@ class TestConcurrencyLimit:
         rec = plat.invoke_batches(np.array([0.0]), np.array([1]), 1792.0)[0]
         assert rec.service_time == pytest.approx(0.1)
         assert rec.cost == pytest.approx(1.75 * 0.1 * plat.pricing.gb_second_price)
+
+
+class TestBatchExecution:
+    """The struct-of-arrays fast path and its lazy record view."""
+
+    def test_records_view_matches_invoke_batches(self):
+        plat = ServerlessPlatform(
+            cold_start=ColdStartModel(cold_probability=0.5), seed=3
+        )
+        disp = np.array([0.0, 0.5, 0.5, 2.0])
+        sizes = np.array([1, 4, 8, 2])
+        ex = plat.execute_batches(disp, sizes, 1024.0, rng=plat.spawn_rng(0))
+        recs = plat.execute_batches(disp, sizes, 1024.0, rng=plat.spawn_rng(0)).records()
+        assert len(recs) == ex.n_batches == 4
+        for i, r in enumerate(recs):
+            assert r.dispatch_time == ex.start_times[i]
+            assert r.batch_size == ex.batch_sizes[i]
+            assert r.memory_mb == ex.memory_mb
+            assert r.service_time == ex.service_times[i]
+            assert r.cold_start == ex.cold_starts[i]
+            assert r.cost == ex.costs[i]
+            assert r.completion_time == pytest.approx(ex.completion_times[i])
+        assert ex.total_cost == pytest.approx(sum(r.cost for r in recs))
+
+    def test_empty_execution(self):
+        ex = ServerlessPlatform().execute_batches(np.array([]), np.array([]), 512.0)
+        assert ex.n_batches == 0
+        assert ex.total_cost == 0.0
+        assert ex.records() == []
+
+    def test_heap_matches_naive_argmin_schedule(self):
+        """The O(n log C) heap must reproduce the reference O(n·C)
+        earliest-available-slot scan exactly."""
+        rng = np.random.default_rng(7)
+        disp = np.sort(rng.uniform(0, 2.0, 60))
+        sizes = rng.integers(1, 9, size=60)
+        for limit in (1, 2, 5, 60, 200):
+            plat = ServerlessPlatform(concurrency_limit=limit)
+            service = np.asarray(
+                plat.profile.service_time(1024.0, sizes), dtype=float
+            )
+            free_at = np.zeros(limit)
+            expected = np.empty(60)
+            for i in range(60):
+                slot = int(np.argmin(free_at))
+                expected[i] = max(disp[i], free_at[slot])
+                free_at[slot] = expected[i] + service[i]
+            ex = plat.execute_batches(disp, sizes, 1024.0)
+            np.testing.assert_array_equal(ex.start_times, expected)
+
+    def test_grid_execution_matches_per_memory(self):
+        plat = ServerlessPlatform(concurrency_limit=3)
+        disp = np.sort(np.random.default_rng(1).uniform(0, 1.0, 40))
+        sizes = np.random.default_rng(2).integers(1, 17, size=40)
+        memories = [256.0, 1024.0, 3008.0]
+        grid = plat.execute_batches_grid(disp, sizes, memories)
+        for m, ex in zip(memories, grid):
+            ref = plat.execute_batches(disp, sizes, m)
+            assert ex.memory_mb == m
+            np.testing.assert_array_equal(ex.start_times, ref.start_times)
+            np.testing.assert_array_equal(ex.service_times, ref.service_times)
+            np.testing.assert_array_equal(ex.costs, ref.costs)
+
+    def test_grid_execution_with_per_tier_rngs(self):
+        plat = ServerlessPlatform(
+            cold_start=ColdStartModel(cold_probability=0.4), seed=11
+        )
+        disp = np.linspace(0, 1, 30)
+        sizes = np.full(30, 4)
+        memories = [512.0, 1792.0]
+        rngs = [plat.spawn_rng(k) for k in range(2)]
+        grid = plat.execute_batches_grid(disp, sizes, memories, rngs=rngs)
+        for k, (m, ex) in enumerate(zip(memories, grid)):
+            ref = plat.execute_batches(disp, sizes, m, rng=plat.spawn_rng(k))
+            np.testing.assert_array_equal(ex.cold_starts, ref.cold_starts)
+            np.testing.assert_array_equal(ex.costs, ref.costs)
+
+    def test_grid_execution_validation(self):
+        plat = ServerlessPlatform()
+        with pytest.raises(ValueError):
+            plat.execute_batches_grid(np.array([0.0]), np.array([1, 2]), [512.0])
+        with pytest.raises(ValueError):
+            plat.execute_batches_grid(
+                np.array([0.0]), np.array([1]), [512.0], rngs=[]
+            )
+
+    def test_spawn_rng_deterministic_and_keyed(self):
+        plat = ServerlessPlatform(seed=5)
+        a, b = plat.spawn_rng(3), plat.spawn_rng(3)
+        assert a.integers(0, 2**31) == b.integers(0, 2**31)
+        assert plat.spawn_rng(3).integers(0, 2**31) != plat.spawn_rng(4).integers(0, 2**31)

@@ -93,3 +93,23 @@ class TestDashboard:
     def test_title(self):
         text = render_dashboard([], title="custom title")
         assert text.startswith("custom title")
+
+
+class TestPerformanceSection:
+    def test_renders_simcore_throughput(self):
+        reg = MetricsRegistry()
+        reg.histogram("simulator.grid_time").observe(0.5)
+        reg.counter("simulator.grid_configs").inc(285)
+        reg.counter("simulator.grid_sweeps").inc()
+        reg.histogram("dataset.label_time").observe(2.0)
+        reg.counter("dataset.labels").inc(600)
+        reg.gauge("dataset.workers").set(4)
+        text = render_dashboard(reg)
+        assert "performance (simulation core)" in text
+        assert "grid simulation" in text
+        assert "570.0" in text  # 285 configs / 0.5 s
+        assert "dataset labeling (workers=4)" in text
+        assert "300.0" in text  # 600 labels / 2.0 s
+
+    def test_absent_without_perf_metrics(self):
+        assert "performance" not in render_dashboard(populated_registry())
