@@ -4,11 +4,15 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench-smoke bench bench-perf lint
+.PHONY: test test-faults bench-smoke bench bench-perf lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
 	$(PYTEST) -x -q -m "not bench"
+
+## Fault-injection, retry, and degraded-mode serving tests only.
+test-faults:
+	$(PYTEST) -q -m faults
 
 ## Quick benchmark sanity check: the §IV-F decision-time speedup table.
 ## First run trains the shared workbench models; later runs load the cache.

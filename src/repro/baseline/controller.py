@@ -22,7 +22,7 @@ from repro.arrival.fitting import FitReport, fit_map, fit_map_kpc
 from repro.arrival.map_process import MAP
 from repro.baseline.analytic import AnalyticPrediction, BatchAnalyticModel
 from repro.batching.config import BatchConfig, config_grid
-from repro.core.types import Decision
+from repro.core.types import Decision, history_fault as _history_fault
 from repro.serverless.pricing import LambdaPricing
 from repro.serverless.service_profile import ServiceProfile
 from repro.telemetry.events import DecisionEvent
@@ -86,16 +86,51 @@ class BATCHController:
 
     def choose(self, interarrival_history: np.ndarray, slo: float) -> BatchDecision:
         """Fit the history window and return the cheapest SLO-feasible
-        configuration (Eq. 10); safest config when nothing is feasible."""
+        configuration (Eq. 10); safest config when nothing is feasible.
+
+        Degraded mode: a corrupted or too-short history window, or a
+        fitting/solving failure, falls back to the last known-good decision
+        (marked ``diagnostics["degraded"]``) instead of killing the serving
+        loop; without a prior decision, the error propagates. An invalid
+        ``slo`` is a caller bug and always raises.
+        """
+        if slo <= 0:
+            raise ValueError(f"slo must be > 0, got {slo}")
         x = np.asarray(interarrival_history, dtype=float)
-        if x.size < self.min_samples:
-            raise ValueError(
+        fault = _history_fault(x)
+        if fault is None and x.size < self.min_samples:
+            fault = (
                 f"BATCH needs at least {self.min_samples} inter-arrival samples "
                 f"to fit a MAP, got {x.size}"
             )
-        if slo <= 0:
-            raise ValueError(f"slo must be > 0, got {slo}")
+        if fault is not None:
+            return self._fall_back(fault)
+        try:
+            return self._choose(x, slo)
+        except Exception as exc:  # degraded-mode serving: keep the last config
+            return self._fall_back(f"choose() raised {type(exc).__name__}: {exc}", exc)
 
+    def _fall_back(self, reason: str, exc: Exception | None = None) -> BatchDecision:
+        """Re-issue the last known-good decision, or re-raise without one."""
+        if self.last_decision is None:
+            if exc is not None:
+                raise exc
+            raise ValueError(reason)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("fault.degraded_decisions").inc()
+        # Deliberately NOT stored as last_decision: the known-good anchor
+        # must survive a run of degraded rounds.
+        return BatchDecision(
+            config=self.last_decision.config,
+            prediction=self.last_decision.prediction,
+            fit_report=self.last_decision.fit_report,
+            feasible=self.last_decision.feasible,
+            decision_time=0.0,
+            diagnostics={"degraded": True, "reason": reason},
+        )
+
+    def _choose(self, x: np.ndarray, slo: float) -> BatchDecision:
         registry = get_registry()
         with registry.span("batch.choose"):
             with Timer() as t_fit, registry.span("batch.fit"):

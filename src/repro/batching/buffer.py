@@ -94,15 +94,31 @@ class BatchingBuffer:
         return out
 
     def flush(self, now: float | None = None) -> list[Batch]:
-        """Dispatch all remaining requests (stream end)."""
+        """Dispatch all remaining requests (stream end).
+
+        Each drained batch is stamped with *its own* dispatch time, never
+        the whole buffer's newest arrival:
+
+        * a full batch (only possible after a ``reconfigure`` to a smaller
+          ``B``) dispatches the moment its B-th member arrived — it would
+          have left the buffer then;
+        * a partial batch dispatches at its first member's deadline
+          (``first + timeout``), matching the vectorized simulator's
+          end-of-stream behaviour; passing ``now`` force-flushes earlier,
+          capping the dispatch at ``now``;
+        * no batch ever dispatches before its own newest member arrived.
+        """
         out = []
         while self._pending_idx:
-            due = (
-                self._pending_times[0] + self.config.timeout
-                if now is None
-                else min(now, self._pending_times[0] + self.config.timeout)
-            )
-            out.append(self._dispatch(max(due, self._pending_times[-1])))
+            count = min(len(self._pending_idx), self.config.batch_size)
+            newest = self._pending_times[count - 1]
+            if count == self.config.batch_size:
+                due = newest
+            else:
+                due = self._pending_times[0] + self.config.timeout
+                if now is not None:
+                    due = min(due, now)
+            out.append(self._dispatch(max(due, newest), count=count))
         return out
 
     def _dispatch(self, dispatch_time: float, count: int | None = None) -> Batch:

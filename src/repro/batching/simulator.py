@@ -136,6 +136,15 @@ def _result_from_execution(
     # Per-request latency = batch completion − own arrival.
     latencies = execution.completion_times[batch_of_request] - ts
     waits = execution.start_times[batch_of_request] - ts
+    extra: dict = {}
+    if execution.attempts is not None:
+        # Fault-layer accounting for the harness: per-request failure mask
+        # plus the retry totals (see repro.serverless.faults).
+        extra["retries"] = execution.n_retries
+        extra["throttle_retries"] = execution.n_throttle_retries
+        extra["failed_batches"] = execution.n_failed_batches
+        extra["failed_requests"] = execution.n_failed_requests
+        extra["request_failed"] = execution.failed[batch_of_request]
     return SimulationResult(
         config=config,
         latencies=latencies,
@@ -143,6 +152,7 @@ def _result_from_execution(
         batch_sizes=sizes,
         dispatch_times=dispatches,
         batch_costs=np.asarray(execution.costs),
+        extra=extra,
     )
 
 
@@ -222,9 +232,12 @@ def simulate_grid(
             starts = np.concatenate([[0], ends[:-1]])
             sizes = ends - starts
             batch_of_request = np.repeat(np.arange(sizes.size), sizes)
+            # Per-config generators keep the sweep order-independent; the
+            # fault layer draws from them too, so they are needed whenever
+            # either source of randomness is active.
             rngs = (
                 [platform.spawn_rng(i) for i in idxs]
-                if platform.cold_start is not None
+                if platform.cold_start is not None or platform.faults_active
                 else None
             )
             executions = platform.execute_batches_grid(

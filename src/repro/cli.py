@@ -6,7 +6,9 @@ Subcommands cover the full workflow without writing Python:
 * ``train``    — label windows with the simulator and train a surrogate;
 * ``optimize`` — one DeepBAT decision for a trace segment;
 * ``evaluate`` — closed-loop DeepBAT-vs-BATCH comparison over segments
-  (``--telemetry PATH`` additionally dumps spans/metrics/events as JSONL);
+  (``--telemetry PATH`` additionally dumps spans/metrics/events as JSONL;
+  ``--fault-rate``/``--fault-timeout``/``--retries`` inject seeded
+  platform faults and report retries/failures/degraded decisions);
 * ``report``   — render the ASCII telemetry dashboard from such a dump.
 """
 
@@ -28,6 +30,7 @@ from repro.core.dataset import generate_dataset
 from repro.core.training import TrainConfig, load_trained, save_trained, train_surrogate
 from repro.evaluation.harness import run_experiment
 from repro.evaluation.reporting import format_table
+from repro.serverless.faults import FaultModel, RetryPolicy
 from repro.serverless.platform import ServerlessPlatform
 from repro.telemetry import (
     MetricsRegistry,
@@ -84,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--update-every", type=int, default=512)
     p_eval.add_argument("--telemetry", metavar="PATH",
                         help="collect telemetry and dump it as JSONL here")
+    p_eval.add_argument("--fault-rate", type=float, default=0.0,
+                        help="per-attempt invocation failure probability "
+                             "(0 disables fault injection; default 0)")
+    p_eval.add_argument("--fault-timeout", type=float, default=None,
+                        help="invocation timeout in seconds; batches whose "
+                             "(M, B)-dependent run time exceeds it time out")
+    p_eval.add_argument("--retries", type=int, default=3,
+                        help="max invocation attempts under faults (>= 1)")
+    p_eval.add_argument("--seed", type=int, default=0,
+                        help="platform seed for deterministic fault draws")
 
     p_rep = sub.add_parser("report", help="render a telemetry dashboard")
     p_rep.add_argument("path", help="JSONL dump written by evaluate --telemetry")
@@ -175,7 +188,22 @@ def _cmd_evaluate(args) -> int:
     segments = range(int(lo), int(hi))
     trained = load_trained(args.model)
     trace = load_trace(args.trace)
-    platform = ServerlessPlatform()
+    if not 0.0 <= args.fault_rate < 1.0:
+        print("error: --fault-rate must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.retries < 1:
+        print("error: --retries must be >= 1", file=sys.stderr)
+        return 2
+    faulty = args.fault_rate > 0.0 or args.fault_timeout is not None
+    if faulty:
+        platform = ServerlessPlatform(
+            seed=args.seed,
+            faults=FaultModel(failure_rate=args.fault_rate,
+                              timeout_s=args.fault_timeout),
+            retry_policy=RetryPolicy(max_attempts=args.retries),
+        )
+    else:
+        platform = ServerlessPlatform()
     grid = config_grid()
     registry = MetricsRegistry() if args.telemetry else None
     rows = []
@@ -196,15 +224,23 @@ def _cmd_evaluate(args) -> int:
             else:
                 print(f"error: unknown controller {name!r}", file=sys.stderr)
                 return 2
-            rows.append([
+            row = [
                 name,
                 f"{log.vcr_series().mean():.2f}",
                 f"{np.nanmean(log.latency_series(95)) * 1e3:.1f}",
                 f"{np.nanmean(log.cost_series()) * 1e6:.4f}",
                 f"{log.mean_decision_time * 1e3:.0f}",
-            ])
+            ]
+            if faulty:
+                row += [log.total_retries, log.total_failed,
+                        log.total_degraded_decisions]
+            rows.append(row)
+    headers = ["controller", "mean VCR %", "mean p95 ms", "cost $/1M",
+               "decision ms"]
+    if faulty:
+        headers += ["retries", "failed", "degraded"]
     print(format_table(
-        ["controller", "mean VCR %", "mean p95 ms", "cost $/1M", "decision ms"],
+        headers,
         rows,
         title=f"{trace.name}: segments {args.segments}, SLO {args.slo * 1e3:.0f} ms",
     ))

@@ -25,7 +25,7 @@ from repro.batching.config import BatchConfig, config_grid
 from repro.core.optimizer import OptimizationResult, SloAwareOptimizer
 from repro.core.parser import WorkloadParser
 from repro.core.training import TrainedSurrogate
-from repro.core.types import Decision
+from repro.core.types import Decision, history_fault as _history_fault
 from repro.telemetry.events import DecisionEvent
 from repro.telemetry.metrics import get_registry
 from repro.utils.timing import Timer
@@ -77,13 +77,29 @@ class DeepBATController:
 
     # ------------------------------------------------------------ decisions
     def choose(self, interarrival_history: np.ndarray, slo: float) -> DeepBATDecision:
-        """One optimization round from a raw inter-arrival history."""
+        """One optimization round from a raw inter-arrival history.
+
+        Degraded mode: when the history window is corrupted (NaN/inf or
+        negative inter-arrivals) or any stage of the round raises, the
+        controller keeps serving by re-issuing its last known-good decision
+        (marked ``diagnostics["degraded"]``) instead of taking the serving
+        loop down. With no prior decision to fall back on, the error
+        propagates.
+        """
+        history = np.asarray(interarrival_history, dtype=float)
+        fault = _history_fault(history)
+        if fault is not None:
+            return self._fall_back(fault)
+        try:
+            return self._choose(history, slo)
+        except Exception as exc:  # degraded-mode serving: keep the last config
+            return self._fall_back(f"choose() raised {type(exc).__name__}: {exc}", exc)
+
+    def _choose(self, history: np.ndarray, slo: float) -> DeepBATDecision:
         registry = get_registry()
         with registry.span("deepbat.choose"):
             with registry.span("deepbat.window"):
-                window = latest_window(
-                    np.asarray(interarrival_history, dtype=float), self.window_length
-                )
+                window = latest_window(history, self.window_length)
             with Timer() as t_inf:
                 with registry.span("deepbat.forward"):
                     preds = self.surrogate.predict_scaled(window, self._features_scaled)
@@ -112,6 +128,25 @@ class DeepBATController:
             ))
         self.last_decision = decision
         return decision
+
+    def _fall_back(self, reason: str, exc: Exception | None = None) -> DeepBATDecision:
+        """Re-issue the last known-good decision, or re-raise without one."""
+        if self.last_decision is None:
+            if exc is not None:
+                raise exc
+            raise ValueError(reason)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("fault.degraded_decisions").inc()
+        # Deliberately NOT stored as last_decision: the known-good anchor
+        # must survive a run of degraded rounds.
+        return DeepBATDecision(
+            config=self.last_decision.config,
+            optimization=self.last_decision.optimization,
+            predictions=self.last_decision.predictions,
+            decision_time=0.0,
+            diagnostics={"degraded": True, "reason": reason},
+        )
 
     def set_gamma(self, gamma: float) -> None:
         """Tighten/relax the SLO margin γ (fast OOD reaction, §III-D)."""

@@ -133,7 +133,14 @@ def label_windows(
     n = len(windows)
     if n == 0:
         return np.empty((0, spec.n_outputs))
-    entropy = int(seed) if platform.cold_start is not None else None
+    # Per-sample generators whenever any randomness (cold starts, fault
+    # injection) is active — they key the draws to the sample index, which
+    # is what makes labeling independent of the worker count.
+    entropy = (
+        int(seed)
+        if platform.cold_start is not None or platform.faults_active
+        else None
+    )
 
     registry = get_registry()
     t0 = time.perf_counter()

@@ -31,3 +31,25 @@ class Decision:
     decision_time: float = 0.0
     predictions: np.ndarray | None = None
     diagnostics: Mapping[str, Any] | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when this decision is a degraded-mode fallback (the
+        controller re-issued its last known-good choice)."""
+        return bool(self.diagnostics and self.diagnostics.get("degraded"))
+
+
+def history_fault(interarrival_history: np.ndarray) -> str | None:
+    """Why an inter-arrival history is unusable, or ``None`` if it is fine.
+
+    A corrupted window — NaN/inf from a broken telemetry feed, or negative
+    inter-arrivals from out-of-order timestamps — must not reach a fitting
+    or inference stage where it would poison the decision silently; the
+    controllers route it into degraded-mode serving instead.
+    """
+    x = np.asarray(interarrival_history, dtype=float)
+    if x.size and not np.all(np.isfinite(x)):
+        return "inter-arrival history contains NaN/inf"
+    if x.size and np.any(x < 0):
+        return "inter-arrival history contains negative inter-arrivals"
+    return None

@@ -44,18 +44,37 @@ class Chooser(Protocol):
 
 
 def _resolve_sequence_length(chooser: Chooser, sequence_length: int | None) -> int:
-    """The VCR chunk length for a run: explicit > chooser's window > Eq. 11."""
+    """The VCR chunk length for a run: explicit > chooser's window > Eq. 11.
+
+    A chooser advertising a nonsensical window (``window_length < 1``) is
+    rejected loudly, mirroring the explicit-argument check — it must not
+    silently fall back to the Eq. 11 default.
+    """
     if sequence_length is not None:
         if sequence_length < 1:
             raise ValueError(f"sequence_length must be >= 1, got {sequence_length}")
         return int(sequence_length)
     window = getattr(chooser, "window_length", None)
-    return int(window) if window else DEFAULT_SEQUENCE_LENGTH
+    if window is None:
+        return DEFAULT_SEQUENCE_LENGTH
+    window = int(window)
+    if window < 1:
+        raise ValueError(
+            f"chooser window_length must be >= 1, got {window}"
+        )
+    return window
 
 
 @dataclass(frozen=True)
 class SegmentOutcome:
-    """Metrics of one trace segment served under a chooser's decisions."""
+    """Metrics of one trace segment served under a chooser's decisions.
+
+    The resilience fields are zero on fault-free runs: ``n_retries`` counts
+    invocation re-dispatches (failures, timeouts, throttle rejections),
+    ``n_failed`` the requests whose batch exhausted every retry, and
+    ``degraded_decisions`` the choose() calls answered from the
+    controller's last known-good decision.
+    """
 
     segment: int
     configs: tuple[BatchConfig, ...]
@@ -64,6 +83,9 @@ class SegmentOutcome:
     n_requests: int
     decision_times: tuple[float, ...]
     sequence_length: int = DEFAULT_SEQUENCE_LENGTH
+    n_retries: int = 0
+    n_failed: int = 0
+    degraded_decisions: int = 0
 
     def p(self, percentile: float) -> float:
         if self.latencies.size == 0:
@@ -120,6 +142,18 @@ class ExperimentLog:
         return float(sum(o.total_cost for o in self.outcomes))
 
     @property
+    def total_retries(self) -> int:
+        return sum(o.n_retries for o in self.outcomes)
+
+    @property
+    def total_failed(self) -> int:
+        return sum(o.n_failed for o in self.outcomes)
+
+    @property
+    def total_degraded_decisions(self) -> int:
+        return sum(o.degraded_decisions for o in self.outcomes)
+
+    @property
     def mean_decision_time(self) -> float:
         times = [t for o in self.outcomes for t in o.decision_times]
         return float(np.mean(times)) if times else 0.0
@@ -165,6 +199,9 @@ def run_segment(
     cost = 0.0
     configs: list[BatchConfig] = []
     dtimes: list[float] = []
+    n_retries = 0
+    n_failed = 0
+    degraded = 0
     served = np.empty(0)
     for block in blocks:
         history_ts = np.concatenate([prev, served])
@@ -173,11 +210,17 @@ def run_segment(
         # O(total served history).
         hist = interarrivals(history_ts[-(history_tail + 1):])
         decision = chooser.choose(hist, slo)
+        diagnostics = getattr(decision, "diagnostics", None)
+        if diagnostics and diagnostics.get("degraded"):
+            degraded += 1
         configs.append(decision.config)
         dtimes.append(float(decision.decision_time))
         result: SimulationResult = simulate(block, decision.config, platform)
         latencies.append(result.latencies)
         cost += result.total_cost
+        n_retries += int(result.extra.get("retries", 0))
+        n_retries += int(result.extra.get("throttle_retries", 0))
+        n_failed += int(result.extra.get("failed_requests", 0))
         served = np.concatenate([served, block])
 
     outcome = SegmentOutcome(
@@ -188,6 +231,9 @@ def run_segment(
         n_requests=current.size,
         decision_times=tuple(dtimes),
         sequence_length=seq_len,
+        n_retries=n_retries,
+        n_failed=n_failed,
+        degraded_decisions=degraded,
     )
     registry = get_registry()
     if registry.enabled:
@@ -199,6 +245,10 @@ def run_segment(
         registry.histogram("harness.decision_time").observe_many(
             np.asarray(dtimes, dtype=float)
         )
+        if n_retries:
+            registry.counter("harness.retried_invocations").inc(n_retries)
+        if n_failed:
+            registry.counter("harness.failed_requests").inc(n_failed)
         registry.record_event(SegmentEvent(
             segment=segment,
             n_requests=outcome.n_requests,
@@ -208,6 +258,9 @@ def run_segment(
             mean_decision_time=float(np.mean(dtimes)) if dtimes else 0.0,
             slo=slo,
             controller=type(chooser).__name__,
+            retries=n_retries,
+            failed_requests=n_failed,
+            degraded_decisions=degraded,
         ))
         if p95 > slo:
             registry.counter("harness.slo_violations").inc()

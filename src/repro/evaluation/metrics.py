@@ -18,6 +18,10 @@ def vcr(
     of ``sequence_length``; a sequence *violates* when its
     ``percentile``-latency exceeds the SLO. VCR is the violating fraction
     ×100 — lower is better.
+
+    A trailing remainder shorter than ``sequence_length`` is judged as its
+    own (partial) chunk — the percentile taken over its own length — so
+    tail violations are never silently dropped.
     """
     if slo <= 0:
         raise ValueError(f"slo must be > 0, got {slo}")
@@ -26,15 +30,18 @@ def vcr(
     lat = np.asarray(latencies, dtype=float)
     if lat.size == 0:
         return 0.0
-    n_chunks = max(1, lat.size // sequence_length)
-    usable = lat[: n_chunks * sequence_length] if lat.size >= sequence_length else lat
-    chunks = (
-        usable.reshape(n_chunks, sequence_length)
-        if lat.size >= sequence_length
-        else usable[None, :]
-    )
-    chunk_lat = np.percentile(chunks, percentile, axis=1)
-    return float((chunk_lat > slo).mean() * 100.0)
+    n_full = lat.size // sequence_length
+    violations = 0
+    n_chunks = 0
+    if n_full:
+        full = lat[: n_full * sequence_length].reshape(n_full, sequence_length)
+        violations += int((np.percentile(full, percentile, axis=1) > slo).sum())
+        n_chunks += n_full
+    tail = lat[n_full * sequence_length:]
+    if tail.size:
+        violations += int(np.percentile(tail, percentile) > slo)
+        n_chunks += 1
+    return float(violations / n_chunks * 100.0)
 
 
 def mape(predicted: np.ndarray, actual: np.ndarray, eps: float = 1e-8) -> float:

@@ -1,6 +1,14 @@
 """Serverless platform substrate: Lambda pricing, deterministic service
 profiles, cold starts, and the invocation/billing model."""
 
+from repro.serverless.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultModel,
+    FaultOutcome,
+    RetryPolicy,
+    inject_faults,
+    rejecting_starts,
+)
 from repro.serverless.platform import (
     BatchExecution,
     InvocationRecord,
@@ -24,6 +32,7 @@ from repro.serverless.service_profile import (
 
 __all__ = [
     "DEFAULT_BILLING_GRANULARITY",
+    "DEFAULT_RETRY_POLICY",
     "DEFAULT_GB_SECOND_PRICE",
     "DEFAULT_PROFILE",
     "DEFAULT_REQUEST_PRICE",
@@ -32,9 +41,14 @@ __all__ = [
     "VCPU_KNEE_MB",
     "BatchExecution",
     "ColdStartModel",
+    "FaultModel",
+    "FaultOutcome",
     "InvocationRecord",
     "LambdaPricing",
+    "RetryPolicy",
     "ServerlessPlatform",
     "ServiceProfile",
     "cost_per_million",
+    "inject_faults",
+    "rejecting_starts",
 ]

@@ -1,0 +1,259 @@
+"""Fault injection for the serverless platform model.
+
+Real Lambda deployments are not the perfect platform the base simulator
+assumes: invocations fail transiently, functions time out when the
+configured limit is shorter than the (M, B)-dependent run time, and the
+account-level concurrency throttle *rejects* (429) rather than queues.
+This module models those three fault classes plus the client-side retry
+loop that papers over them:
+
+* :class:`FaultModel` — what can go wrong: a per-attempt failure
+  probability, a fixed invocation timeout (whether it fires is a function
+  of ``(M, B)`` through the service profile, exactly as on Lambda where
+  the limit is constant but the duration is not), and throttle rejection
+  semantics for the concurrency cap;
+* :class:`RetryPolicy` — how the invoker reacts: bounded attempts with
+  exponential backoff and multiplicative jitter, every attempt billed;
+* :func:`inject_faults` — the vectorized per-batch attempt simulation,
+  deterministic given the generator handed in (the platform threads its
+  ``spawn_rng`` children through, so sweeps stay order-independent);
+* :func:`rejecting_starts` — start times under reject-and-retry
+  throttling instead of the base platform's queueing throttle.
+
+Everything here is *pure*: no module state, no hidden RNG. When a
+:class:`FaultModel` is disabled (the default-constructed one is) the
+platform never calls into this module, so fault-free runs are bit-identical
+to a build without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serverless.pricing import LambdaPricing
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry loop: bounded attempts, exponential backoff.
+
+    ``max_attempts`` counts the first try, so ``max_attempts=1`` disables
+    retries entirely. Backoff before retry ``k`` (1-based) is
+    ``base_backoff_s * multiplier**(k-1)``, stretched by a multiplicative
+    jitter drawn uniformly from ``[1, 1 + jitter]`` — drawn from the
+    generator the caller supplies, never from global state.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_s < 0:
+            raise ValueError(f"base_backoff_s must be >= 0, got {self.base_backoff_s}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def backoff(self, retry_index: int, rng: np.random.Generator) -> float:
+        """Backoff (seconds) before 0-based retry ``retry_index``."""
+        base = self.base_backoff_s * self.multiplier**retry_index
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+    def backoff_matrix(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Jittered backoffs, shape ``(max_attempts - 1, n)``.
+
+        Row ``k`` is the backoff before retry ``k`` of each of ``n``
+        invocations. The full matrix is always drawn (independently of
+        which retries actually happen) so the generator's consumption —
+        and hence everything drawn after it — does not depend on fault
+        outcomes.
+        """
+        if self.max_attempts == 1:
+            return np.zeros((0, n))
+        base = self.base_backoff_s * (
+            self.multiplier ** np.arange(self.max_attempts - 1)[:, None]
+        )
+        return base * (1.0 + self.jitter * rng.random((self.max_attempts - 1, n)))
+
+
+#: The policy the platform uses when none is configured explicitly.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """What can go wrong with one invocation attempt.
+
+    * ``failure_rate`` — probability that an attempt fails transiently
+      (sandbox crash, dropped connection); the failed attempt still runs
+      (and bills) its full duration.
+    * ``timeout_s`` — the function's configured timeout. An attempt whose
+      duration (cold start + service time, both functions of ``(M, B)``)
+      exceeds it is killed at ``timeout_s``, billed for ``timeout_s``,
+      and fails — deterministically, every attempt, exactly like an
+      undersized Lambda.
+    * ``throttle_rejection`` — with a platform ``concurrency_limit``,
+      model the throttle as Lambda does (reject + client backoff) instead
+      of the base model's ideal queue.
+
+    The default-constructed model is *disabled*: the platform skips the
+    fault path entirely, keeping fault-free outputs bit-identical.
+    """
+
+    failure_rate: float = 0.0
+    timeout_s: float | None = None
+    throttle_rejection: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.failure_rate > 0.0
+            or self.timeout_s is not None
+            or self.throttle_rejection
+        )
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Per-batch result of the attempt loop (arrays aligned per batch)."""
+
+    attempts: np.ndarray  # int, attempts actually made (>= 1)
+    failed: np.ndarray  # bool, True when every attempt failed
+    timed_out: np.ndarray  # bool, True when attempts hit the timeout
+    fault_delays: np.ndarray  # seconds added on top of cold + service
+    costs: np.ndarray  # USD, all attempts billed
+
+    @property
+    def n_retries(self) -> int:
+        return int((self.attempts - 1).sum())
+
+
+def inject_faults(
+    durations: np.ndarray,
+    memory_mb: float,
+    pricing: LambdaPricing,
+    faults: FaultModel,
+    retry: RetryPolicy,
+    rng: np.random.Generator,
+) -> FaultOutcome:
+    """Run the retry loop for every batch, vectorized.
+
+    ``durations`` is cold start + service time per batch — the run time of
+    one clean attempt. Each attempt independently fails with
+    ``failure_rate``; attempts longer than ``timeout_s`` are cut at the
+    timeout and fail deterministically. A failed attempt contributes its
+    run time plus the policy's backoff to the batch's extra latency and is
+    billed like any invocation; after ``max_attempts`` failures the batch
+    is *failed* — its requests are served a degraded (error) response at
+    give-up time.
+
+    Determinism: exactly ``max_attempts * n`` failure draws and
+    ``(max_attempts - 1) * n`` jitter draws are consumed from ``rng``
+    regardless of outcomes, so downstream consumers of the same generator
+    see a fixed stream.
+    """
+    d = np.asarray(durations, dtype=float)
+    n = d.size
+    cap = retry.max_attempts
+
+    # Run time of a single attempt: the clean duration, cut at the timeout.
+    if faults.timeout_s is not None:
+        timed_out = d > faults.timeout_s
+        run = np.minimum(d, faults.timeout_s)
+    else:
+        timed_out = np.zeros(n, dtype=bool)
+        run = d
+
+    # (cap, n) failure table: attempt k of batch i fails transiently or by
+    # timeout. Timeouts are deterministic, so a timed-out batch fails every
+    # attempt and always exhausts the retry budget.
+    fails = (rng.random((cap, n)) < faults.failure_rate) | timed_out[None, :]
+    backoffs = retry.backoff_matrix(n, rng)
+
+    succeeded = ~fails
+    any_success = succeeded.any(axis=0)
+    first_success = np.argmax(succeeded, axis=0)  # 0 when none succeeded
+    attempts = np.where(any_success, first_success + 1, cap)
+    failed = ~any_success
+
+    # Extra latency: each failed prior attempt ran `run` then backed off;
+    # the final attempt runs `run` on failure (cut short or crashed) and
+    # the clean `d` on success — fold the difference into the delay so
+    # completion = start + d + fault_delays holds either way.
+    n_prior = attempts - 1
+    cum_backoff = np.vstack([np.zeros(n), np.cumsum(backoffs, axis=0)]) if cap > 1 \
+        else np.zeros((1, n))
+    prior_backoff = cum_backoff[n_prior, np.arange(n)]
+    final_run = np.where(failed, run, d)
+    fault_delays = n_prior * run + prior_backoff + (final_run - d)
+
+    # Billing: every attempt is a full invocation (request fee included);
+    # failed attempts bill their run time, the timeout cut included.
+    costs = n_prior * np.asarray(pricing.invocation_cost(memory_mb, run)) + np.asarray(
+        pricing.invocation_cost(memory_mb, final_run)
+    )
+    return FaultOutcome(
+        attempts=attempts,
+        failed=failed,
+        timed_out=timed_out,
+        fault_delays=fault_delays,
+        costs=np.broadcast_to(costs, (n,)),
+    )
+
+
+def rejecting_starts(
+    dispatch_times: np.ndarray,
+    busy_times: np.ndarray,
+    limit: int,
+    retry: RetryPolicy,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Start times when the concurrency throttle rejects instead of queues.
+
+    An invocation finding all ``limit`` slots busy is rejected (Lambda's
+    429 — unbilled) and the client retries after the policy's backoff.
+    After ``max_attempts - 1`` rejections it falls back to waiting for the
+    earliest free slot — the bounded-retry approximation of the SDK's
+    eventually-successful retry loop, which keeps every batch served and
+    the outcome deterministic.
+
+    Returns ``(starts, rejections)`` with one rejection count per batch.
+    ``busy_times`` is how long each invocation occupies its slot (retries
+    of *failures* re-use the slot they hold).
+    """
+    from heapq import heapify, heappop, heappush
+
+    dispatch_times = np.asarray(dispatch_times, dtype=float)
+    busy_times = np.asarray(busy_times, dtype=float)
+    n = dispatch_times.size
+    free = [0.0] * min(limit, n)
+    heapify(free)
+    starts = np.empty(n)
+    rejections = np.zeros(n, dtype=int)
+    for i in range(n):
+        t = dispatch_times[i]
+        r = 0
+        while free[0] > t and r < retry.max_attempts - 1:
+            t += retry.backoff(r, rng)
+            r += 1
+        slot = heappop(free)
+        start = t if t > slot else slot
+        starts[i] = start
+        rejections[i] = r
+        heappush(free, start + busy_times[i])
+    return starts, rejections

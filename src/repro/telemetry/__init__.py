@@ -15,6 +15,7 @@ unless a real registry is installed with :func:`set_registry` /
 from repro.telemetry.events import (
     DecisionEvent,
     DispatchEvent,
+    RetryEvent,
     SegmentEvent,
     TelemetryEvent,
     ViolationEvent,
@@ -45,6 +46,7 @@ __all__ = [
     "NULL_SPAN",
     "NullRegistry",
     "NullSpan",
+    "RetryEvent",
     "SegmentEvent",
     "Span",
     "SpanRecord",

@@ -10,7 +10,9 @@ dump round-trips losslessly:
 * :class:`ViolationEvent` — a served segment whose observed tail latency
   exceeded the SLO;
 * :class:`SegmentEvent` — the per-segment scorecard the evaluation harness
-  logs (p95, cost/request, VCR, decision time).
+  logs (p95, cost/request, VCR, decision time);
+* :class:`RetryEvent` — one fault-injected execution's retry summary
+  (retries, timeouts, failed batches/requests, throttle rejections).
 """
 
 from __future__ import annotations
@@ -84,11 +86,31 @@ class SegmentEvent(TelemetryEvent):
     mean_decision_time: float
     slo: float
     controller: str = ""
+    retries: int = 0
+    failed_requests: int = 0
+    degraded_decisions: int = 0
+
+
+@dataclass(frozen=True)
+class RetryEvent(TelemetryEvent):
+    """Retry/failure summary of one fault-injected batch execution."""
+
+    kind: ClassVar[str] = "retry"
+
+    memory_mb: float
+    batches: int
+    retries: int
+    timeouts: int
+    failed_batches: int
+    failed_requests: int
+    throttle_retries: int
 
 
 EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
     cls.kind: cls
-    for cls in (DecisionEvent, DispatchEvent, ViolationEvent, SegmentEvent)
+    for cls in (
+        DecisionEvent, DispatchEvent, ViolationEvent, SegmentEvent, RetryEvent,
+    )
 }
 
 

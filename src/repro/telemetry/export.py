@@ -143,6 +143,12 @@ def render_dashboard(
             ["segment", "observed p95 ms", "SLO ms"], rows, title="SLO violations"
         ))
 
+    resilience = _resilience_rows(by_type, by_kind)
+    if resilience:
+        sections.append(format_table(
+            ["fault metric", "value"], resilience, title="resilience"
+        ))
+
     perf = _performance_rows(by_type)
     if perf:
         sections.append(format_table(
@@ -208,6 +214,38 @@ def render_dashboard(
     if len(sections) == 1:
         sections.append("(no telemetry records)")
     return "\n\n".join(sections)
+
+
+def _resilience_rows(by_type: dict, by_kind: dict) -> list[list]:
+    """Fault-injection scorecard: retry/failure counters plus degraded-mode
+    serving stats. Rows appear only when the fault layer actually ran."""
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    fault = {
+        name: value for name, value in counters.items()
+        if name.startswith("fault.")
+    }
+    if not fault and "retry" not in by_kind:
+        return []
+    labels = [
+        ("fault.attempts", "invocation attempts"),
+        ("fault.retries", "invocation retries"),
+        ("fault.timeouts", "timed-out batches"),
+        ("fault.failed_batches", "failed batches"),
+        ("fault.failed_requests", "failed requests"),
+        ("fault.throttle_retries", "throttle rejections"),
+        ("fault.degraded_decisions", "degraded decisions"),
+    ]
+    rows = [
+        [label, int(fault[name])] for name, label in labels if name in fault
+    ]
+    retries = by_kind.get("retry", [])
+    if retries:
+        rows.append(["fault-injected executions", len(retries)])
+    segments = by_kind.get("segment", [])
+    degraded = sum(e.get("degraded_decisions", 0) for e in segments)
+    if degraded and "fault.degraded_decisions" not in fault:
+        rows.append(["degraded decisions", int(degraded)])
+    return rows
 
 
 def _performance_rows(by_type: dict) -> list[list]:

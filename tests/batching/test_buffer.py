@@ -107,3 +107,81 @@ class TestBufferMatchesSimulator:
         buf_ends, buf_disp = drive(ts, BatchConfig(1024.0, 8, 0.05))
         np.testing.assert_array_equal(buf_ends, sim_ends)
         np.testing.assert_allclose(buf_disp, sim_disp, atol=1e-12)
+
+    def test_bt_grid_agreement(self):
+        """Exhaustive (B, T) sweep: for every grid point and several traces
+        the online buffer's full schedule — including the end-of-stream
+        flush — matches the vectorized batch former."""
+        rng = np.random.default_rng(7)
+        traces = [
+            np.sort(rng.uniform(0.0, 3.0, 40)),
+            np.cumsum(rng.exponential(0.02, size=60)),
+            np.sort(np.concatenate([
+                rng.uniform(0.0, 0.01, 10), rng.uniform(1.0, 1.01, 10),
+            ])),
+        ]
+        for ts in traces:
+            for b in (1, 2, 3, 8, 64):
+                for t in (0.0, 0.005, 0.05, 0.5, 10.0):
+                    sim_ends, sim_disp = form_batches(ts, b, t)
+                    buf_ends, buf_disp = drive(ts, BatchConfig(1024.0, b, t))
+                    np.testing.assert_array_equal(buf_ends, sim_ends)
+                    np.testing.assert_allclose(buf_disp, sim_disp, atol=1e-12)
+
+
+class TestFlushRegression:
+    """Regression: flush() used to stamp every drained batch with the whole
+    buffer's newest arrival (inflated by max(due, pending[-1])), could
+    dispatch after the caller's ``now``, and held full batches until the
+    first member's deadline."""
+
+    def _loaded_buffer(self):
+        # B=8 collects 7 arrivals without dispatching; reconfiguring to B=2
+        # leaves the flush to drain three full batches plus one partial.
+        buf = BatchingBuffer(BatchConfig(1024.0, 8, 10.0))
+        for t in np.arange(0.0, 0.61, 0.1):
+            assert buf.observe(float(t)) == []
+        buf.reconfigure(BatchConfig(1024.0, 2, 10.0))
+        return buf
+
+    def test_full_batches_dispatch_at_own_member(self):
+        out = self._loaded_buffer().flush()
+        disp = [b.dispatch_time for b in out]
+        # Full pairs leave when their 2nd member arrived; the lone tail
+        # waits out its own timeout (0.6 + 10).
+        np.testing.assert_allclose(disp, [0.1, 0.3, 0.5, 10.6])
+        assert [b.size for b in out] == [2, 2, 2, 1]
+
+    def test_now_caps_partial_batches(self):
+        out = self._loaded_buffer().flush(now=1.0)
+        disp = [b.dispatch_time for b in out]
+        np.testing.assert_allclose(disp, [0.1, 0.3, 0.5, 1.0])
+
+    def test_never_before_own_newest_member(self):
+        # A force-flush "now" earlier than the tail's arrival cannot send
+        # the batch back in time.
+        out = self._loaded_buffer().flush(now=0.05)
+        assert out[-1].dispatch_time == pytest.approx(0.6)
+
+    def test_dispatch_never_after_now_beyond_arrivals(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 10, 50.0))
+        for t in [0.0, 0.1, 0.2]:
+            buf.observe(t)
+        out = buf.flush(now=0.2)
+        assert len(out) == 1
+        assert out[0].dispatch_time == pytest.approx(0.2)
+
+    def test_flush_matches_simulator_end_of_stream(self):
+        # Without "now", a partial batch flushes at first + timeout —
+        # exactly the vectorized simulator's end-of-stream rule.
+        ts = np.array([0.0, 0.1, 0.2])
+        _, sim_disp = form_batches(ts, 10, 0.5)
+        buf = BatchingBuffer(BatchConfig(1024.0, 10, 0.5))
+        for t in ts:
+            buf.observe(float(t))
+        out = buf.flush()
+        assert out[0].dispatch_time == pytest.approx(sim_disp[-1])
+
+    def test_nonpositive_waits_never_happen(self):
+        for b in self._loaded_buffer().flush():
+            assert np.all(b.waits() >= -1e-12)

@@ -1,0 +1,174 @@
+"""Degraded-mode serving: controllers fall back to the last known-good
+decision when the history window is corrupted or choose() raises."""
+
+import numpy as np
+import pytest
+
+from repro.arrival.map_process import poisson_map
+from repro.baseline.controller import BATCHController
+from repro.batching.config import config_grid
+from repro.core.controller import DeepBATController
+from repro.core.dataset import generate_dataset
+from repro.core.surrogate import DeepBATSurrogate
+from repro.core.training import TrainConfig, train_surrogate
+from repro.core.types import history_fault
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+pytestmark = pytest.mark.faults
+
+GRID = config_grid(memories=(512.0, 1024.0), batch_sizes=(1, 4, 8),
+                   timeouts=(0.0, 0.05))
+
+
+@pytest.fixture(scope="module")
+def trained_tiny():
+    hist = np.diff(poisson_map(200.0).sample(duration=60.0, seed=0))
+    ds = generate_dataset(hist, n_samples=80, seq_len=16, configs=GRID, seed=0)
+    model = DeepBATSurrogate(seq_len=16, d_model=8, num_heads=2, ff_hidden=16,
+                             num_layers=1, seed=0)
+    return train_surrogate(ds, model=model,
+                           config=TrainConfig(epochs=8, patience=None, seed=0))
+
+
+@pytest.fixture
+def good_history():
+    return np.diff(poisson_map(200.0).sample(duration=10.0, seed=1))
+
+
+class TestHistoryFault:
+    def test_clean_history(self):
+        assert history_fault(np.array([0.1, 0.2, 0.3])) is None
+
+    def test_nan(self):
+        assert "NaN" in history_fault(np.array([0.1, np.nan, 0.3]))
+
+    def test_inf(self):
+        assert history_fault(np.array([0.1, np.inf])) is not None
+
+    def test_negative(self):
+        assert "negative" in history_fault(np.array([0.1, -0.2, 0.3]))
+
+
+class TestDeepBATDegradedMode:
+    def test_corrupted_history_without_anchor_raises(self, trained_tiny):
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        with pytest.raises(ValueError, match="NaN"):
+            ctrl.choose(np.array([0.1, np.nan, 0.3]), slo=0.1)
+
+    def test_nan_history_falls_back(self, trained_tiny, good_history):
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        good = ctrl.choose(good_history, slo=0.1)
+        bad = good_history.copy()
+        bad[3] = np.nan
+        degraded = ctrl.choose(bad, slo=0.1)
+        assert degraded.degraded
+        assert degraded.config == good.config
+        assert "NaN" in degraded.diagnostics["reason"]
+
+    def test_negative_interarrivals_fall_back(self, trained_tiny, good_history):
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        good = ctrl.choose(good_history, slo=0.1)
+        bad = good_history.copy()
+        bad[0] = -1.0
+        degraded = ctrl.choose(bad, slo=0.1)
+        assert degraded.degraded
+        assert degraded.config == good.config
+
+    def test_internal_raise_falls_back(self, trained_tiny, good_history,
+                                       monkeypatch):
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        good = ctrl.choose(good_history, slo=0.1)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("surrogate exploded")
+
+        monkeypatch.setattr(ctrl.surrogate, "predict_scaled", boom)
+        degraded = ctrl.choose(good_history, slo=0.1)
+        assert degraded.degraded
+        assert degraded.config == good.config
+        assert "RuntimeError" in degraded.diagnostics["reason"]
+
+    def test_internal_raise_without_anchor_propagates(self, trained_tiny,
+                                                      good_history,
+                                                      monkeypatch):
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        monkeypatch.setattr(
+            ctrl.surrogate, "predict_scaled",
+            lambda *a, **k: (_ for _ in ()).throw(
+                RuntimeError("surrogate exploded")
+            ),
+        )
+        with pytest.raises(RuntimeError, match="surrogate exploded"):
+            ctrl.choose(good_history, slo=0.1)
+
+    def test_anchor_survives_degraded_run(self, trained_tiny, good_history):
+        """The known-good anchor must not be overwritten by degraded
+        decisions — a long run of bad windows keeps the same config."""
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        good = ctrl.choose(good_history, slo=0.1)
+        bad = np.full(16, np.nan)
+        for _ in range(3):
+            degraded = ctrl.choose(bad, slo=0.1)
+            assert degraded.config == good.config
+        assert ctrl.last_decision is good
+
+    def test_recovers_after_degradation(self, trained_tiny, good_history):
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        ctrl.choose(good_history, slo=0.1)
+        ctrl.choose(np.full(16, np.nan), slo=0.1)
+        fresh = ctrl.choose(good_history, slo=0.1)
+        assert not fresh.degraded
+        assert ctrl.last_decision is fresh
+
+    def test_degraded_counter(self, trained_tiny, good_history):
+        ctrl = DeepBATController(trained_tiny, configs=GRID)
+        ctrl.choose(good_history, slo=0.1)
+        with use_registry(MetricsRegistry()) as reg:
+            ctrl.choose(np.full(16, np.nan), slo=0.1)
+            ctrl.choose(np.full(16, np.nan), slo=0.1)
+        assert reg.counter("fault.degraded_decisions").value == 2
+
+
+class TestBATCHDegradedMode:
+    def _history(self):
+        return np.diff(poisson_map(150.0).sample(duration=10.0, seed=2))
+
+    def test_short_history_without_anchor_raises(self):
+        ctrl = BATCHController(configs=GRID)
+        with pytest.raises(ValueError, match="at least"):
+            ctrl.choose(np.full(5, 0.01), slo=0.1)
+
+    def test_corrupted_history_falls_back(self):
+        ctrl = BATCHController(configs=GRID)
+        good = ctrl.choose(self._history(), slo=0.1)
+        bad = self._history()
+        bad[1] = np.nan
+        degraded = ctrl.choose(bad, slo=0.1)
+        assert degraded.degraded
+        assert degraded.config == good.config
+
+    def test_short_history_falls_back_after_anchor(self):
+        ctrl = BATCHController(configs=GRID)
+        good = ctrl.choose(self._history(), slo=0.1)
+        degraded = ctrl.choose(np.full(5, 0.01), slo=0.1)
+        assert degraded.degraded
+        assert degraded.config == good.config
+        assert "at least" in degraded.diagnostics["reason"]
+
+    def test_invalid_slo_always_raises(self):
+        ctrl = BATCHController(configs=GRID)
+        ctrl.choose(self._history(), slo=0.1)
+        with pytest.raises(ValueError, match="slo"):
+            ctrl.choose(self._history(), slo=0.0)
+
+    def test_internal_raise_falls_back(self, monkeypatch):
+        ctrl = BATCHController(configs=GRID)
+        good = ctrl.choose(self._history(), slo=0.1)
+        monkeypatch.setattr(
+            "repro.baseline.controller.fit_map",
+            lambda x: (_ for _ in ()).throw(RuntimeError("fit diverged")),
+        )
+        degraded = ctrl.choose(self._history(), slo=0.1)
+        assert degraded.degraded
+        assert "RuntimeError" in degraded.diagnostics["reason"]
+        assert degraded.config == good.config

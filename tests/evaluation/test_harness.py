@@ -86,6 +86,117 @@ class TestRunExperiment:
         assert [o.segment for o in log.outcomes] == [2, 3]
 
 
+class TestResolveSequenceLength:
+    """Regression: ``window_length = 0`` used to be falsy and silently fell
+    back to the Eq. 11 default instead of being rejected."""
+
+    def test_explicit_argument_wins(self):
+        from repro.evaluation.harness import _resolve_sequence_length
+
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        chooser.window_length = 64
+        assert _resolve_sequence_length(chooser, 32) == 32
+
+    def test_chooser_window_used(self):
+        from repro.evaluation.harness import _resolve_sequence_length
+
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        chooser.window_length = 64
+        assert _resolve_sequence_length(chooser, None) == 64
+
+    def test_no_window_falls_back_to_default(self):
+        from repro.evaluation.harness import (
+            DEFAULT_SEQUENCE_LENGTH,
+            _resolve_sequence_length,
+        )
+
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        assert _resolve_sequence_length(chooser, None) == DEFAULT_SEQUENCE_LENGTH
+
+    def test_zero_window_rejected(self):
+        from repro.evaluation.harness import _resolve_sequence_length
+
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        chooser.window_length = 0
+        with pytest.raises(ValueError, match="window_length"):
+            _resolve_sequence_length(chooser, None)
+
+    def test_negative_window_rejected(self):
+        from repro.evaluation.harness import _resolve_sequence_length
+
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        chooser.window_length = -5
+        with pytest.raises(ValueError, match="window_length"):
+            _resolve_sequence_length(chooser, None)
+
+    def test_zero_explicit_rejected(self):
+        from repro.evaluation.harness import _resolve_sequence_length
+
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        with pytest.raises(ValueError, match="sequence_length"):
+            _resolve_sequence_length(chooser, 0)
+
+    def test_run_segment_surfaces_zero_window(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        chooser.window_length = 0
+        with pytest.raises(ValueError, match="window_length"):
+            run_segment(TRACE, 1, chooser, slo=0.1, platform=PLAT)
+
+
+@pytest.mark.faults
+class TestSegmentResilience:
+    """run_segment records retries / failed requests / degraded decisions."""
+
+    def test_fault_free_run_records_zeros(self):
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        out = run_segment(TRACE, 1, chooser, slo=0.1, platform=PLAT)
+        assert out.n_retries == 0
+        assert out.n_failed == 0
+        assert out.degraded_decisions == 0
+
+    def test_faulty_platform_records_retries(self):
+        from repro.serverless.faults import FaultModel
+
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        plat = ServerlessPlatform(seed=0, faults=FaultModel(failure_rate=0.3))
+        out = run_segment(TRACE, 1, chooser, slo=0.1, platform=plat)
+        assert out.n_retries > 0
+        assert out.n_failed >= 0
+
+    def test_degraded_decisions_counted(self):
+        @dataclass
+        class DegradedChooser:
+            config: BatchConfig
+            calls: int = 0
+
+            def choose(self, interarrival_history, slo):
+                self.calls += 1
+                diagnostics = (
+                    {"degraded": True, "reason": "test"}
+                    if self.calls > 1 else None
+                )
+                return Decision(config=self.config, decision_time=0.0,
+                                diagnostics=diagnostics)
+
+        chooser = DegradedChooser(BatchConfig(1024.0, 8, 0.05))
+        n = TRACE.segment(1).size
+        out = run_segment(TRACE, 1, chooser, slo=0.1, platform=PLAT,
+                          update_every=n // 4)
+        assert chooser.calls >= 4
+        assert out.degraded_decisions == chooser.calls - 1
+
+    def test_experiment_log_totals(self):
+        from repro.serverless.faults import FaultModel
+
+        chooser = FixedChooser(BatchConfig(1024.0, 8, 0.05))
+        plat = ServerlessPlatform(seed=0, faults=FaultModel(failure_rate=0.3))
+        log = run_experiment(TRACE, chooser, slo=0.1, platform=plat)
+        assert log.total_retries == sum(o.n_retries for o in log.outcomes)
+        assert log.total_failed == sum(o.n_failed for o in log.outcomes)
+        assert log.total_degraded_decisions == 0
+        assert log.total_retries > 0
+
+
 class TestOracle:
     def test_oracle_meets_slo_when_feasible(self):
         log = run_oracle(TRACE, GRID, slo=0.1, platform=PLAT)

@@ -54,6 +54,44 @@ class TestVcr:
         assert 0.0 <= v <= 100.0
 
 
+class TestVcrTailRemainder:
+    """Regression: vcr() used to reshape to (n // L, L) and silently drop
+    the tail remainder — 511 latencies judged only their first 256."""
+
+    def test_remainder_zero_unchanged(self):
+        lat = np.concatenate([np.full(256, 0.01), np.full(256, 0.2)])
+        assert vcr(lat, slo=0.1, sequence_length=256) == 50.0
+
+    def test_remainder_one_violating(self):
+        # 256 good + 1 slow request: the tail is its own chunk and violates.
+        lat = np.concatenate([np.full(256, 0.01), [0.5]])
+        assert vcr(lat, slo=0.1, sequence_length=256) == 50.0
+
+    def test_remainder_one_meeting(self):
+        lat = np.concatenate([np.full(256, 0.01), [0.02]])
+        assert vcr(lat, slo=0.1, sequence_length=256) == 0.0
+
+    def test_remainder_l_minus_1(self):
+        # The ISSUE's example: 511 latencies, a fully violating tail of
+        # 255 — the old code judged only the first 256 (all good) -> 0 %.
+        lat = np.concatenate([np.full(256, 0.01), np.full(255, 0.5)])
+        assert vcr(lat, slo=0.1, sequence_length=256) == 50.0
+
+    def test_tail_percentile_over_own_length(self):
+        # 20-sample tail with 10% slow: its p95 exceeds the SLO.
+        lat = np.concatenate([np.full(256, 0.01),
+                              np.full(18, 0.01), np.full(2, 0.5)])
+        assert vcr(lat, slo=0.1, sequence_length=256) == 50.0
+
+    def test_all_sizes_judge_every_request_block(self):
+        # No silent drops: a violating final request always registers for
+        # any series length.
+        for n in range(1, 40):
+            lat = np.full(n, 0.01)
+            lat[-1] = 10.0  # drags every chunk's p95 over the SLO
+            assert vcr(lat, slo=0.1, sequence_length=10) > 0.0
+
+
 class TestMape:
     def test_exact_value(self):
         assert mape(np.array([1.1, 0.9]), np.array([1.0, 1.0])) == pytest.approx(10.0)

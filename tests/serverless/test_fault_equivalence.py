@@ -1,0 +1,171 @@
+"""No-fault bit-identity and fixed-seed fault determinism (tier-1).
+
+The contract of this PR: with ``FaultModel`` disabled (the default), every
+output of the simulator, the grid sweep, and the evaluation harness is
+bit-identical to a platform with no fault layer at all; with a fixed seed,
+fault injection is deterministic across runs and across worker counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrival.traces import STANDARD_TRACES
+from repro.arrival.stats import interarrivals
+from repro.batching.config import BatchConfig
+from repro.batching.simulator import simulate, simulate_grid
+from repro.core.dataset import generate_dataset
+from repro.core.features import TargetSpec
+from repro.evaluation.harness import run_experiment
+from repro.serverless import ColdStartModel
+from repro.serverless.faults import FaultModel, RetryPolicy
+from repro.serverless.platform import ServerlessPlatform
+
+
+def _trace():
+    return STANDARD_TRACES["azure"](seed=3, n_segments=4, segment_duration=20.0)
+
+
+def _timestamps(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(0.01, size=n))
+
+
+class _FixedChooser:
+    """Minimal chooser: always the same config (keeps the harness paths hot
+    without model training)."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def choose(self, history, slo):
+        from repro.core.types import Decision
+
+        return Decision(config=self.config, decision_time=0.0)
+
+
+def _platform_pair(**kwargs):
+    """(no fault layer, disabled fault layer) platforms with equal seeds."""
+    plain = ServerlessPlatform(seed=11, **kwargs)
+    guarded = ServerlessPlatform(
+        seed=11, faults=FaultModel(), retry_policy=RetryPolicy(max_attempts=7),
+        **kwargs,
+    )
+    return plain, guarded
+
+
+class TestNoFaultBitIdentity:
+    def test_simulate(self):
+        ts = _timestamps()
+        config = BatchConfig(memory_mb=1024.0, batch_size=8, timeout=0.05)
+        for kwargs in ({}, {"cold_start": ColdStartModel()}):
+            plain, guarded = _platform_pair(**kwargs)
+            a = simulate(ts, config, plain)
+            b = simulate(ts, config, guarded)
+            np.testing.assert_array_equal(a.latencies, b.latencies)
+            np.testing.assert_array_equal(a.batch_costs, b.batch_costs)
+            np.testing.assert_array_equal(a.dispatch_times, b.dispatch_times)
+            assert a.total_cost == b.total_cost
+
+    def test_simulate_grid(self):
+        ts = _timestamps()
+        configs = [
+            BatchConfig(memory_mb=m, batch_size=b, timeout=0.05)
+            for m in (512.0, 1024.0) for b in (4, 8)
+        ]
+        for kwargs in ({}, {"cold_start": ColdStartModel()}):
+            plain, guarded = _platform_pair(**kwargs)
+            for a, b in zip(
+                simulate_grid(ts, configs, plain),
+                simulate_grid(ts, configs, guarded),
+            ):
+                np.testing.assert_array_equal(a.latencies, b.latencies)
+                np.testing.assert_array_equal(a.batch_costs, b.batch_costs)
+
+    def test_run_experiment(self):
+        trace = _trace()
+        chooser = _FixedChooser(
+            BatchConfig(memory_mb=1024.0, batch_size=8, timeout=0.05)
+        )
+        plain, guarded = _platform_pair()
+        log_a = run_experiment(trace, chooser, slo=0.1, platform=plain)
+        log_b = run_experiment(trace, chooser, slo=0.1, platform=guarded)
+        np.testing.assert_array_equal(log_a.vcr_series(), log_b.vcr_series())
+        np.testing.assert_array_equal(log_a.cost_series(), log_b.cost_series())
+        np.testing.assert_array_equal(
+            log_a.latency_series(95), log_b.latency_series(95)
+        )
+        assert all(o.n_retries == 0 and o.n_failed == 0
+                   for o in log_b.outcomes)
+
+
+@pytest.mark.faults
+class TestFaultDeterminism:
+    def _faulty_platform(self):
+        return ServerlessPlatform(
+            seed=5,
+            cold_start=ColdStartModel(),
+            faults=FaultModel(failure_rate=0.15, timeout_s=2.0),
+        )
+
+    def test_simulate_deterministic_across_runs(self):
+        ts = _timestamps()
+        config = BatchConfig(memory_mb=1024.0, batch_size=8, timeout=0.05)
+        a = simulate(ts, config, self._faulty_platform())
+        b = simulate(ts, config, self._faulty_platform())
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+        np.testing.assert_array_equal(a.batch_costs, b.batch_costs)
+        assert a.extra["retries"] == b.extra["retries"]
+        np.testing.assert_array_equal(
+            a.extra["request_failed"], b.extra["request_failed"]
+        )
+
+    def test_grid_matches_per_config_simulate(self):
+        """Grouped grid execution reproduces per-config simulate exactly;
+        each config draws from its own index-keyed generator, so grouping
+        by (B, T) tiers cannot perturb another config's faults."""
+        ts = _timestamps()
+        configs = [
+            BatchConfig(memory_mb=m, batch_size=b, timeout=0.05)
+            for m in (512.0, 1024.0, 2048.0) for b in (4, 8)
+        ]
+        platform = self._faulty_platform()
+        grid = simulate_grid(ts, configs, platform)
+        for i, config in enumerate(configs):
+            single = simulate(ts, config, platform, rng=platform.spawn_rng(i))
+            np.testing.assert_array_equal(grid[i].latencies, single.latencies)
+            np.testing.assert_array_equal(
+                grid[i].batch_costs, single.batch_costs
+            )
+        assert any(r.extra.get("retries", 0) > 0 for r in grid)
+
+    def test_harness_deterministic_across_runs(self):
+        trace = _trace()
+        chooser = _FixedChooser(
+            BatchConfig(memory_mb=1024.0, batch_size=8, timeout=0.05)
+        )
+        logs = [
+            run_experiment(trace, chooser, slo=0.1,
+                           platform=self._faulty_platform())
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(
+            logs[0].vcr_series(), logs[1].vcr_series()
+        )
+        np.testing.assert_array_equal(
+            logs[0].cost_series(), logs[1].cost_series()
+        )
+        assert logs[0].total_retries == logs[1].total_retries
+        assert logs[0].total_failed == logs[1].total_failed
+        assert logs[0].total_retries > 0
+
+    def test_labeling_independent_of_worker_count(self):
+        history = interarrivals(_trace().timestamps)
+        kwargs = dict(
+            n_samples=8, seq_len=32,
+            platform=self._faulty_platform(),
+            spec=TargetSpec(), seed=9,
+        )
+        serial = generate_dataset(history, workers=1, **kwargs)
+        parallel = generate_dataset(history, workers=3, **kwargs)
+        np.testing.assert_array_equal(serial.targets, parallel.targets)
+        np.testing.assert_array_equal(serial.sequences, parallel.sequences)

@@ -1,0 +1,281 @@
+"""Unit tests of the fault-injection layer (`repro.serverless.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro.serverless.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultModel,
+    RetryPolicy,
+    inject_faults,
+    rejecting_starts,
+)
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.pricing import LambdaPricing
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+pytestmark = pytest.mark.faults
+
+PRICING = LambdaPricing()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.1,
+                             multiplier=2.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.backoff(0, rng) == pytest.approx(0.1)
+        assert policy.backoff(1, rng) == pytest.approx(0.2)
+        assert policy.backoff(2, rng) == pytest.approx(0.4)
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(max_attempts=5, base_backoff_s=0.1,
+                             multiplier=1.0, jitter=0.5)
+        a = policy.backoff_matrix(100, np.random.default_rng(7))
+        b = policy.backoff_matrix(100, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+        assert np.all(a >= 0.1 - 1e-12) and np.all(a <= 0.15 + 1e-12)
+
+    def test_single_attempt_has_no_backoffs(self):
+        m = RetryPolicy(max_attempts=1).backoff_matrix(8, np.random.default_rng(0))
+        assert m.shape == (0, 8)
+
+
+class TestFaultModel:
+    def test_default_is_disabled(self):
+        assert not FaultModel().enabled
+
+    def test_any_knob_enables(self):
+        assert FaultModel(failure_rate=0.1).enabled
+        assert FaultModel(timeout_s=1.0).enabled
+        assert FaultModel(throttle_rejection=True).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(failure_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultModel(failure_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultModel(timeout_s=0.0)
+
+
+class TestInjectFaults:
+    def test_no_faults_no_changes(self):
+        d = np.array([0.1, 0.2, 0.3])
+        out = inject_faults(d, 1024.0, PRICING, FaultModel(failure_rate=0.0),
+                            DEFAULT_RETRY_POLICY, np.random.default_rng(0))
+        np.testing.assert_array_equal(out.attempts, [1, 1, 1])
+        assert not out.failed.any()
+        np.testing.assert_allclose(out.fault_delays, 0.0)
+        np.testing.assert_allclose(
+            out.costs, PRICING.invocation_cost(1024.0, d)
+        )
+
+    def test_deterministic_given_seed(self):
+        d = np.full(200, 0.1)
+        model = FaultModel(failure_rate=0.3)
+        a = inject_faults(d, 1024.0, PRICING, model, DEFAULT_RETRY_POLICY,
+                          np.random.default_rng(3))
+        b = inject_faults(d, 1024.0, PRICING, model, DEFAULT_RETRY_POLICY,
+                          np.random.default_rng(3))
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+        np.testing.assert_array_equal(a.failed, b.failed)
+        np.testing.assert_array_equal(a.fault_delays, b.fault_delays)
+        np.testing.assert_array_equal(a.costs, b.costs)
+
+    def test_retries_add_latency_and_cost(self):
+        d = np.full(500, 0.1)
+        model = FaultModel(failure_rate=0.4)
+        out = inject_faults(d, 1024.0, PRICING, model, DEFAULT_RETRY_POLICY,
+                            np.random.default_rng(1))
+        retried = out.attempts > 1
+        assert retried.any()
+        clean_cost = float(np.asarray(PRICING.invocation_cost(1024.0, 0.1)))
+        # Every retried batch paid at least one extra run + one backoff.
+        assert np.all(out.fault_delays[retried] >= 0.1 + 0.05 - 1e-12)
+        assert np.all(out.costs[retried] >= 2 * clean_cost - 1e-15)
+        # Clean batches are untouched.
+        np.testing.assert_allclose(out.fault_delays[~retried], 0.0)
+        np.testing.assert_allclose(out.costs[~retried], clean_cost)
+
+    def test_timeout_is_deterministic_in_duration(self):
+        # Durations 0.05 and 0.3 against a 0.1 s limit: only the long one
+        # times out — every attempt, so it exhausts retries and fails.
+        d = np.array([0.05, 0.3])
+        model = FaultModel(timeout_s=0.1)
+        retry = RetryPolicy(max_attempts=3, base_backoff_s=0.01, jitter=0.0)
+        out = inject_faults(d, 1024.0, PRICING, model, retry,
+                            np.random.default_rng(0))
+        np.testing.assert_array_equal(out.timed_out, [False, True])
+        np.testing.assert_array_equal(out.attempts, [1, 3])
+        np.testing.assert_array_equal(out.failed, [False, True])
+        # Timed-out attempts run (and bill) the 0.1 s cut, not the full 0.3.
+        # extra = 3 runs of 0.1 + backoffs (0.01 + 0.02) - clean 0.3.
+        assert out.fault_delays[1] == pytest.approx(0.03)
+        cut = float(np.asarray(PRICING.invocation_cost(1024.0, 0.1)))
+        assert out.costs[1] == pytest.approx(3 * cut)
+
+    def test_failed_batches_exhaust_attempts(self):
+        d = np.full(2000, 0.1)
+        model = FaultModel(failure_rate=0.5)
+        out = inject_faults(d, 1024.0, PRICING, model,
+                            RetryPolicy(max_attempts=2),
+                            np.random.default_rng(5))
+        assert out.failed.any()
+        np.testing.assert_array_equal(out.attempts[out.failed], 2)
+        # ~25% of batches fail both attempts at rate 0.5.
+        assert 0.15 < out.failed.mean() < 0.35
+
+    def test_rng_consumption_is_outcome_independent(self):
+        """The fault layer draws a fixed number of samples, so downstream
+        consumers of the same generator see the same stream regardless of
+        fault outcomes."""
+        d = np.full(50, 0.1)
+        for rate in (0.01, 0.9):
+            rng = np.random.default_rng(9)
+            inject_faults(d, 1024.0, PRICING, FaultModel(failure_rate=rate),
+                          DEFAULT_RETRY_POLICY, rng)
+            after = rng.random()
+            rng2 = np.random.default_rng(9)
+            rng2.random((3, 50))  # failure table
+            rng2.random((2, 50))  # jitter matrix
+            assert after == rng2.random()
+
+
+class TestRejectingStarts:
+    def test_no_contention_no_rejections(self):
+        starts, rejections = rejecting_starts(
+            np.array([0.0, 10.0]), np.array([1.0, 1.0]), 2,
+            DEFAULT_RETRY_POLICY, np.random.default_rng(0),
+        )
+        np.testing.assert_array_equal(starts, [0.0, 10.0])
+        np.testing.assert_array_equal(rejections, 0)
+
+    def test_contention_rejects_then_backs_off(self):
+        retry = RetryPolicy(max_attempts=3, base_backoff_s=0.5,
+                            multiplier=2.0, jitter=0.0)
+        # One slot busy until t=10; the second invocation at t=0 is
+        # rejected twice (0.5 + 1.0 backoff) then queues until 10.
+        starts, rejections = rejecting_starts(
+            np.array([0.0, 0.0]), np.array([10.0, 1.0]), 1, retry,
+            np.random.default_rng(0),
+        )
+        assert starts[0] == 0.0
+        assert rejections[1] == 2
+        assert starts[1] == pytest.approx(10.0)
+
+    def test_backoff_can_clear_the_throttle(self):
+        retry = RetryPolicy(max_attempts=3, base_backoff_s=0.5,
+                            multiplier=2.0, jitter=0.0)
+        # Slot frees at 0.4: the first backoff (0.5) already clears it, so
+        # the invocation starts at its own retry time, not the queue time.
+        starts, rejections = rejecting_starts(
+            np.array([0.0, 0.0]), np.array([0.4, 1.0]), 1, retry,
+            np.random.default_rng(0),
+        )
+        assert rejections[1] == 1
+        assert starts[1] == pytest.approx(0.5)
+
+
+class TestPlatformFaultPath:
+    def test_disabled_model_is_bit_identical(self):
+        """An attached-but-disabled FaultModel must not change anything."""
+        dispatch = np.linspace(0.0, 1.0, 50)
+        sizes = np.full(50, 4)
+        base = ServerlessPlatform(seed=0)
+        guarded = ServerlessPlatform(seed=0, faults=FaultModel(),
+                                     retry_policy=RetryPolicy(max_attempts=5))
+        a = base.execute_batches(dispatch, sizes, 1024.0)
+        b = guarded.execute_batches(dispatch, sizes, 1024.0)
+        np.testing.assert_array_equal(a.start_times, b.start_times)
+        np.testing.assert_array_equal(a.costs, b.costs)
+        np.testing.assert_array_equal(a.completion_times, b.completion_times)
+        assert b.attempts is None and b.failed is None
+
+    def test_faulty_execution_accounts_everything(self):
+        plat = ServerlessPlatform(seed=0, faults=FaultModel(failure_rate=0.3))
+        dispatch = np.linspace(0.0, 1.0, 200)
+        sizes = np.full(200, 4)
+        ex = plat.execute_batches(dispatch, sizes, 1024.0)
+        assert ex.attempts is not None
+        assert ex.n_retries > 0
+        assert np.all(ex.fault_delays >= 0.0)
+        clean = ServerlessPlatform(seed=0).execute_batches(dispatch, sizes, 1024.0)
+        assert ex.total_cost > clean.total_cost
+        assert np.all(ex.completion_times >= clean.completion_times - 1e-12)
+        assert ex.n_failed_requests == int(ex.batch_sizes[ex.failed].sum())
+
+    def test_faulty_execution_deterministic_across_runs(self):
+        def run():
+            plat = ServerlessPlatform(
+                seed=42, faults=FaultModel(failure_rate=0.2, timeout_s=0.5)
+            )
+            return plat.execute_batches(
+                np.linspace(0, 1, 100), np.full(100, 8), 512.0
+            )
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+        np.testing.assert_array_equal(a.costs, b.costs)
+        np.testing.assert_array_equal(a.completion_times, b.completion_times)
+
+    def test_grid_matches_per_config_execution(self):
+        """Fault draws come from per-tier generators, so the grid path must
+        reproduce the single-config path exactly."""
+        plat = ServerlessPlatform(seed=7, faults=FaultModel(failure_rate=0.25))
+        dispatch = np.linspace(0.0, 2.0, 80)
+        sizes = np.full(80, 4)
+        mems = [512.0, 1024.0, 2048.0]
+        rngs = [plat.spawn_rng(i) for i in range(len(mems))]
+        grid = plat.execute_batches_grid(dispatch, sizes, mems, rngs=rngs)
+        for k, m in enumerate(mems):
+            single = plat.execute_batches(
+                dispatch, sizes, m, rng=plat.spawn_rng(k)
+            )
+            np.testing.assert_array_equal(grid[k].attempts, single.attempts)
+            np.testing.assert_array_equal(grid[k].costs, single.costs)
+            np.testing.assert_array_equal(
+                grid[k].completion_times, single.completion_times
+            )
+
+    def test_throttle_rejection_mode(self):
+        plat = ServerlessPlatform(
+            seed=0,
+            concurrency_limit=2,
+            faults=FaultModel(throttle_rejection=True),
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff_s=0.02),
+        )
+        # A burst of simultaneous dispatches overwhelms 2 slots.
+        dispatch = np.zeros(10)
+        sizes = np.full(10, 4)
+        ex = plat.execute_batches(dispatch, sizes, 1024.0)
+        assert ex.throttle_retries is not None
+        assert ex.n_throttle_retries > 0
+        # Rejected-then-retried invocations start strictly later.
+        assert np.any(ex.start_times > 0.0)
+
+    def test_fault_telemetry(self):
+        plat = ServerlessPlatform(seed=0, faults=FaultModel(failure_rate=0.3))
+        with use_registry(MetricsRegistry()) as reg:
+            plat.execute_batches(np.linspace(0, 1, 100), np.full(100, 4), 1024.0)
+        assert reg.counter("fault.attempts").value >= 100
+        assert reg.counter("fault.retries").value > 0
+        kinds = [e.kind for _, e in reg.events]
+        assert "retry" in kinds
+
+    def test_no_fault_telemetry_when_disabled(self):
+        plat = ServerlessPlatform(seed=0)
+        with use_registry(MetricsRegistry()) as reg:
+            plat.execute_batches(np.linspace(0, 1, 50), np.full(50, 4), 1024.0)
+        assert reg.counter("fault.attempts").value == 0
+        assert not any(e.kind == "retry" for _, e in reg.events)

@@ -113,3 +113,56 @@ class TestPerformanceSection:
 
     def test_absent_without_perf_metrics(self):
         assert "performance" not in render_dashboard(populated_registry())
+
+
+class TestResilienceSection:
+    def test_renders_fault_counters(self):
+        from repro.telemetry.events import RetryEvent
+
+        reg = MetricsRegistry()
+        reg.counter("fault.attempts").inc(120)
+        reg.counter("fault.retries").inc(20)
+        reg.counter("fault.timeouts").inc(3)
+        reg.counter("fault.failed_batches").inc(2)
+        reg.counter("fault.failed_requests").inc(9)
+        reg.counter("fault.degraded_decisions").inc(1)
+        reg.record_event(RetryEvent(
+            memory_mb=1024.0, batches=100, retries=20, timeouts=3,
+            failed_batches=2, failed_requests=9, throttle_retries=0,
+        ))
+        text = render_dashboard(reg)
+        assert "resilience" in text
+        assert "invocation attempts" in text
+        assert "invocation retries" in text
+        assert "timed-out batches" in text
+        assert "failed requests" in text
+        assert "degraded decisions" in text
+        assert "fault-injected executions" in text
+
+    def test_absent_on_fault_free_dumps(self):
+        assert "resilience" not in render_dashboard(populated_registry())
+
+    def test_retry_event_round_trips(self, tmp_path):
+        from repro.telemetry.events import RetryEvent, event_from_record
+
+        reg = MetricsRegistry()
+        event = RetryEvent(memory_mb=512.0, batches=10, retries=4, timeouts=1,
+                           failed_batches=1, failed_requests=8,
+                           throttle_retries=2)
+        reg.record_event(event)
+        path = tmp_path / "retry.jsonl"
+        write_jsonl(reg, path)
+        rebuilt = [event_from_record(r) for r in read_jsonl(path)
+                   if r["type"] == "event"]
+        assert rebuilt == [event]
+
+    def test_segment_degraded_sum_without_counter(self):
+        reg = MetricsRegistry()
+        reg.record_event(SegmentEvent(
+            segment=1, n_requests=900, p95=0.09, cost_per_request=2e-6,
+            vcr=3.0, mean_decision_time=0.002, slo=0.1, controller="deepbat",
+            retries=5, failed_requests=2, degraded_decisions=3,
+        ))
+        reg.counter("fault.attempts").inc(10)  # opens the section
+        text = render_dashboard(reg)
+        assert "degraded decisions" in text

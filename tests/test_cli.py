@@ -121,6 +121,75 @@ class TestEvaluateCommand:
         assert "telemetry records" not in capsys.readouterr().out
 
 
+@pytest.mark.faults
+class TestEvaluateFaultFlags:
+    def test_fault_rate_adds_resilience_columns(self, trace_path, model_path,
+                                                capsys):
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:3",
+                   "--controllers", "deepbat", "--update-every", "2000",
+                   "--fault-rate", "0.2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "retries" in out and "failed" in out and "degraded" in out
+
+    def test_no_faults_no_resilience_columns(self, trace_path, model_path,
+                                             capsys):
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:2",
+                   "--controllers", "deepbat", "--update-every", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "retries" not in out and "degraded" not in out
+
+    def test_fault_run_deterministic(self, trace_path, model_path, capsys):
+        # Compare only simulation-derived columns: "decision ms" is
+        # wall-clock and legitimately varies between runs.
+        def run():
+            rc = main(["evaluate", "--model", str(model_path),
+                       "--trace", str(trace_path), "--segments", "1:3",
+                       "--controllers", "deepbat", "--update-every", "2000",
+                       "--fault-rate", "0.25", "--seed", "7"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            row = next(line for line in out.splitlines()
+                       if line.strip().startswith("deepbat"))
+            cells = [c.strip() for c in row.split("|")]
+            del cells[4]  # decision ms
+            return cells
+
+        assert run() == run()
+
+    def test_fault_telemetry_has_resilience_section(self, trace_path,
+                                                    model_path, tmp_path,
+                                                    capsys):
+        dump = tmp_path / "faulty.jsonl"
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:3",
+                   "--controllers", "deepbat", "--update-every", "2000",
+                   "--fault-rate", "0.2", "--telemetry", str(dump)])
+        assert rc == 0
+        capsys.readouterr()
+        records = read_jsonl(dump)
+        names = {r["name"] for r in records if r["type"] == "counter"}
+        assert "fault.retries" in names
+        rc = main(["report", str(dump)])
+        assert rc == 0
+        assert "resilience" in capsys.readouterr().out
+
+    def test_invalid_fault_rate(self, trace_path, model_path):
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:2",
+                   "--fault-rate", "1.5"])
+        assert rc == 2
+
+    def test_invalid_retries(self, trace_path, model_path):
+        rc = main(["evaluate", "--model", str(model_path),
+                   "--trace", str(trace_path), "--segments", "1:2",
+                   "--fault-rate", "0.1", "--retries", "0"])
+        assert rc == 2
+
+
 class TestReportCommand:
     def test_renders_dashboard(self, trace_path, model_path, tmp_path, capsys):
         dump = tmp_path / "telemetry.jsonl"
