@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-faults bench-smoke bench bench-perf lint
+.PHONY: test test-faults test-serving bench-smoke bench bench-perf lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
@@ -13,6 +13,10 @@ test:
 ## Fault-injection, retry, and degraded-mode serving tests only.
 test-faults:
 	$(PYTEST) -q -m faults
+
+## Serving-runtime tests only (engine, warm pool, drift triggers).
+test-serving:
+	$(PYTEST) -q -m serving
 
 ## Quick benchmark sanity check: the §IV-F decision-time speedup table.
 ## First run trains the shared workbench models; later runs load the cache.

@@ -52,17 +52,35 @@ class BatchingBuffer:
         self._last_time = -np.inf
 
     # ------------------------------------------------------------- plumbing
-    def reconfigure(self, config: BatchConfig) -> None:
+    def reconfigure(self, config: BatchConfig, now: float | None = None) -> list[Batch]:
         """Switch (M, B, T) online — the controller's step ③ in Fig. 2.
 
-        Pending requests stay buffered and are judged against the new
-        parameters at the next poll.
+        With ``now`` given, batches that are due *under the new parameters*
+        dispatch immediately and are returned: shrinking ``B`` below the
+        pending count releases full batches of the new size (stamped
+        ``now`` — they leave the moment the reconfiguration lands), and
+        shortening ``T`` past an already-elapsed wait fires the timeout
+        (stamped at the new deadline, capped below by no request's own
+        arrival). Without ``now`` (the historical signature) pending
+        requests stay buffered and are judged at the next poll.
         """
         self.config = config
+        if now is None:
+            return []
+        out = self.poll(now)
+        while len(self._pending_idx) >= self.config.batch_size:
+            out.append(self._dispatch(now))
+        return out
 
     @property
     def pending(self) -> int:
         return len(self._pending_idx)
+
+    def next_deadline(self) -> float | None:
+        """When the oldest pending request times out (``None`` if empty)."""
+        if not self._pending_times:
+            return None
+        return self._pending_times[0] + self.config.timeout
 
     # ----------------------------------------------------------------- flow
     def observe(self, arrival_time: float) -> list[Batch]:

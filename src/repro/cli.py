@@ -9,6 +9,9 @@ Subcommands cover the full workflow without writing Python:
   (``--telemetry PATH`` additionally dumps spans/metrics/events as JSONL;
   ``--fault-rate``/``--fault-timeout``/``--retries`` inject seeded
   platform faults and report retries/failures/degraded decisions);
+* ``serve``    — live serving loop (:mod:`repro.serving`): warm-pool
+  keep-alive, deploy lag, admission control, periodic and drift-triggered
+  re-decisions; earlier segments warm up the controller history;
 * ``report``   — render the ASCII telemetry dashboard from such a dump.
 """
 
@@ -97,6 +100,52 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max invocation attempts under faults (>= 1)")
     p_eval.add_argument("--seed", type=int, default=0,
                         help="platform seed for deterministic fault draws")
+
+    p_srv = sub.add_parser("serve", help="live serving loop over a trace")
+    p_srv.add_argument("--trace", required=True, help="trace .npz path")
+    p_srv.add_argument("--chooser", choices=["deepbat", "batch", "static"],
+                       default="static")
+    p_srv.add_argument("--model", help="surrogate checkpoint (deepbat only)")
+    p_srv.add_argument("--slo", type=float, default=0.1)
+    p_srv.add_argument("--start-segment", type=int, default=1,
+                       help="serve from this segment on; earlier segments "
+                            "seed the controller history and drift envelope")
+    p_srv.add_argument("--memory", type=float, default=2048.0,
+                       help="initial (and static-chooser) memory tier MB")
+    p_srv.add_argument("--batch-size", type=int, default=8)
+    p_srv.add_argument("--timeout", type=float, default=0.05)
+    p_srv.add_argument("--keep-alive", type=float, default=600.0,
+                       help="container keep-alive window in seconds")
+    p_srv.add_argument("--max-containers", type=int, default=None,
+                       help="warm-pool size cap (default: unbounded)")
+    p_srv.add_argument("--queue-limit", type=int, default=None,
+                       help="batches allowed to queue for a container; "
+                            "beyond it requests are shed (default: unbounded)")
+    p_srv.add_argument("--deploy-delay", type=float, default=2.0,
+                       help="seconds before a new (M,B,T) takes effect")
+    p_srv.add_argument("--decision-interval", type=float, default=None,
+                       help="periodic re-decision interval (default: the "
+                            "trace's segment duration)")
+    p_srv.add_argument("--drift", action="store_true",
+                       help="fit a workload-drift detector on the warmup "
+                            "segments and trigger out-of-band decisions")
+    p_srv.add_argument("--drift-window", type=int, default=64)
+    p_srv.add_argument("--retrain-delay", type=float, default=None,
+                       help="schedule a detector refit this long after each "
+                            "drift trigger (default: no retraining)")
+    p_srv.add_argument("--cold-starts", action="store_true",
+                       help="attach the cold-start model (provisioning "
+                            "delays on cold containers)")
+    p_srv.add_argument("--fault-rate", type=float, default=0.0,
+                       help="per-attempt invocation failure probability")
+    p_srv.add_argument("--fault-timeout", type=float, default=None,
+                       help="invocation timeout in seconds")
+    p_srv.add_argument("--retries", type=int, default=3,
+                       help="max invocation attempts under faults (>= 1)")
+    p_srv.add_argument("--seed", type=int, default=0,
+                       help="platform seed for deterministic fault draws")
+    p_srv.add_argument("--telemetry", metavar="PATH",
+                       help="collect telemetry and dump it as JSONL here")
 
     p_rep = sub.add_parser("report", help="render a telemetry dashboard")
     p_rep.add_argument("path", help="JSONL dump written by evaluate --telemetry")
@@ -250,6 +299,129 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.batching.config import BatchConfig
+    from repro.core.drift import WorkloadDriftDetector
+    from repro.serverless.service_profile import ColdStartModel
+    from repro.serving import ServingEngine, WarmPoolConfig
+
+    if args.telemetry:
+        try:
+            with open(args.telemetry, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write {args.telemetry}: {exc}", file=sys.stderr)
+            return 2
+    if not 0.0 <= args.fault_rate < 1.0:
+        print("error: --fault-rate must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.retries < 1:
+        print("error: --retries must be >= 1", file=sys.stderr)
+        return 2
+    trace = load_trace(args.trace)
+    if not 0 <= args.start_segment < trace.n_segments:
+        print("error: --start-segment out of range", file=sys.stderr)
+        return 2
+    cut = args.start_segment * trace.segment_duration
+    at = int(np.searchsorted(trace.timestamps, cut))
+    history, serve_ts = trace.timestamps[:at], trace.timestamps[at:]
+    if serve_ts.size == 0:
+        print("error: nothing to serve after --start-segment", file=sys.stderr)
+        return 2
+
+    faulty = args.fault_rate > 0.0 or args.fault_timeout is not None
+    platform = ServerlessPlatform(
+        seed=args.seed,
+        cold_start=ColdStartModel() if args.cold_starts else None,
+        faults=(FaultModel(failure_rate=args.fault_rate,
+                           timeout_s=args.fault_timeout) if faulty else None),
+        retry_policy=RetryPolicy(max_attempts=args.retries),
+    )
+    config = BatchConfig(memory_mb=args.memory, batch_size=args.batch_size,
+                         timeout=args.timeout)
+    chooser = None
+    if args.chooser == "deepbat":
+        if not args.model:
+            print("error: --model is required for --chooser deepbat",
+                  file=sys.stderr)
+            return 2
+        chooser = DeepBATController(load_trained(args.model),
+                                    configs=config_grid())
+    elif args.chooser == "batch":
+        chooser = BATCHController(configs=config_grid(),
+                                  profile=platform.profile,
+                                  pricing=platform.pricing)
+    warmup = interarrivals(history)
+    if chooser is not None and warmup.size >= 32:
+        # Deploy the controller's pick for the warmup traffic, so the run
+        # starts from a considered configuration rather than the defaults.
+        config = chooser.choose(warmup, args.slo).config
+    detector = None
+    if args.drift:
+        detector = WorkloadDriftDetector()
+        try:
+            detector.fit(warmup, args.drift_window)
+        except ValueError as exc:
+            print(f"warning: drift detector disabled ({exc})", file=sys.stderr)
+            detector = None
+
+    engine = ServingEngine(
+        config,
+        platform=platform,
+        chooser=chooser,
+        slo=args.slo,
+        pool=WarmPoolConfig(keep_alive_s=args.keep_alive,
+                            max_containers=args.max_containers,
+                            max_queued_batches=args.queue_limit),
+        deploy_delay_s=args.deploy_delay,
+        decision_interval_s=(
+            (args.decision_interval or trace.segment_duration)
+            if chooser is not None else None
+        ),
+        drift_detector=detector,
+        drift_window=args.drift_window,
+        retrain_delay_s=args.retrain_delay,
+    )
+    registry = MetricsRegistry() if args.telemetry else None
+    scope = use_registry(registry) if registry is not None else contextlib.nullcontext()
+    with scope:
+        log = engine.run(serve_ts, name=f"serve-{args.chooser}",
+                         trace_name=trace.name, history=history)
+
+    rows = [
+        ["initial config", f"({config.memory_mb:g} MB, B={config.batch_size}, "
+                           f"T={config.timeout:g}s)"],
+        ["requests", log.n_requests],
+        ["served", log.n_served],
+        ["shed", f"{log.n_shed} ({100.0 * log.shed_rate:.1f}%)"],
+        ["batches", log.batch_sizes.size],
+        ["p95 latency ms", f"{log.p(95.0) * 1e3:.1f}"],
+        ["VCR %", f"{log.vcr():.1f}"],
+        ["cost $/1M req", f"{log.cost_per_request * 1e6:.4f}"],
+        ["cold-start rate", f"{100.0 * log.cold_start_rate:.1f}%"],
+        ["decisions", f"{len(log.decisions)} "
+                      f"({log.degraded_decisions} degraded)"],
+        ["reconfigurations", log.reconfigurations],
+        ["drift triggers", f"{log.drift_triggers} workload, "
+                           f"{log.prediction_drift_triggers} prediction"],
+        ["retrains", log.retrains],
+    ]
+    if faulty:
+        rows += [["invocation retries", log.n_retries],
+                 ["failed requests", log.n_failed]]
+    print(format_table(
+        ["serving metric", "value"],
+        rows,
+        title=f"{trace.name}: served segments {args.start_segment}:"
+              f"{trace.n_segments}, SLO {args.slo * 1e3:.0f} ms "
+              f"({args.chooser})",
+    ))
+    if registry is not None:
+        n = write_jsonl(registry, args.telemetry)
+        print(f"wrote {n} telemetry records to {args.telemetry}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     try:
         records = read_jsonl(args.path)
@@ -269,6 +441,7 @@ def main(argv: list[str] | None = None) -> int:
             "train": _cmd_train,
             "optimize": _cmd_optimize,
             "evaluate": _cmd_evaluate,
+            "serve": _cmd_serve,
             "report": _cmd_report,
         }[args.command](args)
     except BrokenPipeError:

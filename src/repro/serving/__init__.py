@@ -1,0 +1,24 @@
+"""Live serving runtime: a deterministic discrete-event engine.
+
+:mod:`repro.serving` drives the repo's existing components — the online
+:class:`~repro.batching.buffer.BatchingBuffer`, the
+:class:`~repro.serverless.platform.ServerlessPlatform` (faults included),
+and any ``Chooser`` — as one live system with warm-pool keep-alive, deploy
+lag, admission control, and drift-triggered re-decisions. With all of those
+turned off it reproduces :func:`repro.batching.simulator.simulate`
+bit-for-bit; see :mod:`repro.serving.engine`.
+"""
+
+from repro.serving.engine import ServingEngine
+from repro.serving.log import ServingDecision, ServingLog
+from repro.serving.pool import Lease, PoolStats, WarmPool, WarmPoolConfig
+
+__all__ = [
+    "Lease",
+    "PoolStats",
+    "ServingDecision",
+    "ServingEngine",
+    "ServingLog",
+    "WarmPool",
+    "WarmPoolConfig",
+]

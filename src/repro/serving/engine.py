@@ -1,0 +1,558 @@
+"""The discrete-event serving runtime (`repro serve`).
+
+Everything else in the repo replays *fixed* segments offline; this engine
+runs the same components — :class:`BatchingBuffer`,
+:class:`ServerlessPlatform`, any ``Chooser`` — as a **live system** in which
+arrivals, batch timeouts, invocation completions, controller decisions, and
+reconfigurations interleave in simulated time on one event heap:
+
+========================  ====================================================
+event                     what happens
+========================  ====================================================
+``Arrival``               a request enters the buffer; may release batches
+``BatchDispatch``         a buffer timeout fires (the (B, T) policy's timer)
+``Completion``            an invocation finishes; its container goes warm and
+                          the head of the admission queue starts
+``DecisionTick``          the controller re-optimizes (periodic or
+                          drift-triggered)
+``Reconfigure``           a decided ``(M, B, T)`` takes effect after the
+                          deploy lag; in-flight batches finish under the old
+                          configuration
+``RetrainComplete``       a drift-triggered fine-tune lands; the drift
+                          envelope is refit on recent traffic
+========================  ====================================================
+
+The engine adds the state the offline path cannot express — a warm-pool
+keep-alive model (:mod:`repro.serving.pool`), reconfiguration lag, and
+admission control — while keeping the **equivalence property** that anchors
+its correctness: with a static configuration, infinite keep-alive, zero
+deploy lag, and no shedding, per-request latencies and per-batch costs match
+:func:`repro.batching.simulator.simulate` bit-for-bit (with and without a
+concurrency limit). The offline simulator is a special case of the runtime.
+
+Determinism: the heap orders events by ``(time, priority, sequence)``; the
+pool draws no randomness; fault draws use one fixed-draw-count child
+generator per dispatched batch (``platform.spawn_rng(batch_index)``, the
+discipline of :mod:`repro.serverless.faults`), so two runs with the same
+seed produce identical event traces and :class:`ServingLog`\\ s.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Callable
+
+import numpy as np
+
+from repro.batching.buffer import Batch, BatchingBuffer
+from repro.batching.config import BatchConfig
+from repro.core.drift import WorkloadDriftDetector, prediction_drift
+from repro.core.types import Decision
+from repro.evaluation.harness import Chooser, _resolve_sequence_length
+from repro.serverless.faults import inject_faults
+from repro.serverless.platform import ServerlessPlatform
+from repro.serving.log import ServingDecision, ServingLog
+from repro.serving.pool import WarmPool, WarmPoolConfig
+from repro.telemetry.events import DriftEvent, ReconfigureEvent, ShedEvent
+from repro.telemetry.metrics import get_registry
+from repro.utils.validation import check_sorted
+
+# Heap tie-break priorities: completions free containers before anything
+# else at the same instant; reconfigurations land before the arrivals of
+# that instant; arrivals join a batch whose deadline falls on their own
+# timestamp (closed-interval semantics), so they precede the timer.
+_P_COMPLETION = 0
+_P_RECONFIGURE = 1
+_P_ARRIVAL = 2
+_P_TIMER = 3
+_P_DECISION = 4
+_P_RETRAIN = 5
+
+
+class ServingEngine:
+    """Seeded, deterministic online serving loop over an arrival stream.
+
+    Parameters
+    ----------
+    config:
+        The initial ``(M, B, T)`` deployment.
+    platform:
+        Service-time, pricing, cold-start, and fault models. The platform's
+        ``concurrency_limit`` becomes the pool's ``max_containers`` default;
+        its queueing throttle itself is *not* used — the warm pool is the
+        concurrency model here.
+    chooser:
+        Optional controller re-deciding at ``decision_interval_s`` and on
+        drift triggers; ``None`` serves the static ``config`` forever.
+    pool:
+        Warm-pool keep-alive and admission parameters. The default is the
+        offline simulator's implicit platform: infinite keep-alive,
+        ``max_containers`` from the platform's concurrency limit, unbounded
+        queueing (no shedding).
+    deploy_delay_s:
+        Lag between a decision and the new configuration taking effect.
+    drift_detector:
+        Fitted :class:`WorkloadDriftDetector`; when a live window falls
+        outside the training envelope, an out-of-band ``DecisionTick``
+        fires (§III-D's OOD trigger, run against live traffic).
+    prediction_baseline_error:
+        Enables the second §III-D trigger via :func:`prediction_drift`:
+        when the relative error between the active decision's predicted p95
+        and the observed p95 exceeds ``prediction_tolerance ×`` this
+        baseline, the controller re-decides. ``None`` disables it.
+    retrain_delay_s:
+        With a value set, each drift trigger also schedules a
+        ``RetrainComplete`` after this long; on completion the drift
+        envelope is refit on recent traffic and ``on_retrain`` is called.
+    """
+
+    def __init__(
+        self,
+        config: BatchConfig,
+        platform: ServerlessPlatform | None = None,
+        chooser: Chooser | None = None,
+        slo: float = 0.1,
+        pool: WarmPoolConfig | None = None,
+        deploy_delay_s: float = 0.0,
+        decision_interval_s: float | None = None,
+        history_tail: int = 4096,
+        min_history: int = 32,
+        drift_detector: WorkloadDriftDetector | None = None,
+        drift_window: int = 64,
+        drift_check_every: int = 32,
+        drift_cooldown_s: float = 30.0,
+        retrain_delay_s: float | None = None,
+        on_retrain: Callable[[np.ndarray], None] | None = None,
+        prediction_baseline_error: float | None = None,
+        prediction_tolerance: float = 2.0,
+        prediction_min_samples: int = 64,
+        sequence_length: int | None = None,
+    ) -> None:
+        if slo <= 0:
+            raise ValueError(f"slo must be > 0, got {slo}")
+        if deploy_delay_s < 0:
+            raise ValueError(f"deploy_delay_s must be >= 0, got {deploy_delay_s}")
+        if decision_interval_s is not None and decision_interval_s <= 0:
+            raise ValueError("decision_interval_s must be > 0 or None")
+        if history_tail < 1:
+            raise ValueError(f"history_tail must be >= 1, got {history_tail}")
+        if drift_window < 2:
+            raise ValueError(f"drift_window must be >= 2, got {drift_window}")
+        if drift_check_every < 1:
+            raise ValueError("drift_check_every must be >= 1")
+        if retrain_delay_s is not None and retrain_delay_s < 0:
+            raise ValueError("retrain_delay_s must be >= 0 or None")
+        self.initial_config = config
+        self.platform = platform if platform is not None else ServerlessPlatform()
+        self.chooser = chooser
+        self.slo = slo
+        self.pool_config = (
+            pool
+            if pool is not None
+            else WarmPoolConfig(max_containers=self.platform.concurrency_limit)
+        )
+        self.deploy_delay_s = deploy_delay_s
+        self.decision_interval_s = decision_interval_s
+        self.history_tail = history_tail
+        self.min_history = min_history
+        self.drift_detector = drift_detector
+        self.drift_window = drift_window
+        self.drift_check_every = drift_check_every
+        self.drift_cooldown_s = drift_cooldown_s
+        self.retrain_delay_s = retrain_delay_s
+        self.on_retrain = on_retrain
+        self.prediction_baseline_error = prediction_baseline_error
+        self.prediction_tolerance = prediction_tolerance
+        self.prediction_min_samples = prediction_min_samples
+        self.sequence_length = _resolve_sequence_length(chooser, sequence_length)
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        timestamps: np.ndarray,
+        name: str = "serving",
+        trace_name: str = "trace",
+        history: np.ndarray | None = None,
+        record_trace: bool = False,
+    ) -> ServingLog:
+        """Serve ``timestamps`` (absolute, sorted) and return the log.
+
+        ``history`` optionally supplies earlier arrival timestamps that seed
+        the controller's observation window and the drift detector's live
+        window without being served themselves.
+        """
+        ts = check_sorted(np.asarray(timestamps, dtype=float), "timestamps")
+        n = ts.size
+        registry = get_registry()
+
+        # Mutable run state (fresh per run, so one engine can run repeatedly).
+        buffer = BatchingBuffer(self.initial_config)
+        pool = WarmPool(self.pool_config, self.platform.cold_start)
+        heap: list[tuple] = []
+        seq = 0
+        queue: deque[Batch] = deque()
+        timers: set[float] = set()
+        recent_ts: deque[float] = deque(maxlen=self.history_tail + 1)
+        if history is not None:
+            for t in np.asarray(history, dtype=float)[-(self.history_tail + 1):]:
+                recent_ts.append(float(t))
+        active = self.initial_config
+        target = self.initial_config
+        reconfig_gen = 0
+        arrivals_seen = 0
+        cooldown_until = -np.inf
+        retrain_pending = False
+        pred_p95: float | None = None
+        recent_latencies: list[float] = []
+
+        latencies = np.full(n, np.nan)
+        shed = np.zeros(n, dtype=bool)
+        failed = np.zeros(n, dtype=bool)
+        b_dispatch: list[float] = []
+        b_start: list[float] = []
+        b_size: list[int] = []
+        b_cost: list[float] = []
+        b_cold: list[bool] = []
+        b_memory: list[float] = []
+        b_retries: list[int] = []
+        decisions: list[ServingDecision] = []
+        trace: list[tuple] | None = [] if record_trace else None
+        counters = {
+            "reconfigurations": 0, "drift": 0, "pred_drift": 0,
+            "retrains": 0, "shed_batches": 0, "n_retries": 0, "n_failed": 0,
+        }
+
+        def push(time: float, priority: int, kind: str, payload) -> None:
+            nonlocal seq
+            heappush(heap, (time, priority, seq, kind, payload))
+            seq += 1
+
+        def arm_timer() -> None:
+            # After any observe/poll/reconfigure the head deadline is
+            # strictly in the future, so a timer armed here never fires
+            # late; the set dedupes repeat arming of the same deadline.
+            deadline = buffer.next_deadline()
+            if deadline is not None and deadline not in timers:
+                timers.add(deadline)
+                push(deadline, _P_TIMER, "timer", deadline)
+
+        def start_batch(batch: Batch, memory_mb: float, cold_delay: float,
+                        cold: bool, container_id: int, start: float) -> None:
+            size = batch.size
+            service = float(self.platform.profile.service_time(memory_mb, size))
+            duration = cold_delay + service
+            if self.platform.faults_active:
+                # Fixed-draw-count child generator per dispatched batch:
+                # randomness is a function of the batch index, never of
+                # event interleaving (repro.serverless.faults discipline).
+                rng = self.platform.spawn_rng(len(b_dispatch))
+                outcome = inject_faults(
+                    np.asarray([duration]), memory_mb, self.platform.pricing,
+                    self.platform.faults, self.platform.retry_policy, rng,
+                )
+                fault_delay = float(outcome.fault_delays[0])
+                cost = float(outcome.costs[0])
+                retries = int(outcome.attempts[0]) - 1
+                batch_failed = bool(outcome.failed[0])
+            else:
+                fault_delay = 0.0
+                cost = float(
+                    self.platform.pricing.invocation_cost(memory_mb, duration)
+                )
+                retries = 0
+                batch_failed = False
+            # Same association as BatchExecution.completion_times, so the
+            # static-config equivalence is bitwise, not merely close.
+            completion = start + cold_delay + service + fault_delay
+            b_dispatch.append(batch.dispatch_time)
+            b_start.append(start)
+            b_size.append(size)
+            b_cost.append(cost)
+            b_cold.append(cold)
+            b_memory.append(memory_mb)
+            b_retries.append(retries)
+            counters["n_retries"] += retries
+            latencies[batch.indices] = completion - batch.arrival_times
+            if batch_failed:
+                failed[batch.indices] = True
+                counters["n_failed"] += size
+            push(completion, _P_COMPLETION, "completion",
+                 (container_id, batch.indices))
+            if registry.enabled:
+                registry.counter("serving.batches").inc()
+                registry.counter(
+                    "serving.cold_starts" if cold else "serving.warm_starts"
+                ).inc()
+                registry.histogram("serving.queue_delay").observe(
+                    start - batch.dispatch_time
+                )
+            if trace is not None:
+                trace.append(("start", start, container_id, size, cold,
+                              memory_mb, completion))
+
+        def dispatch(batch: Batch, now: float) -> None:
+            memory_mb = active.memory_mb
+            lease = pool.acquire(now, memory_mb)
+            if lease is not None:
+                if registry.enabled and lease.cold:
+                    registry.histogram("serving.cold_delay").observe(
+                        lease.cold_delay
+                    )
+                start_batch(batch, memory_mb, lease.cold_delay, lease.cold,
+                            lease.container_id, start=now)
+                return
+            limit = self.pool_config.max_queued_batches
+            if limit is not None and len(queue) >= limit:
+                shed[batch.indices] = True
+                counters["shed_batches"] += 1
+                if registry.enabled:
+                    registry.counter("serving.shed_requests").inc(batch.size)
+                    registry.counter("serving.shed_batches").inc()
+                    registry.record_event(ShedEvent(
+                        time=now, requests=batch.size,
+                        queued_batches=len(queue),
+                    ))
+                if trace is not None:
+                    trace.append(("shed", now, batch.size))
+                return
+            queue.append(batch)
+            if registry.enabled:
+                registry.counter("serving.queued_batches").inc()
+            if trace is not None:
+                trace.append(("queued", now, batch.size))
+
+        def trigger_decision(now: float, reason: str) -> None:
+            push(now, _P_DECISION, "decision", reason)
+
+        def extract_predicted_p95(decision: Decision) -> float | None:
+            opt = getattr(decision, "optimization", None)
+            pred = getattr(opt, "predicted_latency", None)
+            if pred is None and decision.diagnostics:
+                pred = decision.diagnostics.get("predicted_p95")
+            return float(pred) if pred is not None else None
+
+        def on_decision(now: float, reason: str) -> None:
+            nonlocal target, reconfig_gen
+            if self.chooser is None:
+                return
+            hist = np.diff(np.asarray(recent_ts, dtype=float))
+            if hist.size >= self.min_history:
+                try:
+                    decision = self.chooser.choose(hist, self.slo)
+                except Exception:
+                    # Live serving must survive a controller crash with no
+                    # fallback decision; keep the active configuration.
+                    if registry.enabled:
+                        registry.counter("serving.decision_errors").inc()
+                    if trace is not None:
+                        trace.append(("decision_error", now, reason))
+                    decision = None
+                if decision is not None:
+                    record = ServingDecision(
+                        time=now,
+                        reason=reason,
+                        config=decision.config,
+                        decision_time=float(decision.decision_time),
+                        degraded=decision.degraded,
+                        predicted_p95=extract_predicted_p95(decision),
+                    )
+                    decisions.append(record)
+                    if registry.enabled:
+                        registry.counter("serving.decisions").inc()
+                    if trace is not None:
+                        trace.append(("decision", now, reason,
+                                      str(decision.config)))
+                    if decision.config != target:
+                        target = decision.config
+                        reconfig_gen += 1
+                        push(now + self.deploy_delay_s, _P_RECONFIGURE,
+                             "reconfigure", (reconfig_gen, record, now, reason))
+            if (
+                reason == "interval"
+                and self.decision_interval_s is not None
+                and arrival_ptr[0] < n
+            ):
+                push(now + self.decision_interval_s, _P_DECISION, "decision",
+                     "interval")
+
+        def on_reconfigure(now: float, payload) -> None:
+            nonlocal active, pred_p95
+            gen, record, decided_at, reason = payload
+            if gen != reconfig_gen:  # superseded by a newer decision
+                return
+            old = active
+            released = buffer.reconfigure(record.config, now=now)
+            active = record.config
+            record.applied_at = now
+            counters["reconfigurations"] += 1
+            pred_p95 = record.predicted_p95
+            recent_latencies.clear()
+            if registry.enabled:
+                registry.counter("serving.reconfigurations").inc()
+                registry.record_event(ReconfigureEvent(
+                    time=now, reason=reason,
+                    memory_mb=active.memory_mb,
+                    batch_size=active.batch_size, timeout=active.timeout,
+                    old_memory_mb=old.memory_mb,
+                    old_batch_size=old.batch_size, old_timeout=old.timeout,
+                    lag=now - decided_at,
+                ))
+            if trace is not None:
+                trace.append(("reconfigure", now, str(active), reason))
+            for batch in released:
+                dispatch(batch, now)
+            arm_timer()
+
+        def check_drift(now: float) -> None:
+            nonlocal cooldown_until, retrain_pending
+            if now < cooldown_until:
+                return
+            detector = self.drift_detector
+            if (
+                detector is not None
+                and detector.lo_ is not None
+                and len(recent_ts) > self.drift_window
+            ):
+                window = np.diff(
+                    np.asarray(recent_ts, dtype=float)[-(self.drift_window + 1):]
+                )
+                score = detector.score(window)
+                if score >= detector.threshold:
+                    counters["drift"] += 1
+                    cooldown_until = now + self.drift_cooldown_s
+                    if registry.enabled:
+                        registry.counter("serving.drift_triggers").inc()
+                        registry.record_event(DriftEvent(
+                            time=now, detector="workload", score=score
+                        ))
+                    if trace is not None:
+                        trace.append(("drift", now, "workload", round(score, 9)))
+                    trigger_decision(now, "drift")
+                    if self.retrain_delay_s is not None and not retrain_pending:
+                        retrain_pending = True
+                        push(now + self.retrain_delay_s, _P_RETRAIN,
+                             "retrain", None)
+                    return
+            if (
+                self.prediction_baseline_error is not None
+                and pred_p95 is not None
+                and len(recent_latencies) >= self.prediction_min_samples
+            ):
+                observed = float(np.percentile(recent_latencies, 95.0))
+                if observed > 0:
+                    error = abs(pred_p95 - observed) / observed
+                    if prediction_drift(error, self.prediction_baseline_error,
+                                        self.prediction_tolerance):
+                        counters["pred_drift"] += 1
+                        cooldown_until = now + self.drift_cooldown_s
+                        if registry.enabled:
+                            registry.counter(
+                                "serving.prediction_drift_triggers"
+                            ).inc()
+                            registry.record_event(DriftEvent(
+                                time=now, detector="prediction", score=error
+                            ))
+                        if trace is not None:
+                            trace.append(("drift", now, "prediction",
+                                          round(error, 9)))
+                        trigger_decision(now, "prediction-drift")
+
+        def on_retrain(now: float) -> None:
+            nonlocal retrain_pending
+            retrain_pending = False
+            counters["retrains"] += 1
+            recent = np.diff(np.asarray(recent_ts, dtype=float))
+            if self.drift_detector is not None:
+                try:
+                    self.drift_detector.fit(recent, self.drift_window)
+                except ValueError:
+                    pass  # not enough recent traffic to refit the envelope
+            if self.on_retrain is not None:
+                self.on_retrain(recent)
+            if registry.enabled:
+                registry.counter("serving.retrains").inc()
+            if trace is not None:
+                trace.append(("retrain", now))
+
+        # ------------------------------------------------------- event loop
+        arrival_ptr = [0]
+        if n and self.chooser is not None and self.decision_interval_s:
+            push(float(ts[0]) + self.decision_interval_s, _P_DECISION,
+                 "decision", "interval")
+
+        while arrival_ptr[0] < n or heap:
+            take_arrival = arrival_ptr[0] < n and (
+                not heap
+                or (ts[arrival_ptr[0]], _P_ARRIVAL) < (heap[0][0], heap[0][1])
+            )
+            if take_arrival:
+                i = arrival_ptr[0]
+                now = float(ts[i])
+                arrival_ptr[0] += 1
+                arrivals_seen += 1
+                recent_ts.append(now)
+                if trace is not None:
+                    trace.append(("arrival", now, i))
+                if registry.enabled:
+                    registry.counter("serving.requests").inc()
+                for batch in buffer.observe(now):
+                    dispatch(batch, now)
+                arm_timer()
+                if arrivals_seen % self.drift_check_every == 0:
+                    check_drift(now)
+                continue
+            now, _priority, _seq, kind, payload = heappop(heap)
+            if kind == "completion":
+                container_id, indices = payload
+                pool.release(container_id, now)
+                recent_latencies.extend(latencies[indices].tolist())
+                if registry.enabled:
+                    registry.histogram("serving.latency").observe_many(
+                        latencies[indices]
+                    )
+                if trace is not None:
+                    trace.append(("completion", now, container_id))
+                if queue:
+                    dispatch(queue.popleft(), now)
+            elif kind == "timer":
+                timers.discard(payload)
+                for batch in buffer.poll(now):
+                    dispatch(batch, now)
+                arm_timer()
+            elif kind == "reconfigure":
+                on_reconfigure(now, payload)
+            elif kind == "decision":
+                on_decision(now, payload)
+            elif kind == "retrain":
+                on_retrain(now)
+
+        stats = pool.stats
+        return ServingLog(
+            name=name, trace=trace_name, slo=self.slo,
+            arrival_times=ts,
+            latencies=latencies,
+            shed=shed,
+            failed=failed,
+            dispatch_times=np.asarray(b_dispatch),
+            start_times=np.asarray(b_start),
+            batch_sizes=np.asarray(b_size, dtype=int),
+            batch_costs=np.asarray(b_cost),
+            batch_cold=np.asarray(b_cold, dtype=bool),
+            batch_memory=np.asarray(b_memory),
+            batch_retries=np.asarray(b_retries, dtype=int),
+            decisions=decisions,
+            reconfigurations=counters["reconfigurations"],
+            drift_triggers=counters["drift"],
+            prediction_drift_triggers=counters["pred_drift"],
+            retrains=counters["retrains"],
+            shed_batches=counters["shed_batches"],
+            cold_starts=stats.cold_starts,
+            warm_starts=stats.warm_starts,
+            expired_containers=stats.expired,
+            evicted_containers=stats.evicted,
+            n_retries=counters["n_retries"],
+            n_failed=counters["n_failed"],
+            sequence_length=self.sequence_length,
+            event_trace=trace,
+        )

@@ -1,0 +1,194 @@
+"""The serving runtime's result log, scoreable like an :class:`ExperimentLog`.
+
+A :class:`ServingLog` records one live run at two granularities: per request
+(arrival, latency, shed/failed flags) and per executed batch (dispatch,
+start, size, cost, cold/warm, memory tier), plus every decision the
+controller took and the runtime counters the offline harness cannot express
+(cold-start rate, shed requests, reconfigurations, drift triggers).
+
+:meth:`ServingLog.to_experiment_log` re-bins the run into trace segments and
+returns a genuine :class:`~repro.evaluation.harness.ExperimentLog`, so the
+whole of :mod:`repro.evaluation` — VCR series, cost series, comparison
+tables, plots — scores live runs and offline replays through one interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.batching.config import BatchConfig
+from repro.evaluation.harness import ExperimentLog, SegmentOutcome
+from repro.evaluation.metrics import vcr as _vcr
+
+
+@dataclass
+class ServingDecision:
+    """One controller invocation inside the serving loop.
+
+    Mutable on purpose: the engine back-fills ``applied_at`` when (and if)
+    the decided configuration survives the deploy lag and takes effect.
+    """
+
+    time: float
+    reason: str  # "interval" | "drift" | "prediction-drift" | "initial"
+    config: BatchConfig
+    decision_time: float
+    degraded: bool = False
+    applied_at: float | None = None  # None: no reconfiguration was needed
+    predicted_p95: float | None = None
+
+
+@dataclass
+class ServingLog:
+    """Everything one :class:`~repro.serving.engine.ServingEngine` run saw."""
+
+    name: str
+    trace: str
+    slo: float
+    # Per request (arrival order; latency is NaN for shed requests).
+    arrival_times: np.ndarray
+    latencies: np.ndarray
+    shed: np.ndarray
+    failed: np.ndarray
+    # Per executed batch (execution start order).
+    dispatch_times: np.ndarray
+    start_times: np.ndarray
+    batch_sizes: np.ndarray
+    batch_costs: np.ndarray
+    batch_cold: np.ndarray
+    batch_memory: np.ndarray
+    batch_retries: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+    # Control plane.
+    decisions: list[ServingDecision] = field(default_factory=list)
+    reconfigurations: int = 0
+    drift_triggers: int = 0
+    prediction_drift_triggers: int = 0
+    retrains: int = 0
+    shed_batches: int = 0
+    # Pool scorecard.
+    cold_starts: int = 0
+    warm_starts: int = 0
+    expired_containers: int = 0
+    evicted_containers: int = 0
+    # Fault layer.
+    n_retries: int = 0
+    n_failed: int = 0
+    sequence_length: int = 256
+    #: Optional deterministic event trace (``record_trace=True`` runs).
+    event_trace: list[tuple] | None = None
+
+    # ------------------------------------------------------------ request view
+    @property
+    def n_requests(self) -> int:
+        return self.arrival_times.size
+
+    @property
+    def n_shed(self) -> int:
+        return int(self.shed.sum())
+
+    @property
+    def n_served(self) -> int:
+        return self.n_requests - self.n_shed
+
+    def served_latencies(self) -> np.ndarray:
+        """Latencies of the requests that were actually served."""
+        return self.latencies[~self.shed]
+
+    def p(self, percentile: float) -> float:
+        lat = self.served_latencies()
+        if lat.size == 0:
+            return np.nan
+        return float(np.percentile(lat, percentile))
+
+    def vcr(self, sequence_length: int | None = None,
+            percentile: float = 95.0) -> float:
+        """SLO Violation Count Ratio over the served requests (Eq. 11)."""
+        length = self.sequence_length if sequence_length is None else sequence_length
+        return _vcr(self.served_latencies(), self.slo, length, percentile)
+
+    # ------------------------------------------------------------- cost & pool
+    @property
+    def total_cost(self) -> float:
+        return float(self.batch_costs.sum())
+
+    @property
+    def cost_per_request(self) -> float:
+        return self.total_cost / self.n_served if self.n_served else np.nan
+
+    @property
+    def cold_start_rate(self) -> float:
+        total = self.cold_starts + self.warm_starts
+        return self.cold_starts / total if total else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.n_shed / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def mean_decision_time(self) -> float:
+        times = [d.decision_time for d in self.decisions]
+        return float(np.mean(times)) if times else 0.0
+
+    @property
+    def degraded_decisions(self) -> int:
+        return sum(1 for d in self.decisions if d.degraded)
+
+    # ------------------------------------------------------------- conversion
+    def to_experiment_log(
+        self,
+        segment_duration: float,
+        t_start: float = 0.0,
+        first_segment: int = 0,
+    ) -> ExperimentLog:
+        """Re-bin the run into segments for :mod:`repro.evaluation`.
+
+        Served requests land in the segment of their *arrival*, batch costs
+        in the segment of their *dispatch* (billing follows execution), and
+        decisions in the segment they were taken — so segment rows of a live
+        run line up with the offline harness's per-segment scorecard.
+        """
+        if segment_duration <= 0:
+            raise ValueError("segment_duration must be > 0")
+        log = ExperimentLog(
+            name=self.name, trace=self.trace, slo=self.slo,
+            sequence_length=self.sequence_length,
+        )
+        if self.n_requests == 0:
+            return log
+        horizon = float(
+            max(self.arrival_times.max(),
+                self.dispatch_times.max() if self.dispatch_times.size else -np.inf)
+        )
+        n_segments = int(np.floor((horizon - t_start) / segment_duration)) + 1
+        req_seg = np.floor(
+            (self.arrival_times - t_start) / segment_duration
+        ).astype(int)
+        batch_seg = np.floor(
+            (self.dispatch_times - t_start) / segment_duration
+        ).astype(int)
+        served = ~self.shed
+        for k in range(n_segments):
+            in_seg = req_seg == k
+            decisions = [
+                d for d in self.decisions
+                if t_start + k * segment_duration
+                <= d.time < t_start + (k + 1) * segment_duration
+            ]
+            log.outcomes.append(SegmentOutcome(
+                segment=first_segment + k,
+                configs=tuple(d.config for d in decisions),
+                latencies=self.latencies[in_seg & served],
+                total_cost=float(self.batch_costs[batch_seg == k].sum()),
+                n_requests=int(in_seg.sum()),
+                decision_times=tuple(d.decision_time for d in decisions),
+                sequence_length=self.sequence_length,
+                n_retries=(
+                    int(self.batch_retries[batch_seg == k].sum())
+                    if self.batch_retries.size else 0
+                ),
+                n_failed=int((in_seg & served & self.failed).sum()),
+                degraded_decisions=sum(1 for d in decisions if d.degraded),
+            ))
+        return log

@@ -1,0 +1,198 @@
+"""Warm-pool keep-alive model of serverless execution environments.
+
+The offline simulator treats cold starts as a per-invocation coin flip
+(:class:`~repro.serverless.service_profile.ColdStartModel.cold_probability`).
+Real platforms behave differently — and DeepServe-style measurements show
+the difference dominates tail latency at scale: a container that finishes an
+invocation stays *warm* for a keep-alive window, and the next invocation is
+cold only when no warm container is available. This module models exactly
+that state:
+
+* an invocation that finds a warm container of its memory tier starts
+  immediately (no cold delay);
+* otherwise a new container is provisioned — a **cold start** whose delay is
+  the deterministic :meth:`ColdStartModel.delay` for the tier (zero when the
+  platform has no cold-start model attached, which is what makes the offline
+  simulator a special case of the serving runtime);
+* containers idle longer than ``keep_alive_s`` are reclaimed;
+* ``max_containers`` caps the pool (the account concurrency limit). A full
+  pool with every container busy means the caller must queue or shed; an
+  *idle* container of the wrong memory tier is evicted to make room, which
+  is how a memory reconfiguration turns into a cold-start storm.
+
+The pool is purely deterministic — no RNG — so the serving engine's
+event-trace determinism reduces to event ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.serverless.service_profile import ColdStartModel
+
+
+@dataclass(frozen=True)
+class WarmPoolConfig:
+    """Keep-alive and admission parameters of the container pool.
+
+    * ``keep_alive_s`` — idle time after which a container is reclaimed
+      (``inf`` = never, the offline simulator's implicit assumption);
+    * ``max_containers`` — pool size cap (``None`` = unbounded, Lambda's
+      idealized autoscaling);
+    * ``max_queued_batches`` — admission control: batches allowed to wait
+      for a container when the pool is exhausted. ``None`` queues without
+      bound (the base platform's throttle semantics); ``0`` sheds
+      immediately.
+    """
+
+    keep_alive_s: float = math.inf
+    max_containers: int | None = None
+    max_queued_batches: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.keep_alive_s < 0:
+            raise ValueError(f"keep_alive_s must be >= 0, got {self.keep_alive_s}")
+        if self.max_containers is not None and self.max_containers < 1:
+            raise ValueError("max_containers must be >= 1 or None")
+        if self.max_queued_batches is not None and self.max_queued_batches < 0:
+            raise ValueError("max_queued_batches must be >= 0 or None")
+
+
+@dataclass
+class _Container:
+    """One execution environment: its tier and when it last went idle."""
+
+    container_id: int
+    memory_mb: float
+    free_at: float  # inf while busy; else the time it became idle
+
+
+@dataclass
+class PoolStats:
+    """Lifetime counters the serving log reports."""
+
+    cold_starts: int = 0
+    warm_starts: int = 0
+    expired: int = 0
+    evicted: int = 0
+
+    @property
+    def cold_start_rate(self) -> float:
+        total = self.cold_starts + self.warm_starts
+        return self.cold_starts / total if total else 0.0
+
+
+@dataclass
+class Lease:
+    """A granted container: start immediately, pay ``cold_delay`` if cold."""
+
+    container_id: int
+    cold: bool
+    cold_delay: float
+
+
+class WarmPool:
+    """Deterministic container pool with keep-alive reuse.
+
+    The caller (the serving engine) drives it with three calls:
+    :meth:`acquire` when a batch dispatches, :meth:`release` when its
+    invocation completes, and reads :attr:`stats` for the scorecard.
+    Expiry is evaluated lazily at acquire time — capacity only matters at
+    that moment, so no timer events are needed and the pool stays
+    event-order deterministic.
+    """
+
+    def __init__(
+        self,
+        config: WarmPoolConfig | None = None,
+        cold_start: ColdStartModel | None = None,
+    ) -> None:
+        self.config = config if config is not None else WarmPoolConfig()
+        self.cold_start = cold_start
+        self.stats = PoolStats()
+        self._containers: dict[int, _Container] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------- inspection
+    def cold_delay(self, memory_mb: float) -> float:
+        """Deterministic provisioning delay for a cold start at this tier."""
+        if self.cold_start is None:
+            return 0.0
+        return float(self.cold_start.delay(memory_mb))
+
+    def live_containers(self, now: float) -> int:
+        """Containers currently busy or within their keep-alive window."""
+        self._expire(now)
+        return len(self._containers)
+
+    def warm_containers(self, now: float, memory_mb: float | None = None) -> int:
+        """Idle-but-warm containers (optionally of one memory tier)."""
+        self._expire(now)
+        return sum(
+            1
+            for c in self._containers.values()
+            if c.free_at <= now
+            and (memory_mb is None or c.memory_mb == memory_mb)
+        )
+
+    # ------------------------------------------------------------------ flow
+    def _expire(self, now: float) -> None:
+        keep = self.config.keep_alive_s
+        if math.isinf(keep):
+            return
+        dead = [
+            cid
+            for cid, c in self._containers.items()
+            if c.free_at <= now and now - c.free_at > keep
+        ]
+        for cid in dead:
+            del self._containers[cid]
+        self.stats.expired += len(dead)
+
+    def acquire(self, now: float, memory_mb: float) -> Lease | None:
+        """Grant a container for a batch dispatching at ``now``.
+
+        Warm reuse picks the most-recently-freed matching container
+        (Lambda's observed MRU behaviour; also what keeps the rest of the
+        pool coldest-first for expiry). Returns ``None`` when the pool is
+        at ``max_containers`` with every container busy — the caller
+        queues or sheds the batch.
+        """
+        self._expire(now)
+        warm = [
+            c
+            for c in self._containers.values()
+            if c.free_at <= now and c.memory_mb == memory_mb
+        ]
+        if warm:
+            chosen = max(warm, key=lambda c: (c.free_at, c.container_id))
+            chosen.free_at = math.inf
+            self.stats.warm_starts += 1
+            return Lease(chosen.container_id, cold=False, cold_delay=0.0)
+
+        cap = self.config.max_containers
+        if cap is not None and len(self._containers) >= cap:
+            # Evict an idle container of another tier to make room (a
+            # redeploy); with every container busy the pool is exhausted.
+            idle = [c for c in self._containers.values() if c.free_at <= now]
+            if not idle:
+                return None
+            victim = min(idle, key=lambda c: (c.free_at, c.container_id))
+            del self._containers[victim.container_id]
+            self.stats.evicted += 1
+
+        container = _Container(self._next_id, memory_mb, free_at=math.inf)
+        self._next_id += 1
+        self._containers[container.container_id] = container
+        self.stats.cold_starts += 1
+        return Lease(container.container_id, cold=True,
+                     cold_delay=self.cold_delay(memory_mb))
+
+    def release(self, container_id: int, now: float) -> None:
+        """Mark a container idle (its invocation — retries included —
+        finished at ``now``); the keep-alive clock starts here."""
+        container = self._containers.get(container_id)
+        if container is None:  # reclaimed mid-flight cannot happen; be safe
+            return
+        container.free_at = now

@@ -15,8 +15,11 @@ unless a real registry is installed with :func:`set_registry` /
 from repro.telemetry.events import (
     DecisionEvent,
     DispatchEvent,
+    DriftEvent,
+    ReconfigureEvent,
     RetryEvent,
     SegmentEvent,
+    ShedEvent,
     TelemetryEvent,
     ViolationEvent,
     event_from_record,
@@ -39,6 +42,7 @@ __all__ = [
     "Counter",
     "DecisionEvent",
     "DispatchEvent",
+    "DriftEvent",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -46,8 +50,10 @@ __all__ = [
     "NULL_SPAN",
     "NullRegistry",
     "NullSpan",
+    "ReconfigureEvent",
     "RetryEvent",
     "SegmentEvent",
+    "ShedEvent",
     "Span",
     "SpanRecord",
     "TelemetryEvent",

@@ -12,7 +12,13 @@ dump round-trips losslessly:
 * :class:`SegmentEvent` — the per-segment scorecard the evaluation harness
   logs (p95, cost/request, VCR, decision time);
 * :class:`RetryEvent` — one fault-injected execution's retry summary
-  (retries, timeouts, failed batches/requests, throttle rejections).
+  (retries, timeouts, failed batches/requests, throttle rejections);
+* :class:`ReconfigureEvent` — the serving runtime applied a new ``(M, B,
+  T)`` after its deploy lag;
+* :class:`DriftEvent` — a drift detector (workload envelope or surrogate
+  prediction error) fired and triggered an out-of-band decision;
+* :class:`ShedEvent` — admission control dropped a batch because the
+  warm pool and its queue were exhausted.
 """
 
 from __future__ import annotations
@@ -106,10 +112,50 @@ class RetryEvent(TelemetryEvent):
     throttle_retries: int
 
 
+@dataclass(frozen=True)
+class ReconfigureEvent(TelemetryEvent):
+    """The serving runtime switched to a new configuration."""
+
+    kind: ClassVar[str] = "reconfigure"
+
+    time: float
+    reason: str
+    memory_mb: float
+    batch_size: int
+    timeout: float
+    old_memory_mb: float
+    old_batch_size: int
+    old_timeout: float
+    lag: float
+
+
+@dataclass(frozen=True)
+class DriftEvent(TelemetryEvent):
+    """A drift detector fired in the live serving loop."""
+
+    kind: ClassVar[str] = "drift"
+
+    time: float
+    detector: str  # "workload" (envelope) or "prediction" (surrogate error)
+    score: float
+
+
+@dataclass(frozen=True)
+class ShedEvent(TelemetryEvent):
+    """Admission control dropped a dispatched batch (pool exhausted)."""
+
+    kind: ClassVar[str] = "shed"
+
+    time: float
+    requests: int
+    queued_batches: int
+
+
 EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
     cls.kind: cls
     for cls in (
         DecisionEvent, DispatchEvent, ViolationEvent, SegmentEvent, RetryEvent,
+        ReconfigureEvent, DriftEvent, ShedEvent,
     )
 }
 

@@ -149,6 +149,12 @@ def render_dashboard(
             ["fault metric", "value"], resilience, title="resilience"
         ))
 
+    serving = _serving_rows(by_type, by_kind)
+    if serving:
+        sections.append(format_table(
+            ["serving metric", "value"], serving, title="serving"
+        ))
+
     perf = _performance_rows(by_type)
     if perf:
         sections.append(format_table(
@@ -245,6 +251,48 @@ def _resilience_rows(by_type: dict, by_kind: dict) -> list[list]:
     degraded = sum(e.get("degraded_decisions", 0) for e in segments)
     if degraded and "fault.degraded_decisions" not in fault:
         rows.append(["degraded decisions", int(degraded)])
+    return rows
+
+
+def _serving_rows(by_type: dict, by_kind: dict) -> list[list]:
+    """Live-serving scorecard: warm-pool behaviour, admission control, and
+    the control plane (reconfigurations, drift triggers, retrains). Rows
+    appear only when the serving runtime actually ran."""
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    serving = {
+        name: value for name, value in counters.items()
+        if name.startswith("serving.")
+    }
+    if not serving:
+        return []
+    labels = [
+        ("serving.requests", "requests"),
+        ("serving.batches", "batches executed"),
+        ("serving.cold_starts", "cold starts"),
+        ("serving.warm_starts", "warm starts"),
+        ("serving.queued_batches", "batches queued"),
+        ("serving.shed_requests", "shed requests"),
+        ("serving.shed_batches", "shed batches"),
+        ("serving.decisions", "controller decisions"),
+        ("serving.decision_errors", "controller errors"),
+        ("serving.reconfigurations", "reconfigurations"),
+        ("serving.drift_triggers", "workload-drift triggers"),
+        ("serving.prediction_drift_triggers", "prediction-drift triggers"),
+        ("serving.retrains", "retrains completed"),
+    ]
+    rows: list[list] = [
+        [label, int(serving[name])] for name, label in labels if name in serving
+    ]
+    starts = serving.get("serving.cold_starts", 0) + serving.get(
+        "serving.warm_starts", 0
+    )
+    if starts:
+        rate = serving.get("serving.cold_starts", 0) / starts
+        rows.append(["cold-start rate", f"{100.0 * rate:.1f}%"])
+    reconfigures = by_kind.get("reconfigure", [])
+    if reconfigures:
+        lags = [e["lag"] for e in reconfigures]
+        rows.append(["mean reconfigure lag s", f"{np.mean(lags):.3f}"])
     return rows
 
 

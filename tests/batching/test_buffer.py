@@ -185,3 +185,64 @@ class TestFlushRegression:
     def test_nonpositive_waits_never_happen(self):
         for b in self._loaded_buffer().flush():
             assert np.all(b.waits() >= -1e-12)
+
+
+class TestMidStreamReconfigure:
+    """reconfigure(config, now=...) with requests pending: the serving
+    engine's live path, where a new (M, B, T) must immediately drain any
+    batches the stricter policy makes due."""
+
+    def test_shrinking_b_below_pending_dispatches_now(self):
+        # 5 pending under B=8; switching to B=2 owes two full batches at
+        # the switch instant and keeps the odd request buffered.
+        buf = BatchingBuffer(BatchConfig(1024.0, 8, 10.0))
+        for t in [0.0, 0.1, 0.2, 0.3, 0.4]:
+            assert buf.observe(t) == []
+        out = buf.reconfigure(BatchConfig(1024.0, 2, 10.0), now=0.5)
+        assert [b.size for b in out] == [2, 2]
+        assert [b.dispatch_time for b in out] == [0.5, 0.5]
+        assert buf.pending == 1
+
+    def test_shortening_t_past_elapsed_wait_dispatches_due(self):
+        # The head has waited 0.4 when T drops to 0.1: its (new) deadline
+        # 0.0 + 0.1 already passed, so the batch leaves at that deadline,
+        # exactly like a timeout the buffer had missed.
+        buf = BatchingBuffer(BatchConfig(1024.0, 8, 10.0))
+        for t in [0.0, 0.05, 0.4]:
+            assert buf.observe(t) == []
+        out = buf.reconfigure(BatchConfig(1024.0, 8, 0.1), now=0.4)
+        assert len(out) == 1
+        # Only the arrivals by that deadline ride along; 0.4 stays buffered
+        # with its own fresh deadline under the new T.
+        assert out[0].size == 2
+        assert out[0].dispatch_time == pytest.approx(0.1)
+        assert buf.pending == 1
+        assert buf.next_deadline() == pytest.approx(0.5)
+
+    def test_loosening_keeps_pending(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 4, 0.2))
+        buf.observe(0.0)
+        out = buf.reconfigure(BatchConfig(1024.0, 8, 5.0), now=0.1)
+        assert out == []
+        assert buf.pending == 1
+        assert buf.next_deadline() == pytest.approx(5.0)
+
+    def test_without_now_defers_to_next_observe(self):
+        # The offline idiom (no ``now``) still applies lazily: nothing
+        # leaves at the switch, and each later observe drains one batch.
+        buf = BatchingBuffer(BatchConfig(1024.0, 8, 10.0))
+        for t in [0.0, 0.1, 0.2]:
+            buf.observe(t)
+        assert buf.reconfigure(BatchConfig(1024.0, 2, 10.0)) == []
+        assert [b.size for b in buf.observe(0.3)] == [2]
+        assert [b.size for b in buf.observe(0.4)] == [2]
+        assert buf.pending == 1
+
+    def test_next_deadline_tracks_head(self):
+        buf = BatchingBuffer(BatchConfig(1024.0, 4, 0.5))
+        assert buf.next_deadline() is None
+        buf.observe(1.0)
+        buf.observe(1.2)
+        assert buf.next_deadline() == pytest.approx(1.5)
+        buf.poll(2.0)
+        assert buf.next_deadline() is None

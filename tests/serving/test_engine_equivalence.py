@@ -1,0 +1,158 @@
+"""The keystone correctness property of the serving engine.
+
+With a static configuration, infinite keep-alive, zero reconfiguration lag,
+and no shedding, the discrete-event engine must reproduce the offline
+simulator **bit-for-bit** — per-request latencies and per-batch costs — with
+and without a concurrency limit. Everything the engine adds (warm-pool
+expiry, deploy lag, admission control, drift) is then exercised on top as
+behavioural deltas from that anchored baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batching.config import BatchConfig
+from repro.batching.simulator import simulate
+from repro.serverless.platform import ServerlessPlatform
+from repro.serving import ServingEngine, WarmPoolConfig
+
+pytestmark = pytest.mark.serving
+
+CONFIGS = [
+    BatchConfig(memory_mb=2048.0, batch_size=8, timeout=0.05),
+    BatchConfig(memory_mb=4096.0, batch_size=16, timeout=0.02),
+]
+
+
+def poisson_trace(lam: float, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / lam, size=n))
+
+
+def bursty_trace(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    calm = np.cumsum(rng.exponential(0.02, size=400))
+    burst = calm[-1] + np.sort(rng.uniform(0.0, 0.5, size=600))
+    return np.concatenate([calm, burst])
+
+
+TRACES = [poisson_trace(120.0, 1500, seed=1), bursty_trace(seed=2)]
+
+
+class TestBitForBitEquivalence:
+    @pytest.mark.parametrize("trace_idx", [0, 1])
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize("limit", [None, 1])
+    def test_matches_offline_simulate(self, trace_idx, config, limit):
+        ts = TRACES[trace_idx]
+        platform = ServerlessPlatform(concurrency_limit=limit)
+        ref = simulate(ts, config, platform)
+        log = ServingEngine(config, platform=platform).run(ts)
+
+        # Per-request latencies: identical floats, not merely close.
+        np.testing.assert_array_equal(log.latencies, ref.latencies)
+        assert log.n_shed == 0 and log.shed_batches == 0
+
+        # Per-batch schedule and billing, aligned on dispatch order (the
+        # engine records batches in start order; a bound concurrency limit
+        # can start them out of dispatch order).
+        order = np.argsort(log.dispatch_times, kind="stable")
+        np.testing.assert_array_equal(
+            log.dispatch_times[order], ref.dispatch_times
+        )
+        np.testing.assert_array_equal(log.batch_sizes[order], ref.batch_sizes)
+        np.testing.assert_array_equal(log.batch_costs[order], ref.batch_costs)
+
+    def test_concurrency_limit_actually_binds(self):
+        # Guard against a vacuous equivalence: under the burst the limited
+        # run must delay some starts past their dispatch times (and the
+        # unlimited one must not).
+        ts = TRACES[1]
+        config = CONFIGS[0]
+        limited = ServingEngine(
+            config, platform=ServerlessPlatform(concurrency_limit=1)
+        ).run(ts)
+        assert np.any(limited.start_times > limited.dispatch_times)
+        free = ServingEngine(config, platform=ServerlessPlatform()).run(ts)
+        np.testing.assert_array_equal(free.start_times, free.dispatch_times)
+        assert free.latencies.max() < limited.latencies.max()
+
+    def test_infinite_keep_alive_never_expires(self):
+        log = ServingEngine(
+            CONFIGS[0], platform=ServerlessPlatform(concurrency_limit=3)
+        ).run(TRACES[1])
+        assert log.expired_containers == 0
+        assert log.evicted_containers == 0
+        # One cold start per pool slot actually used, the rest warm.
+        assert log.cold_starts <= 3
+        assert log.cold_starts + log.warm_starts == log.batch_sizes.size
+
+
+class TestEngineBehaviours:
+    """Deltas the offline path cannot express, each exercised in isolation."""
+
+    def test_finite_keep_alive_creates_cold_starts(self):
+        # Arrivals 10s apart with a 1s keep-alive: every batch finds the
+        # pool empty again.
+        ts = np.arange(0.0, 50.0, 10.0)
+        config = BatchConfig(memory_mb=2048.0, batch_size=1, timeout=0.0)
+        log = ServingEngine(
+            config,
+            platform=ServerlessPlatform(),
+            pool=WarmPoolConfig(keep_alive_s=1.0),
+        ).run(ts)
+        assert log.cold_starts == ts.size
+        assert log.warm_starts == 0
+        assert log.expired_containers >= ts.size - 1
+        assert log.cold_start_rate == 1.0
+
+    def test_shedding_when_pool_and_queue_exhausted(self):
+        # One container, no queueing: while a batch runs, every later
+        # dispatch is shed — and shed requests carry NaN latency, no cost.
+        lam = 200.0
+        ts = poisson_trace(lam, 400, seed=3)
+        config = BatchConfig(memory_mb=256.0, batch_size=32, timeout=0.01)
+        log = ServingEngine(
+            config,
+            platform=ServerlessPlatform(),
+            pool=WarmPoolConfig(max_containers=1, max_queued_batches=0),
+        ).run(ts)
+        assert log.n_shed > 0
+        assert log.shed_batches > 0
+        assert np.all(np.isnan(log.latencies[log.shed]))
+        assert np.all(~np.isnan(log.latencies[~log.shed]))
+        assert log.batch_sizes.size + log.shed_batches >= log.shed_batches
+        assert 0.0 < log.shed_rate < 1.0
+        # Costs are only billed for executed batches.
+        assert log.batch_costs.size == log.batch_sizes.size
+
+    def test_bounded_queue_sheds_less_than_no_queue(self):
+        ts = poisson_trace(200.0, 400, seed=3)
+        config = BatchConfig(memory_mb=256.0, batch_size=32, timeout=0.01)
+
+        def run(queue_limit):
+            return ServingEngine(
+                config,
+                platform=ServerlessPlatform(),
+                pool=WarmPoolConfig(max_containers=1,
+                                    max_queued_batches=queue_limit),
+            ).run(ts)
+
+        assert 0 < run(2).n_shed < run(0).n_shed
+        assert run(None).n_shed == 0
+
+    def test_served_latencies_and_log_scoring(self):
+        ts = TRACES[0]
+        log = ServingEngine(CONFIGS[0], platform=ServerlessPlatform()).run(
+            ts, name="eq", trace_name="poisson"
+        )
+        ref = simulate(ts, CONFIGS[0], ServerlessPlatform())
+        assert log.p(95.0) == pytest.approx(ref.latency_percentile(95.0))
+        assert log.total_cost == pytest.approx(ref.total_cost)
+        assert log.cost_per_request == pytest.approx(ref.cost_per_request)
+        exp = log.to_experiment_log(segment_duration=5.0)
+        assert exp.name == "eq"
+        assert sum(o.n_requests for o in exp.outcomes) == ts.size
+        assert sum(o.total_cost for o in exp.outcomes) == pytest.approx(
+            ref.total_cost
+        )

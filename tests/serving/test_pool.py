@@ -1,0 +1,142 @@
+"""Unit tests for the warm-pool keep-alive model."""
+
+import math
+
+import pytest
+
+from repro.serverless.service_profile import ColdStartModel
+from repro.serving.pool import WarmPool, WarmPoolConfig
+
+pytestmark = pytest.mark.serving
+
+
+class TestWarmReuse:
+    def test_first_acquire_is_cold(self):
+        pool = WarmPool()
+        lease = pool.acquire(0.0, 2048.0)
+        assert lease.cold
+        assert pool.stats.cold_starts == 1
+
+    def test_released_container_is_reused_warm(self):
+        pool = WarmPool()
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 1.0)
+        b = pool.acquire(2.0, 2048.0)
+        assert not b.cold
+        assert b.container_id == a.container_id
+        assert pool.stats.warm_starts == 1
+
+    def test_busy_container_is_not_reused(self):
+        pool = WarmPool()
+        a = pool.acquire(0.0, 2048.0)
+        b = pool.acquire(0.5, 2048.0)
+        assert b.cold
+        assert b.container_id != a.container_id
+
+    def test_wrong_memory_tier_is_cold(self):
+        pool = WarmPool()
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 1.0)
+        b = pool.acquire(2.0, 4096.0)
+        assert b.cold
+
+    def test_mru_pick_among_warm(self):
+        # The most-recently-freed matching container is reused first.
+        pool = WarmPool()
+        a = pool.acquire(0.0, 2048.0)
+        b = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 1.0)
+        pool.release(b.container_id, 2.0)
+        c = pool.acquire(3.0, 2048.0)
+        assert c.container_id == b.container_id
+
+    def test_release_at_acquire_instant_counts_as_warm(self):
+        # free_at <= now: a container freed exactly at the dispatch time is
+        # available — the offline throttle's ``start = slot`` equality case.
+        pool = WarmPool()
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 5.0)
+        assert not pool.acquire(5.0, 2048.0).cold
+
+
+class TestKeepAlive:
+    def test_idle_past_keep_alive_expires(self):
+        pool = WarmPool(WarmPoolConfig(keep_alive_s=10.0))
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 1.0)
+        lease = pool.acquire(12.0, 2048.0)  # idle 11s > 10s
+        assert lease.cold
+        assert pool.stats.expired == 1
+
+    def test_idle_exactly_keep_alive_survives(self):
+        pool = WarmPool(WarmPoolConfig(keep_alive_s=10.0))
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 1.0)
+        assert not pool.acquire(11.0, 2048.0).cold
+
+    def test_infinite_keep_alive_never_expires(self):
+        pool = WarmPool(WarmPoolConfig(keep_alive_s=math.inf))
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 0.0)
+        assert not pool.acquire(1e12, 2048.0).cold
+        assert pool.stats.expired == 0
+
+    def test_live_and_warm_counts(self):
+        pool = WarmPool(WarmPoolConfig(keep_alive_s=5.0))
+        a = pool.acquire(0.0, 2048.0)
+        pool.acquire(0.0, 2048.0)  # stays busy
+        pool.release(a.container_id, 1.0)
+        assert pool.live_containers(2.0) == 2
+        assert pool.warm_containers(2.0) == 1
+        assert pool.warm_containers(2.0, memory_mb=4096.0) == 0
+        assert pool.live_containers(20.0) == 1  # the idle one expired
+
+
+class TestCapacity:
+    def test_exhausted_pool_returns_none(self):
+        pool = WarmPool(WarmPoolConfig(max_containers=2))
+        pool.acquire(0.0, 2048.0)
+        pool.acquire(0.0, 2048.0)
+        assert pool.acquire(0.0, 2048.0) is None
+
+    def test_wrong_tier_idle_is_evicted_at_cap(self):
+        # A memory reconfiguration turns warm capacity of the old tier into
+        # cold starts of the new one.
+        pool = WarmPool(WarmPoolConfig(max_containers=1))
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 1.0)
+        lease = pool.acquire(2.0, 4096.0)
+        assert lease.cold
+        assert pool.stats.evicted == 1
+        assert pool.live_containers(2.0) == 1
+
+    def test_freed_capacity_reusable_after_none(self):
+        pool = WarmPool(WarmPoolConfig(max_containers=1))
+        a = pool.acquire(0.0, 2048.0)
+        assert pool.acquire(0.5, 2048.0) is None
+        pool.release(a.container_id, 1.0)
+        assert pool.acquire(1.0, 2048.0) is not None
+
+
+class TestColdDelay:
+    def test_no_model_means_zero_delay(self):
+        pool = WarmPool()
+        assert pool.cold_delay(2048.0) == 0.0
+        assert pool.acquire(0.0, 2048.0).cold_delay == 0.0
+
+    def test_model_delay_is_deterministic_per_tier(self):
+        model = ColdStartModel()
+        pool = WarmPool(cold_start=model)
+        lease = pool.acquire(0.0, 2048.0)
+        assert lease.cold_delay == pytest.approx(model.delay(2048.0))
+        assert lease.cold_delay > 0.0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            WarmPoolConfig(keep_alive_s=-1.0)
+        with pytest.raises(ValueError):
+            WarmPoolConfig(max_containers=0)
+        with pytest.raises(ValueError):
+            WarmPoolConfig(max_queued_batches=-1)

@@ -190,6 +190,66 @@ class TestEvaluateFaultFlags:
         assert rc == 2
 
 
+@pytest.mark.serving
+class TestServeCommand:
+    def test_static_chooser_end_to_end(self, trace_path, capsys):
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--chooser", "static", "--start-segment", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "p95 latency ms" in out
+        assert "cold-start rate" in out and "reconfigurations" in out
+
+    def test_batch_chooser_with_drift_and_faults(self, trace_path, capsys):
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--chooser", "batch", "--start-segment", "1",
+                   "--keep-alive", "5", "--cold-starts", "--drift",
+                   "--deploy-delay", "1", "--fault-rate", "0.1",
+                   "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drift triggers" in out
+        assert "invocation retries" in out and "failed requests" in out
+
+    def test_deepbat_chooser_runs(self, trace_path, model_path, capsys):
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--chooser", "deepbat", "--model", str(model_path),
+                   "--start-segment", "1"])
+        assert rc == 0
+        assert "decisions" in capsys.readouterr().out
+
+    def test_deepbat_requires_model(self, trace_path):
+        assert main(["serve", "--trace", str(trace_path),
+                     "--chooser", "deepbat"]) == 2
+
+    def test_start_segment_out_of_range(self, trace_path):
+        assert main(["serve", "--trace", str(trace_path),
+                     "--start-segment", "99"]) == 2
+
+    def test_invalid_fault_rate(self, trace_path):
+        assert main(["serve", "--trace", str(trace_path),
+                     "--fault-rate", "1.5"]) == 2
+
+    def test_telemetry_dump_and_serving_dashboard(self, trace_path, tmp_path,
+                                                  capsys):
+        dump = tmp_path / "serving.jsonl"
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--chooser", "batch", "--start-segment", "1",
+                   "--keep-alive", "5", "--cold-starts",
+                   "--telemetry", str(dump)])
+        assert rc == 0
+        assert "telemetry records" in capsys.readouterr().out
+        records = read_jsonl(dump)
+        names = {r["name"] for r in records if r["type"] == "counter"}
+        assert "serving.requests" in names and "serving.batches" in names
+        rc = main(["report", str(dump)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "cold-start rate" in out
+        # Telemetry is scoped to the command: the process default stays off.
+        assert not get_registry().enabled
+
+
 class TestReportCommand:
     def test_renders_dashboard(self, trace_path, model_path, tmp_path, capsys):
         dump = tmp_path / "telemetry.jsonl"
