@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-faults test-serving bench-smoke bench bench-perf lint
+.PHONY: test test-faults test-serving test-chaos bench-smoke bench bench-perf lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
@@ -17,6 +17,10 @@ test-faults:
 ## Serving-runtime tests only (engine, warm pool, drift triggers).
 test-serving:
 	$(PYTEST) -q -m serving
+
+## Crash drills: random kills + checkpoint restore + equivalence oracle.
+test-chaos:
+	$(PYTEST) -q -m chaos
 
 ## Quick benchmark sanity check: the §IV-F decision-time speedup table.
 ## First run trains the shared workbench models; later runs load the cache.

@@ -11,7 +11,10 @@ Subcommands cover the full workflow without writing Python:
   platform faults and report retries/failures/degraded decisions);
 * ``serve``    — live serving loop (:mod:`repro.serving`): warm-pool
   keep-alive, deploy lag, admission control, periodic and drift-triggered
-  re-decisions; earlier segments warm up the controller history;
+  re-decisions; earlier segments warm up the controller history.
+  ``--checkpoint PATH`` makes the run crash-safe (snapshots + event
+  journal; ``--restore`` resumes it bit-identically) and ``--guardrail``
+  arms the SLO circuit breaker;
 * ``report``   — render the ASCII telemetry dashboard from such a dump.
 """
 
@@ -146,6 +149,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="platform seed for deterministic fault draws")
     p_srv.add_argument("--telemetry", metavar="PATH",
                        help="collect telemetry and dump it as JSONL here")
+    p_srv.add_argument("--checkpoint", metavar="PATH",
+                       help="crash-safe mode: snapshot the engine state here "
+                            "(plus an event journal at PATH.journal)")
+    p_srv.add_argument("--checkpoint-every", type=int, default=256,
+                       help="events between snapshots (default 256)")
+    p_srv.add_argument("--restore", action="store_true",
+                       help="resume the run from --checkpoint instead of "
+                            "starting fresh (bit-identical continuation)")
+    p_srv.add_argument("--guardrail", action="store_true",
+                       help="enable the SLO circuit breaker: trip to a safe "
+                            "config when observed tail latency breaks the SLO")
+    p_srv.add_argument("--guardrail-window", type=int, default=64,
+                       help="completed requests per violation window")
+    p_srv.add_argument("--guardrail-percentile", type=float, default=95.0,
+                       help="latency percentile compared against the SLO")
+    p_srv.add_argument("--guardrail-k", type=int, default=3,
+                       help="consecutive violating windows that trip")
+    p_srv.add_argument("--guardrail-cooldown", type=float, default=30.0,
+                       help="seconds open before probing the controller again")
 
     p_rep = sub.add_parser("report", help="render a telemetry dashboard")
     p_rep.add_argument("path", help="JSONL dump written by evaluate --telemetry")
@@ -299,12 +321,72 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _validate_serve_args(args) -> None:
+    """Reject malformed ``repro serve`` inputs before any work happens.
+
+    Raises ``ValueError`` with a message that names the flag and the fix —
+    the CLI turns it into an exit-code-2 error line.
+    """
+    from repro.utils.validation import check_positive
+
+    check_positive(args.slo, "--slo (seconds)")
+    check_positive(args.deploy_delay,
+                   "--deploy-delay (seconds; 0 means instant reconfiguration)",
+                   strict=False)
+    check_positive(args.keep_alive,
+                   "--keep-alive (seconds; containers need a positive window "
+                   "to ever be reused)")
+    if args.decision_interval is not None:
+        check_positive(args.decision_interval, "--decision-interval (seconds)")
+    if args.max_containers is not None and args.max_containers < 1:
+        raise ValueError(
+            f"--max-containers must be >= 1 (or omitted for unbounded), "
+            f"got {args.max_containers}"
+        )
+    if args.queue_limit is not None and args.queue_limit < 0:
+        raise ValueError(
+            f"--queue-limit must be >= 0 (0 sheds immediately when the pool "
+            f"is exhausted; omit for unbounded queueing), got {args.queue_limit}"
+        )
+    if args.retrain_delay is not None:
+        check_positive(args.retrain_delay, "--retrain-delay", strict=False)
+    if not 0.0 <= args.fault_rate < 1.0:
+        raise ValueError(f"--fault-rate must be in [0, 1), got {args.fault_rate}")
+    if args.retries < 1:
+        raise ValueError(f"--retries must be >= 1, got {args.retries}")
+    if args.checkpoint_every < 1:
+        raise ValueError(
+            f"--checkpoint-every must be >= 1 (events between snapshots), "
+            f"got {args.checkpoint_every}"
+        )
+    if args.restore and not args.checkpoint:
+        raise ValueError("--restore needs --checkpoint PATH (the snapshot "
+                         "to resume from)")
+    if args.guardrail:
+        if args.guardrail_window < 1:
+            raise ValueError(f"--guardrail-window must be >= 1, "
+                             f"got {args.guardrail_window}")
+        if not 0.0 < args.guardrail_percentile <= 100.0:
+            raise ValueError(f"--guardrail-percentile must be in (0, 100], "
+                             f"got {args.guardrail_percentile}")
+        if args.guardrail_k < 1:
+            raise ValueError(f"--guardrail-k must be >= 1, "
+                             f"got {args.guardrail_k}")
+        check_positive(args.guardrail_cooldown, "--guardrail-cooldown "
+                       "(seconds the breaker stays open; must be positive)")
+
+
 def _cmd_serve(args) -> int:
     from repro.batching.config import BatchConfig
     from repro.core.drift import WorkloadDriftDetector
     from repro.serverless.service_profile import ColdStartModel
-    from repro.serving import ServingEngine, WarmPoolConfig
+    from repro.serving import CheckpointError, GuardrailConfig, ServingEngine, WarmPoolConfig
 
+    try:
+        _validate_serve_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.telemetry:
         try:
             with open(args.telemetry, "w", encoding="utf-8"):
@@ -312,12 +394,6 @@ def _cmd_serve(args) -> int:
         except OSError as exc:
             print(f"error: cannot write {args.telemetry}: {exc}", file=sys.stderr)
             return 2
-    if not 0.0 <= args.fault_rate < 1.0:
-        print("error: --fault-rate must be in [0, 1)", file=sys.stderr)
-        return 2
-    if args.retries < 1:
-        print("error: --retries must be >= 1", file=sys.stderr)
-        return 2
     trace = load_trace(args.trace)
     if not 0 <= args.start_segment < trace.n_segments:
         print("error: --start-segment out of range", file=sys.stderr)
@@ -381,12 +457,28 @@ def _cmd_serve(args) -> int:
         drift_detector=detector,
         drift_window=args.drift_window,
         retrain_delay_s=args.retrain_delay,
+        guardrail=(
+            GuardrailConfig(window=args.guardrail_window,
+                            percentile=args.guardrail_percentile,
+                            k=args.guardrail_k,
+                            cooldown_s=args.guardrail_cooldown)
+            if args.guardrail else None
+        ),
     )
     registry = MetricsRegistry() if args.telemetry else None
     scope = use_registry(registry) if registry is not None else contextlib.nullcontext()
     with scope:
-        log = engine.run(serve_ts, name=f"serve-{args.chooser}",
-                         trace_name=trace.name, history=history)
+        try:
+            if args.restore:
+                log = engine.restore(args.checkpoint)
+            else:
+                log = engine.run(serve_ts, name=f"serve-{args.chooser}",
+                                 trace_name=trace.name, history=history,
+                                 checkpoint_path=args.checkpoint,
+                                 checkpoint_every=args.checkpoint_every)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     rows = [
         ["initial config", f"({config.memory_mb:g} MB, B={config.batch_size}, "
@@ -409,6 +501,13 @@ def _cmd_serve(args) -> int:
     if faulty:
         rows += [["invocation retries", log.n_retries],
                  ["failed requests", log.n_failed]]
+    if args.guardrail:
+        rows += [["guardrail trips", log.guardrail_trips],
+                 ["guardrail restores", log.guardrail_restores],
+                 ["suppressed decisions", log.guardrail_suppressed],
+                 ["breaker state", log.guardrail_state]]
+    if args.checkpoint:
+        rows += [["checkpoints written", log.checkpoints]]
     print(format_table(
         ["serving metric", "value"],
         rows,

@@ -88,6 +88,34 @@ class WorkloadDriftDetector:
         """True when the window looks out-of-distribution (fine-tune!)."""
         return self.score(window) >= self.threshold
 
+    # ------------------------------------------------------------ state export
+    def get_state(self) -> dict:
+        """Snapshot the fitted envelope (for serving-runtime checkpoints).
+
+        The detector can be refit mid-run (drift-triggered retraining), so
+        a crash-safe resume must restore the envelope that was live at the
+        snapshot, not the one the detector was constructed with.
+        """
+        return {
+            "margin": self.margin,
+            "lower_q": self.lower_q,
+            "upper_q": self.upper_q,
+            "threshold": self.threshold,
+            "lo": None if self.lo_ is None else self.lo_.copy(),
+            "hi": None if self.hi_ is None else self.hi_.copy(),
+        }
+
+    def set_state(self, state: dict) -> "WorkloadDriftDetector":
+        """Restore a :meth:`get_state` snapshot (bit-exact envelope)."""
+        for name in ("margin", "lower_q", "upper_q", "threshold"):
+            if name not in state:
+                raise ValueError(f"drift-detector state is missing {name!r}")
+            setattr(self, name, float(state[name]))
+        lo, hi = state.get("lo"), state.get("hi")
+        self.lo_ = None if lo is None else np.asarray(lo, dtype=float).copy()
+        self.hi_ = None if hi is None else np.asarray(hi, dtype=float).copy()
+        return self
+
 
 def prediction_drift(
     recent_error: float,

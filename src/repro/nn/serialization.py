@@ -1,27 +1,71 @@
-"""Model checkpointing: save/load state dicts as ``.npz`` archives."""
+"""Model checkpointing: save/load state dicts as ``.npz`` archives.
+
+Both directions are hardened against the two ways checkpoints rot in
+practice: :func:`save_state` writes through
+:func:`repro.utils.io.atomic_write`, so a crash mid-save leaves the previous
+archive intact instead of a torn zip; :func:`load_state` validates the
+archive against the receiving module *before* touching any parameter —
+unreadable files, missing/unexpected keys, and shape mismatches all raise
+``ValueError`` naming the offending path and keys, and the module is never
+left half-loaded.
+"""
 
 from __future__ import annotations
 
 import os
+import zipfile
 
 import numpy as np
 
 from repro.nn.layers import Module
+from repro.utils.io import atomic_write
 
 
 def save_state(module: Module, path: str | os.PathLike) -> None:
-    """Write ``module``'s parameters to a compressed ``.npz`` file."""
+    """Write ``module``'s parameters to a compressed ``.npz`` file.
+
+    The archive is written atomically (temp file + ``os.replace``): readers
+    racing a save — or a save killed partway — see either the old complete
+    checkpoint or the new one, never a truncated zip.
+    """
     state = module.state_dict()
-    np.savez_compressed(path, **state)
+    with atomic_write(path) as handle:
+        np.savez_compressed(handle, **state)
 
 
 def load_state(module: Module, path: str | os.PathLike) -> None:
     """Load parameters saved by :func:`save_state` into ``module``.
 
-    Raises ``KeyError``/``ValueError`` on any name or shape mismatch — a
-    checkpoint for a differently-configured model is rejected, not silently
-    truncated.
+    The archive is validated up front: a corrupt/truncated file, keys the
+    module does not have, module parameters the archive lacks, or any shape
+    mismatch raise ``ValueError`` with the path and the offending names —
+    a checkpoint for a differently-configured model is rejected before a
+    single parameter is overwritten, not silently truncated.
     """
-    with np.load(path) as archive:
-        state = {k: archive[k] for k in archive.files}
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            state = {k: archive[k] for k in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ValueError(
+            f"cannot read checkpoint {os.fspath(path)!r}: {exc}"
+        ) from exc
+    expected = {name: p.data.shape for name, p in module.named_parameters()}
+    missing = sorted(set(expected) - set(state))
+    unexpected = sorted(set(state) - set(expected))
+    if missing or unexpected:
+        raise ValueError(
+            f"checkpoint {os.fspath(path)!r} does not match the module: "
+            f"missing keys {missing}, unexpected keys {unexpected} — was it "
+            "saved from a different architecture?"
+        )
+    mismatched = [
+        f"{name}: archive {state[name].shape} vs module {shape}"
+        for name, shape in expected.items()
+        if state[name].shape != shape
+    ]
+    if mismatched:
+        raise ValueError(
+            f"checkpoint {os.fspath(path)!r} has shape mismatches: "
+            + "; ".join(mismatched)
+        )
     module.load_state_dict(state)

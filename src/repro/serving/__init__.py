@@ -7,18 +7,49 @@ and any ``Chooser`` — as one live system with warm-pool keep-alive, deploy
 lag, admission control, and drift-triggered re-decisions. With all of those
 turned off it reproduces :func:`repro.batching.simulator.simulate`
 bit-for-bit; see :mod:`repro.serving.engine`.
+
+PR 5 adds the reliability layer: crash-safe checkpoint/restore with an
+event journal (:mod:`repro.serving.checkpoint`), an SLO circuit breaker
+around the learned controller (:mod:`repro.serving.guardrail`), and the
+chaos harness that proves kill-and-restore is bit-identical
+(:mod:`repro.serving.chaos`).
 """
 
+from repro.serving.chaos import (
+    SimulatedCrash,
+    assert_serving_logs_equal,
+    run_with_crashes,
+)
+from repro.serving.checkpoint import (
+    CheckpointError,
+    Journal,
+    JournalReplayError,
+    journal_path,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.serving.engine import ServingEngine
+from repro.serving.guardrail import GuardrailConfig, SLOGuardrail
 from repro.serving.log import ServingDecision, ServingLog
 from repro.serving.pool import Lease, PoolStats, WarmPool, WarmPoolConfig
 
 __all__ = [
+    "CheckpointError",
+    "GuardrailConfig",
+    "Journal",
+    "JournalReplayError",
     "Lease",
     "PoolStats",
+    "SLOGuardrail",
     "ServingDecision",
     "ServingEngine",
     "ServingLog",
+    "SimulatedCrash",
     "WarmPool",
     "WarmPoolConfig",
+    "assert_serving_logs_equal",
+    "journal_path",
+    "read_snapshot",
+    "run_with_crashes",
+    "write_snapshot",
 ]

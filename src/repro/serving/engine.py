@@ -35,11 +35,26 @@ pool draws no randomness; fault draws use one fixed-draw-count child
 generator per dispatched batch (``platform.spawn_rng(batch_index)``, the
 discipline of :mod:`repro.serverless.faults`), so two runs with the same
 seed produce identical event traces and :class:`ServingLog`\\ s.
+
+Crash safety (PR 5): the entire mutable state of a run lives in one
+picklable :class:`_RunState`, so the engine can snapshot itself at any
+event boundary (:mod:`repro.serving.checkpoint`) and
+:meth:`ServingEngine.restore` continues a killed run **bit-identically** to
+one that never crashed — the determinism property above is what makes the
+resumed event stream exact, and the journal-replay check enforces it. An
+optional SLO guardrail (:mod:`repro.serving.guardrail`) watches completed
+latencies and circuit-breaks to a safe configuration when the learned
+controller's predictions go wrong at runtime. Both features are off by
+default, and when off every output is bit-identical to the pre-checkpoint
+build.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections import deque
+from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Callable
 
@@ -52,9 +67,26 @@ from repro.core.types import Decision
 from repro.evaluation.harness import Chooser, _resolve_sequence_length
 from repro.serverless.faults import inject_faults
 from repro.serverless.platform import ServerlessPlatform
+from repro.serving.checkpoint import (
+    CheckpointError,
+    Journal,
+    JournalReplayError,
+    SimulatedCrash,
+    journal_path,
+    jsonable,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.serving.guardrail import OPEN, GuardrailConfig, SLOGuardrail
 from repro.serving.log import ServingDecision, ServingLog
 from repro.serving.pool import WarmPool, WarmPoolConfig
-from repro.telemetry.events import DriftEvent, ReconfigureEvent, ShedEvent
+from repro.telemetry.events import (
+    CheckpointEvent,
+    DriftEvent,
+    GuardrailEvent,
+    ReconfigureEvent,
+    ShedEvent,
+)
 from repro.telemetry.metrics import get_registry
 from repro.utils.validation import check_sorted
 
@@ -68,6 +100,70 @@ _P_ARRIVAL = 2
 _P_TIMER = 3
 _P_DECISION = 4
 _P_RETRAIN = 5
+
+
+@dataclass
+class _RunState:
+    """The complete mutable state of one engine run.
+
+    Everything here pickles, and everything mutable about a run lives here
+    (the engine object itself only holds immutable policy) — that is the
+    invariant checkpoint/restore rests on: snapshot this object and the run
+    can continue in another process, bit-identically.
+    """
+
+    name: str
+    trace_name: str
+    ts: np.ndarray
+    n: int
+    buffer: BatchingBuffer
+    pool: WarmPool
+    heap: list
+    seq: int
+    queue: deque
+    timers: set
+    recent_ts: deque
+    active: BatchConfig
+    target: BatchConfig
+    reconfig_gen: int = 0
+    arrivals_seen: int = 0
+    arrival_ptr: int = 0
+    cooldown_until: float = -np.inf
+    retrain_pending: bool = False
+    pred_p95: float | None = None
+    recent_latencies: list = field(default_factory=list)
+    guardrail: SLOGuardrail | None = None
+    clock: float = -np.inf
+    events_processed: int = 0
+    # Outputs.
+    latencies: np.ndarray = None
+    shed: np.ndarray = None
+    failed: np.ndarray = None
+    b_dispatch: list = field(default_factory=list)
+    b_start: list = field(default_factory=list)
+    b_size: list = field(default_factory=list)
+    b_cost: list = field(default_factory=list)
+    b_cold: list = field(default_factory=list)
+    b_memory: list = field(default_factory=list)
+    b_retries: list = field(default_factory=list)
+    decisions: list = field(default_factory=list)
+    trace: list | None = None
+    counters: dict = field(default_factory=dict)
+
+
+@dataclass
+class _RunContext:
+    """Transient per-drive plumbing that must NOT be checkpointed:
+    the live telemetry registry, the open journal handle, the snapshot
+    cadence, the chaos hook, and the journal-replay expectation."""
+
+    registry: object
+    journal: Journal | None = None
+    snapshot_path: str | None = None
+    checkpoint_every: int = 256
+    crash_after: int | None = None
+    replay_expect: list | None = None
+    replay_pos: int = 0
 
 
 class ServingEngine:
@@ -105,6 +201,13 @@ class ServingEngine:
         With a value set, each drift trigger also schedules a
         ``RetrainComplete`` after this long; on completion the drift
         envelope is refit on recent traffic and ``on_retrain`` is called.
+    guardrail:
+        Optional :class:`GuardrailConfig` enabling the SLO circuit breaker:
+        a sliding monitor over completed-request latencies that trips to a
+        safe fallback configuration after ``k`` consecutive violation
+        windows, suppresses learned reconfigurations while open, and
+        half-open-probes the controller back in after a cooldown. ``None``
+        (the default) changes nothing.
     """
 
     def __init__(
@@ -128,6 +231,7 @@ class ServingEngine:
         prediction_tolerance: float = 2.0,
         prediction_min_samples: int = 64,
         sequence_length: int | None = None,
+        guardrail: GuardrailConfig | None = None,
     ) -> None:
         if slo <= 0:
             raise ValueError(f"slo must be > 0, got {slo}")
@@ -166,6 +270,7 @@ class ServingEngine:
         self.prediction_tolerance = prediction_tolerance
         self.prediction_min_samples = prediction_min_samples
         self.sequence_length = _resolve_sequence_length(chooser, sequence_length)
+        self.guardrail_config = guardrail
 
     # ------------------------------------------------------------------- run
     def run(
@@ -175,384 +280,662 @@ class ServingEngine:
         trace_name: str = "trace",
         history: np.ndarray | None = None,
         record_trace: bool = False,
+        checkpoint_path: str | os.PathLike | None = None,
+        checkpoint_every: int = 256,
+        crash_after_events: int | None = None,
     ) -> ServingLog:
         """Serve ``timestamps`` (absolute, sorted) and return the log.
 
         ``history`` optionally supplies earlier arrival timestamps that seed
         the controller's observation window and the drift detector's live
         window without being served themselves.
-        """
-        ts = check_sorted(np.asarray(timestamps, dtype=float), "timestamps")
-        n = ts.size
-        registry = get_registry()
 
-        # Mutable run state (fresh per run, so one engine can run repeatedly).
-        buffer = BatchingBuffer(self.initial_config)
-        pool = WarmPool(self.pool_config, self.platform.cold_start)
-        heap: list[tuple] = []
-        seq = 0
-        queue: deque[Batch] = deque()
-        timers: set[float] = set()
-        recent_ts: deque[float] = deque(maxlen=self.history_tail + 1)
+        With ``checkpoint_path`` set, the run becomes crash-safe: the full
+        state is snapshotted atomically every ``checkpoint_every`` processed
+        events (plus once at the start), and every emitted event is appended
+        to ``<checkpoint_path>.journal``. :meth:`restore` continues a killed
+        run from those files, bit-identically. ``crash_after_events`` is the
+        chaos-testing hook: the engine raises :class:`SimulatedCrash` after
+        processing that many events, exactly as a process death at an event
+        boundary would.
+        """
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if crash_after_events is not None and crash_after_events < 1:
+            raise ValueError("crash_after_events must be >= 1 or None")
+        ts = check_sorted(np.asarray(timestamps, dtype=float), "timestamps")
+        st = self._init_state(ts, name, trace_name, history, record_trace)
+        ctx = _RunContext(
+            registry=get_registry(),
+            snapshot_path=(
+                os.fspath(checkpoint_path) if checkpoint_path is not None else None
+            ),
+            checkpoint_every=checkpoint_every,
+            crash_after=crash_after_events,
+        )
+        if ctx.snapshot_path is not None:
+            ctx.journal = Journal(journal_path(ctx.snapshot_path)).open()
+            # Event-0 snapshot: a crash before the first cadence boundary
+            # must still be restorable.
+            self._write_snapshot(st, ctx)
+        try:
+            return self._drive(st, ctx)
+        finally:
+            if ctx.journal is not None:
+                ctx.journal.close()
+
+    def _init_state(
+        self,
+        ts: np.ndarray,
+        name: str,
+        trace_name: str,
+        history: np.ndarray | None,
+        record_trace: bool,
+    ) -> _RunState:
+        n = ts.size
+        recent_ts: deque = deque(maxlen=self.history_tail + 1)
         if history is not None:
             for t in np.asarray(history, dtype=float)[-(self.history_tail + 1):]:
                 recent_ts.append(float(t))
-        active = self.initial_config
-        target = self.initial_config
-        reconfig_gen = 0
-        arrivals_seen = 0
-        cooldown_until = -np.inf
-        retrain_pending = False
-        pred_p95: float | None = None
-        recent_latencies: list[float] = []
+        st = _RunState(
+            name=name,
+            trace_name=trace_name,
+            ts=ts,
+            n=n,
+            buffer=BatchingBuffer(self.initial_config),
+            pool=WarmPool(self.pool_config, self.platform.cold_start),
+            heap=[],
+            seq=0,
+            queue=deque(),
+            timers=set(),
+            recent_ts=recent_ts,
+            active=self.initial_config,
+            target=self.initial_config,
+            latencies=np.full(n, np.nan),
+            shed=np.zeros(n, dtype=bool),
+            failed=np.zeros(n, dtype=bool),
+            trace=[] if record_trace else None,
+            counters={
+                "reconfigurations": 0, "drift": 0, "pred_drift": 0,
+                "retrains": 0, "shed_batches": 0, "n_retries": 0,
+                "n_failed": 0, "guardrail_trips": 0, "guardrail_restores": 0,
+                "guardrail_probes": 0, "guardrail_suppressed": 0,
+                "checkpoints": 0,
+            },
+        )
+        if self.guardrail_config is not None:
+            st.guardrail = SLOGuardrail(config=self.guardrail_config, slo=self.slo)
+        if n and self.chooser is not None and self.decision_interval_s:
+            self._push(st, float(ts[0]) + self.decision_interval_s, _P_DECISION,
+                       "decision", "interval")
+        return st
 
-        latencies = np.full(n, np.nan)
-        shed = np.zeros(n, dtype=bool)
-        failed = np.zeros(n, dtype=bool)
-        b_dispatch: list[float] = []
-        b_start: list[float] = []
-        b_size: list[int] = []
-        b_cost: list[float] = []
-        b_cold: list[bool] = []
-        b_memory: list[float] = []
-        b_retries: list[int] = []
-        decisions: list[ServingDecision] = []
-        trace: list[tuple] | None = [] if record_trace else None
-        counters = {
-            "reconfigurations": 0, "drift": 0, "pred_drift": 0,
-            "retrains": 0, "shed_batches": 0, "n_retries": 0, "n_failed": 0,
+    # --------------------------------------------------------------- restore
+    def restore(
+        self,
+        path: str | os.PathLike,
+        verify_journal: bool = True,
+        crash_after_events: int | None = None,
+    ) -> ServingLog:
+        """Resume a checkpointed run and drive it to completion.
+
+        The engine must be constructed with the same parameters as the one
+        that wrote the checkpoint (a fingerprint mismatch raises
+        :class:`CheckpointError`). The snapshot restores the run state, the
+        chooser's internal state, the drift detector's envelope, and the
+        platform's bit-generator state; the journal is truncated back to
+        the snapshot boundary and — with ``verify_journal`` — the entries
+        beyond it (events the crashed run emitted after its last snapshot)
+        become a replay assertion: the resumed run must regenerate them
+        verbatim, or :class:`JournalReplayError` is raised. Checkpointing
+        continues to the same files at the cadence of the original run, so
+        a restore can itself be crashed and restored (the chaos harness
+        does exactly that via ``crash_after_events``).
+
+        Because the engine is deterministic, the returned
+        :class:`ServingLog` is bit-identical to the log of an uninterrupted
+        run — that equivalence is this subsystem's keystone property.
+        """
+        payload = read_snapshot(path)
+        theirs = payload.get("fingerprint", {})
+        ours = self._fingerprint()
+        mismatched = sorted(
+            k for k in set(theirs) | set(ours) if theirs.get(k) != ours.get(k)
+        )
+        if mismatched:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(path)!r} was written by a differently-"
+                f"configured engine; mismatched parameters: {mismatched}"
+            )
+        st: _RunState = payload["state"]
+        if payload.get("chooser") is not None:
+            self.chooser = pickle.loads(payload["chooser"])
+        if payload.get("detector") is not None and self.drift_detector is not None:
+            self.drift_detector.set_state(payload["detector"])
+        if payload.get("rng_state") is not None:
+            self.platform._rng.bit_generator.state = payload["rng_state"]
+
+        journal = Journal(journal_path(path))
+        entries_on_disk = journal.read()
+        keep = int(payload["journal_entries"])
+        replay_expect = entries_on_disk[keep:] if verify_journal else None
+        journal.open(truncate_to=keep)
+
+        registry = get_registry()
+        ctx = _RunContext(
+            registry=registry,
+            journal=journal,
+            snapshot_path=os.fspath(path),
+            checkpoint_every=int(payload.get("checkpoint_every", 256)),
+            crash_after=crash_after_events,
+            replay_expect=replay_expect,
+        )
+        if registry.enabled:
+            registry.counter("checkpoint.restores").inc()
+            if replay_expect:
+                registry.counter("checkpoint.replayed_events").inc(
+                    len(replay_expect)
+                )
+        try:
+            return self._drive(st, ctx)
+        finally:
+            ctx.journal.close()
+
+    def _fingerprint(self) -> dict:
+        """Engine parameters a checkpoint must agree on to be resumable."""
+        return {
+            "initial_config": self.initial_config,
+            "slo": self.slo,
+            "pool": self.pool_config,
+            "deploy_delay_s": self.deploy_delay_s,
+            "decision_interval_s": self.decision_interval_s,
+            "history_tail": self.history_tail,
+            "min_history": self.min_history,
+            "drift_window": self.drift_window,
+            "drift_check_every": self.drift_check_every,
+            "drift_cooldown_s": self.drift_cooldown_s,
+            "retrain_delay_s": self.retrain_delay_s,
+            "prediction_baseline_error": self.prediction_baseline_error,
+            "prediction_tolerance": self.prediction_tolerance,
+            "prediction_min_samples": self.prediction_min_samples,
+            "sequence_length": self.sequence_length,
+            "guardrail": self.guardrail_config,
+            "platform_seed": self.platform.seed,
+            "platform_faults": self.platform.faults,
+            "platform_retry": self.platform.retry_policy,
+            "platform_concurrency": self.platform.concurrency_limit,
         }
 
-        def push(time: float, priority: int, kind: str, payload) -> None:
-            nonlocal seq
-            heappush(heap, (time, priority, seq, kind, payload))
-            seq += 1
-
-        def arm_timer() -> None:
-            # After any observe/poll/reconfigure the head deadline is
-            # strictly in the future, so a timer armed here never fires
-            # late; the set dedupes repeat arming of the same deadline.
-            deadline = buffer.next_deadline()
-            if deadline is not None and deadline not in timers:
-                timers.add(deadline)
-                push(deadline, _P_TIMER, "timer", deadline)
-
-        def start_batch(batch: Batch, memory_mb: float, cold_delay: float,
-                        cold: bool, container_id: int, start: float) -> None:
-            size = batch.size
-            service = float(self.platform.profile.service_time(memory_mb, size))
-            duration = cold_delay + service
-            if self.platform.faults_active:
-                # Fixed-draw-count child generator per dispatched batch:
-                # randomness is a function of the batch index, never of
-                # event interleaving (repro.serverless.faults discipline).
-                rng = self.platform.spawn_rng(len(b_dispatch))
-                outcome = inject_faults(
-                    np.asarray([duration]), memory_mb, self.platform.pricing,
-                    self.platform.faults, self.platform.retry_policy, rng,
-                )
-                fault_delay = float(outcome.fault_delays[0])
-                cost = float(outcome.costs[0])
-                retries = int(outcome.attempts[0]) - 1
-                batch_failed = bool(outcome.failed[0])
-            else:
-                fault_delay = 0.0
-                cost = float(
-                    self.platform.pricing.invocation_cost(memory_mb, duration)
-                )
-                retries = 0
-                batch_failed = False
-            # Same association as BatchExecution.completion_times, so the
-            # static-config equivalence is bitwise, not merely close.
-            completion = start + cold_delay + service + fault_delay
-            b_dispatch.append(batch.dispatch_time)
-            b_start.append(start)
-            b_size.append(size)
-            b_cost.append(cost)
-            b_cold.append(cold)
-            b_memory.append(memory_mb)
-            b_retries.append(retries)
-            counters["n_retries"] += retries
-            latencies[batch.indices] = completion - batch.arrival_times
-            if batch_failed:
-                failed[batch.indices] = True
-                counters["n_failed"] += size
-            push(completion, _P_COMPLETION, "completion",
-                 (container_id, batch.indices))
-            if registry.enabled:
-                registry.counter("serving.batches").inc()
-                registry.counter(
-                    "serving.cold_starts" if cold else "serving.warm_starts"
-                ).inc()
-                registry.histogram("serving.queue_delay").observe(
-                    start - batch.dispatch_time
-                )
-            if trace is not None:
-                trace.append(("start", start, container_id, size, cold,
-                              memory_mb, completion))
-
-        def dispatch(batch: Batch, now: float) -> None:
-            memory_mb = active.memory_mb
-            lease = pool.acquire(now, memory_mb)
-            if lease is not None:
-                if registry.enabled and lease.cold:
-                    registry.histogram("serving.cold_delay").observe(
-                        lease.cold_delay
-                    )
-                start_batch(batch, memory_mb, lease.cold_delay, lease.cold,
-                            lease.container_id, start=now)
-                return
-            limit = self.pool_config.max_queued_batches
-            if limit is not None and len(queue) >= limit:
-                shed[batch.indices] = True
-                counters["shed_batches"] += 1
-                if registry.enabled:
-                    registry.counter("serving.shed_requests").inc(batch.size)
-                    registry.counter("serving.shed_batches").inc()
-                    registry.record_event(ShedEvent(
-                        time=now, requests=batch.size,
-                        queued_batches=len(queue),
-                    ))
-                if trace is not None:
-                    trace.append(("shed", now, batch.size))
-                return
-            queue.append(batch)
-            if registry.enabled:
-                registry.counter("serving.queued_batches").inc()
-            if trace is not None:
-                trace.append(("queued", now, batch.size))
-
-        def trigger_decision(now: float, reason: str) -> None:
-            push(now, _P_DECISION, "decision", reason)
-
-        def extract_predicted_p95(decision: Decision) -> float | None:
-            opt = getattr(decision, "optimization", None)
-            pred = getattr(opt, "predicted_latency", None)
-            if pred is None and decision.diagnostics:
-                pred = decision.diagnostics.get("predicted_p95")
-            return float(pred) if pred is not None else None
-
-        def on_decision(now: float, reason: str) -> None:
-            nonlocal target, reconfig_gen
-            if self.chooser is None:
-                return
-            hist = np.diff(np.asarray(recent_ts, dtype=float))
-            if hist.size >= self.min_history:
-                try:
-                    decision = self.chooser.choose(hist, self.slo)
-                except Exception:
-                    # Live serving must survive a controller crash with no
-                    # fallback decision; keep the active configuration.
-                    if registry.enabled:
-                        registry.counter("serving.decision_errors").inc()
-                    if trace is not None:
-                        trace.append(("decision_error", now, reason))
-                    decision = None
-                if decision is not None:
-                    record = ServingDecision(
-                        time=now,
-                        reason=reason,
-                        config=decision.config,
-                        decision_time=float(decision.decision_time),
-                        degraded=decision.degraded,
-                        predicted_p95=extract_predicted_p95(decision),
-                    )
-                    decisions.append(record)
-                    if registry.enabled:
-                        registry.counter("serving.decisions").inc()
-                    if trace is not None:
-                        trace.append(("decision", now, reason,
-                                      str(decision.config)))
-                    if decision.config != target:
-                        target = decision.config
-                        reconfig_gen += 1
-                        push(now + self.deploy_delay_s, _P_RECONFIGURE,
-                             "reconfigure", (reconfig_gen, record, now, reason))
-            if (
-                reason == "interval"
-                and self.decision_interval_s is not None
-                and arrival_ptr[0] < n
-            ):
-                push(now + self.decision_interval_s, _P_DECISION, "decision",
-                     "interval")
-
-        def on_reconfigure(now: float, payload) -> None:
-            nonlocal active, pred_p95
-            gen, record, decided_at, reason = payload
-            if gen != reconfig_gen:  # superseded by a newer decision
-                return
-            old = active
-            released = buffer.reconfigure(record.config, now=now)
-            active = record.config
-            record.applied_at = now
-            counters["reconfigurations"] += 1
-            pred_p95 = record.predicted_p95
-            recent_latencies.clear()
-            if registry.enabled:
-                registry.counter("serving.reconfigurations").inc()
-                registry.record_event(ReconfigureEvent(
-                    time=now, reason=reason,
-                    memory_mb=active.memory_mb,
-                    batch_size=active.batch_size, timeout=active.timeout,
-                    old_memory_mb=old.memory_mb,
-                    old_batch_size=old.batch_size, old_timeout=old.timeout,
-                    lag=now - decided_at,
-                ))
-            if trace is not None:
-                trace.append(("reconfigure", now, str(active), reason))
-            for batch in released:
-                dispatch(batch, now)
-            arm_timer()
-
-        def check_drift(now: float) -> None:
-            nonlocal cooldown_until, retrain_pending
-            if now < cooldown_until:
-                return
-            detector = self.drift_detector
-            if (
-                detector is not None
-                and detector.lo_ is not None
-                and len(recent_ts) > self.drift_window
-            ):
-                window = np.diff(
-                    np.asarray(recent_ts, dtype=float)[-(self.drift_window + 1):]
-                )
-                score = detector.score(window)
-                if score >= detector.threshold:
-                    counters["drift"] += 1
-                    cooldown_until = now + self.drift_cooldown_s
-                    if registry.enabled:
-                        registry.counter("serving.drift_triggers").inc()
-                        registry.record_event(DriftEvent(
-                            time=now, detector="workload", score=score
-                        ))
-                    if trace is not None:
-                        trace.append(("drift", now, "workload", round(score, 9)))
-                    trigger_decision(now, "drift")
-                    if self.retrain_delay_s is not None and not retrain_pending:
-                        retrain_pending = True
-                        push(now + self.retrain_delay_s, _P_RETRAIN,
-                             "retrain", None)
-                    return
-            if (
-                self.prediction_baseline_error is not None
-                and pred_p95 is not None
-                and len(recent_latencies) >= self.prediction_min_samples
-            ):
-                observed = float(np.percentile(recent_latencies, 95.0))
-                if observed > 0:
-                    error = abs(pred_p95 - observed) / observed
-                    if prediction_drift(error, self.prediction_baseline_error,
-                                        self.prediction_tolerance):
-                        counters["pred_drift"] += 1
-                        cooldown_until = now + self.drift_cooldown_s
-                        if registry.enabled:
-                            registry.counter(
-                                "serving.prediction_drift_triggers"
-                            ).inc()
-                            registry.record_event(DriftEvent(
-                                time=now, detector="prediction", score=error
-                            ))
-                        if trace is not None:
-                            trace.append(("drift", now, "prediction",
-                                          round(error, 9)))
-                        trigger_decision(now, "prediction-drift")
-
-        def on_retrain(now: float) -> None:
-            nonlocal retrain_pending
-            retrain_pending = False
-            counters["retrains"] += 1
-            recent = np.diff(np.asarray(recent_ts, dtype=float))
-            if self.drift_detector is not None:
-                try:
-                    self.drift_detector.fit(recent, self.drift_window)
-                except ValueError:
-                    pass  # not enough recent traffic to refit the envelope
-            if self.on_retrain is not None:
-                self.on_retrain(recent)
-            if registry.enabled:
-                registry.counter("serving.retrains").inc()
-            if trace is not None:
-                trace.append(("retrain", now))
-
-        # ------------------------------------------------------- event loop
-        arrival_ptr = [0]
-        if n and self.chooser is not None and self.decision_interval_s:
-            push(float(ts[0]) + self.decision_interval_s, _P_DECISION,
-                 "decision", "interval")
-
-        while arrival_ptr[0] < n or heap:
-            take_arrival = arrival_ptr[0] < n and (
-                not heap
-                or (ts[arrival_ptr[0]], _P_ARRIVAL) < (heap[0][0], heap[0][1])
+    def _write_snapshot(self, st: _RunState, ctx: _RunContext) -> None:
+        try:
+            chooser_blob = (
+                pickle.dumps(self.chooser, protocol=pickle.HIGHEST_PROTOCOL)
+                if self.chooser is not None else None
             )
-            if take_arrival:
-                i = arrival_ptr[0]
-                now = float(ts[i])
-                arrival_ptr[0] += 1
-                arrivals_seen += 1
-                recent_ts.append(now)
-                if trace is not None:
-                    trace.append(("arrival", now, i))
-                if registry.enabled:
-                    registry.counter("serving.requests").inc()
-                for batch in buffer.observe(now):
-                    dispatch(batch, now)
-                arm_timer()
-                if arrivals_seen % self.drift_check_every == 0:
-                    check_drift(now)
-                continue
-            now, _priority, _seq, kind, payload = heappop(heap)
-            if kind == "completion":
-                container_id, indices = payload
-                pool.release(container_id, now)
-                recent_latencies.extend(latencies[indices].tolist())
-                if registry.enabled:
-                    registry.histogram("serving.latency").observe_many(
-                        latencies[indices]
-                    )
-                if trace is not None:
-                    trace.append(("completion", now, container_id))
-                if queue:
-                    dispatch(queue.popleft(), now)
-            elif kind == "timer":
-                timers.discard(payload)
-                for batch in buffer.poll(now):
-                    dispatch(batch, now)
-                arm_timer()
-            elif kind == "reconfigure":
-                on_reconfigure(now, payload)
-            elif kind == "decision":
-                on_decision(now, payload)
-            elif kind == "retrain":
-                on_retrain(now)
+        except Exception:
+            # An unpicklable chooser degrades gracefully: the restore keeps
+            # the engine's own chooser instance instead.
+            chooser_blob = None
+        ctx.journal.sync()  # the snapshot must never reference journal
+        # entries the disk does not have
+        write_snapshot(ctx.snapshot_path, {
+            "fingerprint": self._fingerprint(),
+            "state": st,
+            "chooser": chooser_blob,
+            "detector": (
+                self.drift_detector.get_state()
+                if self.drift_detector is not None else None
+            ),
+            "rng_state": self.platform._rng.bit_generator.state,
+            "journal_entries": ctx.journal.entries,
+            "checkpoint_every": ctx.checkpoint_every,
+        })
+        st.counters["checkpoints"] += 1
+        registry = ctx.registry
+        if registry.enabled:
+            registry.counter("checkpoint.snapshots").inc()
+            registry.record_event(CheckpointEvent(
+                time=float(st.clock),
+                events_processed=st.events_processed,
+                journal_entries=ctx.journal.entries,
+            ))
 
-        stats = pool.stats
+    # ------------------------------------------------------------ event loop
+    def _drive(self, st: _RunState, ctx: _RunContext) -> ServingLog:
+        while self._step(st, ctx):
+            st.events_processed += 1
+            if (
+                ctx.snapshot_path is not None
+                and st.events_processed % ctx.checkpoint_every == 0
+            ):
+                self._write_snapshot(st, ctx)
+            if ctx.crash_after is not None and st.events_processed >= ctx.crash_after:
+                raise SimulatedCrash(
+                    f"chaos hook: killed after {st.events_processed} events"
+                )
+        return self._finish(st)
+
+    def _step(self, st: _RunState, ctx: _RunContext) -> bool:
+        """Process exactly one event (arrival or heap pop); False when done."""
+        if st.arrival_ptr >= st.n and not st.heap:
+            return False
+        take_arrival = st.arrival_ptr < st.n and (
+            not st.heap
+            or (st.ts[st.arrival_ptr], _P_ARRIVAL) < (st.heap[0][0], st.heap[0][1])
+        )
+        registry = ctx.registry
+        if take_arrival:
+            i = st.arrival_ptr
+            now = float(st.ts[i])
+            st.clock = now
+            st.arrival_ptr += 1
+            st.arrivals_seen += 1
+            st.recent_ts.append(now)
+            self._emit(st, ctx, ("arrival", now, i))
+            if registry.enabled:
+                registry.counter("serving.requests").inc()
+            for batch in st.buffer.observe(now):
+                self._dispatch(st, ctx, batch, now)
+            self._arm_timer(st)
+            if st.arrivals_seen % self.drift_check_every == 0:
+                self._check_drift(st, ctx, now)
+            return True
+        now, _priority, _seq, kind, payload = heappop(st.heap)
+        st.clock = now
+        if kind == "completion":
+            self._on_completion(st, ctx, now, payload)
+        elif kind == "timer":
+            st.timers.discard(payload)
+            for batch in st.buffer.poll(now):
+                self._dispatch(st, ctx, batch, now)
+            self._arm_timer(st)
+        elif kind == "reconfigure":
+            self._on_reconfigure(st, ctx, now, payload)
+        elif kind == "decision":
+            self._on_decision(st, ctx, now, payload)
+        elif kind == "retrain":
+            self._on_retrain(st, ctx, now)
+        return True
+
+    # ------------------------------------------------------------- plumbing
+    def _push(self, st: _RunState, time: float, priority: int, kind: str,
+              payload) -> None:
+        heappush(st.heap, (time, priority, st.seq, kind, payload))
+        st.seq += 1
+
+    def _emit(self, st: _RunState, ctx: _RunContext, event: tuple) -> None:
+        """Record one event in the trace (opt-in) and the journal (when
+        checkpointing), verifying journal replay on a restore."""
+        if st.trace is not None:
+            st.trace.append(event)
+        if ctx.journal is not None:
+            if (
+                ctx.replay_expect is not None
+                and ctx.replay_pos < len(ctx.replay_expect)
+            ):
+                expected = ctx.replay_expect[ctx.replay_pos]
+                got = jsonable(event)
+                if got != expected:
+                    raise JournalReplayError(
+                        f"resumed run diverged from the journal at entry "
+                        f"{ctx.journal.entries}: expected {expected!r}, "
+                        f"regenerated {got!r}"
+                    )
+                ctx.replay_pos += 1
+            ctx.journal.append(event)
+
+    def _arm_timer(self, st: _RunState) -> None:
+        # After any observe/poll/reconfigure the head deadline is
+        # strictly in the future, so a timer armed here never fires
+        # late; the set dedupes repeat arming of the same deadline.
+        deadline = st.buffer.next_deadline()
+        if deadline is not None and deadline not in st.timers:
+            st.timers.add(deadline)
+            self._push(st, deadline, _P_TIMER, "timer", deadline)
+
+    def _trigger_decision(self, st: _RunState, now: float, reason: str) -> None:
+        self._push(st, now, _P_DECISION, "decision", reason)
+
+    # ----------------------------------------------------------- data plane
+    def _start_batch(self, st: _RunState, ctx: _RunContext, batch: Batch,
+                     memory_mb: float, cold_delay: float, cold: bool,
+                     container_id: int, start: float) -> None:
+        size = batch.size
+        service = float(self.platform.profile.service_time(memory_mb, size))
+        duration = cold_delay + service
+        if self.platform.faults_active:
+            # Fixed-draw-count child generator per dispatched batch:
+            # randomness is a function of the batch index, never of
+            # event interleaving (repro.serverless.faults discipline).
+            rng = self.platform.spawn_rng(len(st.b_dispatch))
+            outcome = inject_faults(
+                np.asarray([duration]), memory_mb, self.platform.pricing,
+                self.platform.faults, self.platform.retry_policy, rng,
+            )
+            fault_delay = float(outcome.fault_delays[0])
+            cost = float(outcome.costs[0])
+            retries = int(outcome.attempts[0]) - 1
+            batch_failed = bool(outcome.failed[0])
+        else:
+            fault_delay = 0.0
+            cost = float(
+                self.platform.pricing.invocation_cost(memory_mb, duration)
+            )
+            retries = 0
+            batch_failed = False
+        # Same association as BatchExecution.completion_times, so the
+        # static-config equivalence is bitwise, not merely close.
+        completion = start + cold_delay + service + fault_delay
+        st.b_dispatch.append(batch.dispatch_time)
+        st.b_start.append(start)
+        st.b_size.append(size)
+        st.b_cost.append(cost)
+        st.b_cold.append(cold)
+        st.b_memory.append(memory_mb)
+        st.b_retries.append(retries)
+        st.counters["n_retries"] += retries
+        st.latencies[batch.indices] = completion - batch.arrival_times
+        if batch_failed:
+            st.failed[batch.indices] = True
+            st.counters["n_failed"] += size
+        self._push(st, completion, _P_COMPLETION, "completion",
+                   (container_id, batch.indices))
+        registry = ctx.registry
+        if registry.enabled:
+            registry.counter("serving.batches").inc()
+            registry.counter(
+                "serving.cold_starts" if cold else "serving.warm_starts"
+            ).inc()
+            registry.histogram("serving.queue_delay").observe(
+                start - batch.dispatch_time
+            )
+        self._emit(st, ctx, ("start", start, container_id, size, cold,
+                             memory_mb, completion))
+
+    def _dispatch(self, st: _RunState, ctx: _RunContext, batch: Batch,
+                  now: float) -> None:
+        memory_mb = st.active.memory_mb
+        lease = st.pool.acquire(now, memory_mb)
+        registry = ctx.registry
+        if lease is not None:
+            if registry.enabled and lease.cold:
+                registry.histogram("serving.cold_delay").observe(
+                    lease.cold_delay
+                )
+            self._start_batch(st, ctx, batch, memory_mb, lease.cold_delay,
+                              lease.cold, lease.container_id, start=now)
+            return
+        limit = self.pool_config.max_queued_batches
+        if limit is not None and len(st.queue) >= limit:
+            st.shed[batch.indices] = True
+            st.counters["shed_batches"] += 1
+            if registry.enabled:
+                registry.counter("serving.shed_requests").inc(batch.size)
+                registry.counter("serving.shed_batches").inc()
+                registry.record_event(ShedEvent(
+                    time=now, requests=batch.size,
+                    queued_batches=len(st.queue),
+                ))
+            self._emit(st, ctx, ("shed", now, batch.size))
+            return
+        st.queue.append(batch)
+        if registry.enabled:
+            registry.counter("serving.queued_batches").inc()
+        self._emit(st, ctx, ("queued", now, batch.size))
+
+    def _on_completion(self, st: _RunState, ctx: _RunContext, now: float,
+                       payload) -> None:
+        container_id, indices = payload
+        st.pool.release(container_id, now)
+        st.recent_latencies.extend(st.latencies[indices].tolist())
+        registry = ctx.registry
+        if registry.enabled:
+            registry.histogram("serving.latency").observe_many(
+                st.latencies[indices]
+            )
+        self._emit(st, ctx, ("completion", now, container_id))
+        if st.queue:
+            self._dispatch(st, ctx, st.queue.popleft(), now)
+        if st.guardrail is not None:
+            for action, observed in st.guardrail.observe(
+                st.latencies[indices], now, st.active
+            ):
+                self._on_guardrail_action(st, ctx, now, action, observed)
+
+    # --------------------------------------------------------- control plane
+    @staticmethod
+    def _extract_predicted_p95(decision: Decision) -> float | None:
+        opt = getattr(decision, "optimization", None)
+        pred = getattr(opt, "predicted_latency", None)
+        if pred is None and decision.diagnostics:
+            pred = decision.diagnostics.get("predicted_p95")
+        return float(pred) if pred is not None else None
+
+    def _on_decision(self, st: _RunState, ctx: _RunContext, now: float,
+                     reason: str) -> None:
+        registry = ctx.registry
+        if self.chooser is None:
+            return
+        suppressed = st.guardrail is not None and st.guardrail.state == OPEN
+        hist = np.diff(np.asarray(st.recent_ts, dtype=float))
+        if suppressed:
+            # The breaker is open: the fallback configuration stays pinned
+            # and the learned controller does not get to reconfigure until
+            # the half-open probe re-admits it.
+            st.counters["guardrail_suppressed"] += 1
+            if registry.enabled:
+                registry.counter("guardrail.suppressed_decisions").inc()
+            self._emit(st, ctx, ("decision_suppressed", now, reason))
+        elif hist.size >= self.min_history:
+            try:
+                decision = self.chooser.choose(hist, self.slo)
+            except Exception:
+                # Live serving must survive a controller crash with no
+                # fallback decision; keep the active configuration.
+                if registry.enabled:
+                    registry.counter("serving.decision_errors").inc()
+                self._emit(st, ctx, ("decision_error", now, reason))
+                decision = None
+            if decision is not None:
+                record = ServingDecision(
+                    time=now,
+                    reason=reason,
+                    config=decision.config,
+                    decision_time=float(decision.decision_time),
+                    degraded=decision.degraded,
+                    predicted_p95=self._extract_predicted_p95(decision),
+                )
+                st.decisions.append(record)
+                if registry.enabled:
+                    registry.counter("serving.decisions").inc()
+                self._emit(st, ctx, ("decision", now, reason,
+                                     str(decision.config)))
+                if decision.config != st.target:
+                    st.target = decision.config
+                    st.reconfig_gen += 1
+                    self._push(st, now + self.deploy_delay_s, _P_RECONFIGURE,
+                               "reconfigure",
+                               (st.reconfig_gen, record, now, reason))
+        if (
+            reason == "interval"
+            and self.decision_interval_s is not None
+            and st.arrival_ptr < st.n
+        ):
+            self._push(st, now + self.decision_interval_s, _P_DECISION,
+                       "decision", "interval")
+
+    def _on_reconfigure(self, st: _RunState, ctx: _RunContext, now: float,
+                        payload) -> None:
+        gen, record, decided_at, reason = payload
+        if gen != st.reconfig_gen:  # superseded by a newer decision
+            return
+        old = st.active
+        released = st.buffer.reconfigure(record.config, now=now)
+        st.active = record.config
+        record.applied_at = now
+        st.counters["reconfigurations"] += 1
+        st.pred_p95 = record.predicted_p95
+        st.recent_latencies.clear()
+        registry = ctx.registry
+        if registry.enabled:
+            registry.counter("serving.reconfigurations").inc()
+            registry.record_event(ReconfigureEvent(
+                time=now, reason=reason,
+                memory_mb=st.active.memory_mb,
+                batch_size=st.active.batch_size, timeout=st.active.timeout,
+                old_memory_mb=old.memory_mb,
+                old_batch_size=old.batch_size, old_timeout=old.timeout,
+                lag=now - decided_at,
+            ))
+        self._emit(st, ctx, ("reconfigure", now, str(st.active), reason))
+        for batch in released:
+            self._dispatch(st, ctx, batch, now)
+        self._arm_timer(st)
+
+    def _on_guardrail_action(self, st: _RunState, ctx: _RunContext,
+                             now: float, action: str, observed: float) -> None:
+        registry = ctx.registry
+        guard = st.guardrail
+        if action == "tripped":
+            fallback = guard.fallback_config(st.active)
+            st.counters["guardrail_trips"] += 1
+            record = ServingDecision(
+                time=now, reason="guardrail", config=fallback,
+                decision_time=0.0,
+            )
+            st.decisions.append(record)
+            if fallback != st.target:
+                # The reactive path deploys immediately (no planner lag):
+                # the breaker exists precisely because waiting is the
+                # failure mode. A pending learned reconfiguration is
+                # superseded by the generation bump.
+                st.target = fallback
+                st.reconfig_gen += 1
+                self._push(st, now, _P_RECONFIGURE, "reconfigure",
+                           (st.reconfig_gen, record, now, "guardrail"))
+            event_config = fallback
+        elif action == "probe":
+            st.counters["guardrail_probes"] += 1
+            self._trigger_decision(st, now, "guardrail-probe")
+            event_config = st.active
+        else:  # "restored"
+            st.counters["guardrail_restores"] += 1
+            event_config = st.active
+        if registry.enabled:
+            registry.counter(f"guardrail.{action}").inc()
+            registry.record_event(GuardrailEvent(
+                time=now, action=action, state=guard.state,
+                observed_p=float(observed), slo=self.slo,
+                memory_mb=event_config.memory_mb,
+                batch_size=event_config.batch_size,
+                timeout=event_config.timeout,
+            ))
+        self._emit(st, ctx, ("guardrail", now, action, guard.state))
+
+    def _check_drift(self, st: _RunState, ctx: _RunContext, now: float) -> None:
+        if now < st.cooldown_until:
+            return
+        registry = ctx.registry
+        detector = self.drift_detector
+        if (
+            detector is not None
+            and detector.lo_ is not None
+            and len(st.recent_ts) > self.drift_window
+        ):
+            window = np.diff(
+                np.asarray(st.recent_ts, dtype=float)[-(self.drift_window + 1):]
+            )
+            score = detector.score(window)
+            if score >= detector.threshold:
+                st.counters["drift"] += 1
+                st.cooldown_until = now + self.drift_cooldown_s
+                if registry.enabled:
+                    registry.counter("serving.drift_triggers").inc()
+                    registry.record_event(DriftEvent(
+                        time=now, detector="workload", score=score
+                    ))
+                self._emit(st, ctx, ("drift", now, "workload", round(score, 9)))
+                self._trigger_decision(st, now, "drift")
+                if self.retrain_delay_s is not None and not st.retrain_pending:
+                    st.retrain_pending = True
+                    self._push(st, now + self.retrain_delay_s, _P_RETRAIN,
+                               "retrain", None)
+                return
+        if (
+            self.prediction_baseline_error is not None
+            and st.pred_p95 is not None
+            and len(st.recent_latencies) >= self.prediction_min_samples
+        ):
+            observed = float(np.percentile(st.recent_latencies, 95.0))
+            if observed > 0:
+                error = abs(st.pred_p95 - observed) / observed
+                if prediction_drift(error, self.prediction_baseline_error,
+                                    self.prediction_tolerance):
+                    st.counters["pred_drift"] += 1
+                    st.cooldown_until = now + self.drift_cooldown_s
+                    if registry.enabled:
+                        registry.counter(
+                            "serving.prediction_drift_triggers"
+                        ).inc()
+                        registry.record_event(DriftEvent(
+                            time=now, detector="prediction", score=error
+                        ))
+                    self._emit(st, ctx, ("drift", now, "prediction",
+                                         round(error, 9)))
+                    self._trigger_decision(st, now, "prediction-drift")
+
+    def _on_retrain(self, st: _RunState, ctx: _RunContext, now: float) -> None:
+        st.retrain_pending = False
+        st.counters["retrains"] += 1
+        recent = np.diff(np.asarray(st.recent_ts, dtype=float))
+        if self.drift_detector is not None:
+            try:
+                self.drift_detector.fit(recent, self.drift_window)
+            except ValueError:
+                pass  # not enough recent traffic to refit the envelope
+        if self.on_retrain is not None:
+            self.on_retrain(recent)
+        if ctx.registry.enabled:
+            ctx.registry.counter("serving.retrains").inc()
+        self._emit(st, ctx, ("retrain", now))
+
+    # ---------------------------------------------------------------- finish
+    def _finish(self, st: _RunState) -> ServingLog:
+        stats = st.pool.stats
         return ServingLog(
-            name=name, trace=trace_name, slo=self.slo,
-            arrival_times=ts,
-            latencies=latencies,
-            shed=shed,
-            failed=failed,
-            dispatch_times=np.asarray(b_dispatch),
-            start_times=np.asarray(b_start),
-            batch_sizes=np.asarray(b_size, dtype=int),
-            batch_costs=np.asarray(b_cost),
-            batch_cold=np.asarray(b_cold, dtype=bool),
-            batch_memory=np.asarray(b_memory),
-            batch_retries=np.asarray(b_retries, dtype=int),
-            decisions=decisions,
-            reconfigurations=counters["reconfigurations"],
-            drift_triggers=counters["drift"],
-            prediction_drift_triggers=counters["pred_drift"],
-            retrains=counters["retrains"],
-            shed_batches=counters["shed_batches"],
+            name=st.name, trace=st.trace_name, slo=self.slo,
+            arrival_times=st.ts,
+            latencies=st.latencies,
+            shed=st.shed,
+            failed=st.failed,
+            dispatch_times=np.asarray(st.b_dispatch),
+            start_times=np.asarray(st.b_start),
+            batch_sizes=np.asarray(st.b_size, dtype=int),
+            batch_costs=np.asarray(st.b_cost),
+            batch_cold=np.asarray(st.b_cold, dtype=bool),
+            batch_memory=np.asarray(st.b_memory),
+            batch_retries=np.asarray(st.b_retries, dtype=int),
+            decisions=st.decisions,
+            reconfigurations=st.counters["reconfigurations"],
+            drift_triggers=st.counters["drift"],
+            prediction_drift_triggers=st.counters["pred_drift"],
+            retrains=st.counters["retrains"],
+            shed_batches=st.counters["shed_batches"],
             cold_starts=stats.cold_starts,
             warm_starts=stats.warm_starts,
             expired_containers=stats.expired,
             evicted_containers=stats.evicted,
-            n_retries=counters["n_retries"],
-            n_failed=counters["n_failed"],
+            n_retries=st.counters["n_retries"],
+            n_failed=st.counters["n_failed"],
             sequence_length=self.sequence_length,
-            event_trace=trace,
+            event_trace=st.trace,
+            n_events=st.events_processed,
+            checkpoints=st.counters["checkpoints"],
+            guardrail_trips=st.counters["guardrail_trips"],
+            guardrail_restores=st.counters["guardrail_restores"],
+            guardrail_probes=st.counters["guardrail_probes"],
+            guardrail_suppressed=st.counters["guardrail_suppressed"],
+            guardrail_state=(
+                st.guardrail.state if st.guardrail is not None else None
+            ),
         )

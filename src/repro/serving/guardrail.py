@@ -1,0 +1,177 @@
+"""SLO guardrail: a reactive circuit breaker around the learned controller.
+
+DeepBAT's surrogate plans configurations minutes ahead; nothing in PR 4's
+runtime protects the SLO when those predictions go wrong *now* (a workload
+the surrogate never saw, a stale model mid-retrain, a pathological config).
+Production systems pair the slow learned planner with a fast reactive
+safety net — InferLine's planner/tuner split — and that is what this module
+adds: an online monitor over the stream of completed-request latencies that
+trips to a known-safe configuration when the observed tail breaks the SLO,
+then carefully lets the learned controller back in.
+
+The breaker is a classic three-state machine over *violation windows*
+(disjoint windows of ``window`` completed latencies whose ``percentile``
+exceeds the SLO):
+
+* **closed** — normal operation. Each compliant window records the active
+  configuration as *last known-good*; ``k`` consecutive violating windows
+  trip the breaker.
+* **open** — the engine deploys the fallback configuration (a configured
+  one, else the last known-good, else the conservative ``(M, B=1, T=0)``)
+  and suppresses learned-controller reconfigurations. After ``cooldown_s``
+  the breaker half-opens.
+* **half-open** — the learned controller is probed back in (one out-of-band
+  decision). ``probe_windows`` consecutive compliant windows restore the
+  breaker to closed; a single violating window re-trips it.
+
+The machine is pure bookkeeping — no RNG, no clock of its own (the engine
+passes simulated time in), and every field pickles — so it checkpoints and
+restores bit-exactly with the rest of the serving state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.batching.config import BatchConfig
+
+#: Breaker states (stringly-typed on purpose: they pickle, JSONify, and
+#: print without an enum import at every call site).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class GuardrailConfig:
+    """Policy knobs of the SLO circuit breaker.
+
+    * ``window`` — completed requests per violation window;
+    * ``percentile`` — latency percentile compared against the SLO;
+    * ``k`` — consecutive violating windows that trip the breaker;
+    * ``cooldown_s`` — how long the breaker stays open before probing the
+      learned controller again;
+    * ``probe_windows`` — consecutive compliant windows required to close
+      the breaker from half-open;
+    * ``fallback`` — the configuration deployed on trip. ``None`` falls
+      back to the last known-good configuration, or — before any compliant
+      window has been seen — the conservative ``(M, B=1, T=0)`` at the
+      active memory tier (no batching delay, smallest blast radius).
+    """
+
+    window: int = 64
+    percentile: float = 95.0
+    k: int = 3
+    cooldown_s: float = 30.0
+    probe_windows: int = 2
+    fallback: BatchConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {self.percentile}"
+            )
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {self.cooldown_s}")
+        if self.probe_windows < 1:
+            raise ValueError(
+                f"probe_windows must be >= 1, got {self.probe_windows}"
+            )
+
+
+@dataclass
+class SLOGuardrail:
+    """The breaker's mutable runtime state (one per engine run).
+
+    :meth:`observe` consumes completed latencies in completion order and
+    returns the state transitions the engine must act on, each as an
+    ``(action, observed_percentile)`` pair with ``action`` one of
+    ``"tripped"`` (deploy the fallback), ``"probe"`` (re-admit the learned
+    controller for one decision), and ``"restored"`` (normal operation).
+    """
+
+    config: GuardrailConfig
+    slo: float
+    state: str = CLOSED
+    violations: int = 0  # consecutive violating windows while closed
+    clean_probes: int = 0  # consecutive compliant windows while half-open
+    tripped_at: float = -math.inf
+    trips: int = 0
+    restores: int = 0
+    last_good: BatchConfig | None = None
+    _window_buf: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.slo <= 0:
+            raise ValueError(f"slo must be > 0, got {self.slo}")
+
+    # ----------------------------------------------------------------- policy
+    def fallback_config(self, active: BatchConfig) -> BatchConfig:
+        """The configuration to deploy when the breaker trips."""
+        if self.config.fallback is not None:
+            return self.config.fallback
+        if self.last_good is not None:
+            return self.last_good
+        return BatchConfig(memory_mb=active.memory_mb, batch_size=1,
+                           timeout=0.0)
+
+    # ------------------------------------------------------------------- flow
+    def observe(
+        self, latencies: np.ndarray, now: float, active: BatchConfig
+    ) -> list[tuple[str, float]]:
+        """Feed completed-request latencies; return required transitions.
+
+        ``latencies`` arrive in completion order (the engine calls this at
+        every completion event), so the window stream — and therefore every
+        transition — is a pure function of the event trace: deterministic,
+        replayable, checkpointable.
+        """
+        actions: list[tuple[str, float]] = []
+        if self.state == OPEN and now >= self.tripped_at + self.config.cooldown_s:
+            self.state = HALF_OPEN
+            self.clean_probes = 0
+            actions.append(("probe", math.nan))
+        self._window_buf.extend(float(v) for v in np.asarray(latencies).ravel())
+        while len(self._window_buf) >= self.config.window:
+            window = self._window_buf[: self.config.window]
+            del self._window_buf[: self.config.window]
+            observed = float(np.percentile(window, self.config.percentile))
+            violated = observed > self.slo
+            if self.state == CLOSED:
+                if violated:
+                    self.violations += 1
+                    if self.violations >= self.config.k:
+                        actions.append(("tripped", observed))
+                        self._trip(now)
+                else:
+                    self.violations = 0
+                    self.last_good = active
+            elif self.state == HALF_OPEN:
+                if violated:
+                    actions.append(("tripped", observed))
+                    self._trip(now)
+                else:
+                    self.clean_probes += 1
+                    if self.clean_probes >= self.config.probe_windows:
+                        self.state = CLOSED
+                        self.violations = 0
+                        self.restores += 1
+                        actions.append(("restored", observed))
+            # OPEN: the fallback is already deployed; windows completed
+            # under the old configuration carry no new signal — wait out
+            # the cooldown.
+        return actions
+
+    def _trip(self, now: float) -> None:
+        self.state = OPEN
+        self.tripped_at = now
+        self.trips += 1
+        self.violations = 0
+        self.clean_probes = 0

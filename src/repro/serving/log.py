@@ -32,7 +32,9 @@ class ServingDecision:
     """
 
     time: float
-    reason: str  # "interval" | "drift" | "prediction-drift" | "initial"
+    # "interval" | "drift" | "prediction-drift" | "initial" |
+    # "guardrail" (breaker trip) | "guardrail-probe" (half-open re-admission)
+    reason: str
     config: BatchConfig
     decision_time: float
     degraded: bool = False
@@ -78,6 +80,16 @@ class ServingLog:
     sequence_length: int = 256
     #: Optional deterministic event trace (``record_trace=True`` runs).
     event_trace: list[tuple] | None = None
+    # Reliability layer (PR 5): crash safety and the SLO guardrail.
+    n_events: int = 0
+    checkpoints: int = 0
+    guardrail_trips: int = 0
+    guardrail_restores: int = 0
+    guardrail_probes: int = 0
+    guardrail_suppressed: int = 0
+    #: Final breaker state ("closed" | "open" | "half-open"), None when the
+    #: guardrail was not enabled.
+    guardrail_state: str | None = None
 
     # ------------------------------------------------------------ request view
     @property

@@ -13,9 +13,11 @@ unless a real registry is installed with :func:`set_registry` /
 """
 
 from repro.telemetry.events import (
+    CheckpointEvent,
     DecisionEvent,
     DispatchEvent,
     DriftEvent,
+    GuardrailEvent,
     ReconfigureEvent,
     RetryEvent,
     SegmentEvent,
@@ -40,9 +42,11 @@ from repro.telemetry.tracing import NULL_SPAN, NullSpan, Span, SpanRecord
 
 __all__ = [
     "Counter",
+    "CheckpointEvent",
     "DecisionEvent",
     "DispatchEvent",
     "DriftEvent",
+    "GuardrailEvent",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -18,7 +18,11 @@ dump round-trips losslessly:
 * :class:`DriftEvent` — a drift detector (workload envelope or surrogate
   prediction error) fired and triggered an out-of-band decision;
 * :class:`ShedEvent` — admission control dropped a batch because the
-  warm pool and its queue were exhausted.
+  warm pool and its queue were exhausted;
+* :class:`GuardrailEvent` — the SLO circuit breaker changed state
+  (tripped to the fallback config, half-open probe, restored);
+* :class:`CheckpointEvent` — the serving runtime wrote a crash-safe
+  snapshot of its state.
 """
 
 from __future__ import annotations
@@ -151,11 +155,39 @@ class ShedEvent(TelemetryEvent):
     queued_batches: int
 
 
+@dataclass(frozen=True)
+class GuardrailEvent(TelemetryEvent):
+    """The SLO guardrail's circuit breaker changed state."""
+
+    kind: ClassVar[str] = "guardrail"
+
+    time: float
+    action: str  # "tripped" | "probe" | "restored"
+    state: str  # breaker state after the action
+    observed_p: float  # latency percentile of the window that drove it
+    slo: float
+    memory_mb: float
+    batch_size: int
+    timeout: float
+
+
+@dataclass(frozen=True)
+class CheckpointEvent(TelemetryEvent):
+    """The serving runtime wrote a crash-safe state snapshot."""
+
+    kind: ClassVar[str] = "checkpoint"
+
+    time: float
+    events_processed: int
+    journal_entries: int
+
+
 EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
     cls.kind: cls
     for cls in (
         DecisionEvent, DispatchEvent, ViolationEvent, SegmentEvent, RetryEvent,
-        ReconfigureEvent, DriftEvent, ShedEvent,
+        ReconfigureEvent, DriftEvent, ShedEvent, GuardrailEvent,
+        CheckpointEvent,
     )
 }
 

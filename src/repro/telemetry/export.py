@@ -155,6 +155,12 @@ def render_dashboard(
             ["serving metric", "value"], serving, title="serving"
         ))
 
+    reliability = _reliability_rows(by_type, by_kind)
+    if reliability:
+        sections.append(format_table(
+            ["reliability metric", "value"], reliability, title="reliability"
+        ))
+
     perf = _performance_rows(by_type)
     if perf:
         sections.append(format_table(
@@ -293,6 +299,58 @@ def _serving_rows(by_type: dict, by_kind: dict) -> list[list]:
     if reconfigures:
         lags = [e["lag"] for e in reconfigures]
         rows.append(["mean reconfigure lag s", f"{np.mean(lags):.3f}"])
+    return rows
+
+
+def _reliability_rows(by_type: dict, by_kind: dict) -> list[list]:
+    """Crash-safety and guardrail scorecard: checkpoint/restore activity and
+    the SLO circuit breaker's history. Rows appear only when either
+    subsystem was actually enabled (``guardrail.*``/``checkpoint.*``
+    counters or their events)."""
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    relevant = {
+        name: value for name, value in counters.items()
+        if name.startswith(("guardrail.", "checkpoint."))
+    }
+    guard_events = by_kind.get("guardrail", [])
+    ckpt_events = by_kind.get("checkpoint", [])
+    if not relevant and not guard_events and not ckpt_events:
+        return []
+    labels = [
+        ("checkpoint.snapshots", "snapshots written"),
+        ("checkpoint.restores", "restores"),
+        ("checkpoint.replayed_events", "journal events replayed"),
+        ("guardrail.tripped", "breaker trips"),
+        ("guardrail.probe", "half-open probes"),
+        ("guardrail.restored", "breaker restores"),
+        ("guardrail.suppressed_decisions", "suppressed decisions"),
+    ]
+    rows: list[list] = [
+        [label, int(relevant[name])] for name, label in labels
+        if name in relevant
+    ]
+    trips = [e for e in guard_events if e.get("action") == "tripped"]
+    if trips:
+        worst = max(e.get("observed_p", 0.0) for e in trips)
+        slo = trips[0].get("slo")
+        rows.append(["worst tripped percentile ms", f"{worst * 1e3:.1f}"])
+        if slo is not None:
+            rows.append(["SLO ms", f"{slo * 1e3:.1f}"])
+        last = trips[-1]
+        rows.append([
+            "last fallback config",
+            f"({last['memory_mb']:g} MB, B={last['batch_size']}, "
+            f"T={last['timeout']:g}s)",
+        ])
+    if guard_events:
+        rows.append(["final breaker state", guard_events[-1].get("state", "?")])
+    if ckpt_events:
+        last = ckpt_events[-1]
+        rows.append([
+            "last snapshot",
+            f"event {int(last['events_processed'])} "
+            f"(journal {int(last['journal_entries'])} entries)",
+        ])
     return rows
 
 

@@ -96,3 +96,58 @@ class TestSerialization:
         other = Linear(4, 9, seed=0)
         with pytest.raises((KeyError, ValueError)):
             load_state(other, path)
+
+
+class TestSerializationHardening:
+    """PR 5 satellite: actionable errors and atomic writes."""
+
+    def test_unreadable_file_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"PK\x03\x04 truncated zip")
+        with pytest.raises(ValueError, match="cannot read checkpoint"):
+            load_state(Linear(4, 8, seed=0), path)
+
+    def test_missing_file_is_a_clear_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read checkpoint"):
+            load_state(Linear(4, 8, seed=0), tmp_path / "nope.npz")
+
+    def test_missing_and_unexpected_keys_are_named(self, tmp_path):
+        # A checkpoint of a shallower model: the deep model's later layers
+        # are missing; nothing is unexpected.
+        path = tmp_path / "shallow.npz"
+        save_state(Sequential(Linear(4, 8, seed=0)), path)
+        deep = Sequential(Linear(4, 8, seed=0), ReLU(), Linear(8, 2, seed=1))
+        with pytest.raises(ValueError, match="different architecture"):
+            load_state(deep, path)
+        # And the reverse: the deep checkpoint has unexpected keys.
+        save_state(deep, path)
+        with pytest.raises(ValueError, match="unexpected keys"):
+            load_state(Sequential(Linear(4, 8, seed=0)), path)
+
+    def test_shape_mismatch_names_the_parameter(self, tmp_path):
+        path = tmp_path / "mismatch.npz"
+        save_state(Linear(4, 8, seed=0), path)
+        wider = Linear(4, 9, seed=0)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state(wider, path)
+        # The module is untouched: validation runs before any assignment.
+        before = {k: v.copy() for k, v in Linear(4, 9, seed=0).state_dict().items()}
+        try:
+            load_state(wider, path)
+        except ValueError:
+            pass
+        for key, value in wider.state_dict().items():
+            np.testing.assert_array_equal(value, before[key])
+
+    def test_save_is_atomic(self, tmp_path):
+        # Overwriting an existing checkpoint leaves no temp litter, and the
+        # result is the complete new archive.
+        path = tmp_path / "model.npz"
+        save_state(Linear(4, 8, seed=0), path)
+        new = Linear(4, 8, seed=7)
+        save_state(new, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+        clone = Linear(4, 8, seed=0)
+        load_state(clone, path)
+        np.testing.assert_array_equal(
+            clone.state_dict()["weight"], new.state_dict()["weight"])

@@ -51,6 +51,51 @@ class TestRetryPolicy:
         assert m.shape == (0, 8)
 
 
+class TestBackoffBounds:
+    """PR 5 satellite: per-attempt jitter envelopes and fixed draw counts."""
+
+    def test_each_attempt_stays_inside_its_envelope(self):
+        # Retry k's delay must land in [base*mult^k, base*mult^k*(1+jitter)]
+        # — per attempt index, not just globally.
+        policy = RetryPolicy(max_attempts=5, base_backoff_s=0.05,
+                             multiplier=2.0, jitter=0.1)
+        m = policy.backoff_matrix(500, np.random.default_rng(3))
+        assert m.shape == (4, 500)
+        for k in range(4):
+            lo = 0.05 * 2.0**k
+            hi = lo * 1.1
+            assert np.all(m[k] >= lo - 1e-15)
+            assert np.all(m[k] <= hi + 1e-15)
+
+    def test_scalar_backoff_respects_the_same_envelope(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.1,
+                             multiplier=3.0, jitter=0.25)
+        rng = np.random.default_rng(11)
+        for k in range(3):
+            lo = 0.1 * 3.0**k
+            for _ in range(200):
+                delay = policy.backoff(k, rng)
+                assert lo - 1e-15 <= delay <= lo * 1.25 + 1e-15
+
+    def test_draw_count_is_fixed_when_retries_exhaust(self):
+        # backoff_matrix must consume exactly (max_attempts-1)*n uniforms
+        # regardless of which retries actually happen, so everything drawn
+        # after it is independent of fault outcomes.
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.05)
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        policy.backoff_matrix(17, rng_a)
+        rng_b.random((policy.max_attempts - 1, 17))
+        np.testing.assert_array_equal(rng_a.random(8), rng_b.random(8))
+
+    def test_zero_jitter_is_exactly_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.05,
+                             multiplier=2.0, jitter=0.0)
+        m = policy.backoff_matrix(3, np.random.default_rng(0))
+        np.testing.assert_array_equal(
+            m, np.array([[0.05] * 3, [0.1] * 3, [0.2] * 3]))
+
+
 class TestFaultModel:
     def test_default_is_disabled(self):
         assert not FaultModel().enabled

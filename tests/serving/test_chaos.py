@@ -1,0 +1,114 @@
+"""Chaos drills: seeded random kills, full restore, equivalence oracle.
+
+Where ``test_checkpoint.py`` kills the engine at hand-picked boundaries,
+these tests run :func:`repro.serving.chaos.run_with_crashes` — random kill
+points drawn from a seeded generator, multiple crashes per run, faults and
+the guardrail in the mix — and assert the completed run is bit-identical
+to one that never crashed. Marked ``chaos`` (``make test-chaos``) on top
+of the ``serving`` marker; they stay in tier-1 because they are fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batching.config import BatchConfig
+from repro.core.types import Decision
+from repro.serverless.faults import FaultModel
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.service_profile import ColdStartModel
+from repro.serving import (
+    GuardrailConfig,
+    ServingEngine,
+    WarmPoolConfig,
+    assert_serving_logs_equal,
+    run_with_crashes,
+)
+
+pytestmark = [pytest.mark.serving, pytest.mark.chaos]
+
+CONFIG = BatchConfig(memory_mb=2048.0, batch_size=8, timeout=0.05)
+OTHER = BatchConfig(memory_mb=4096.0, batch_size=16, timeout=0.02)
+
+
+class FlipFlopChooser:
+    def __init__(self):
+        self.calls = 0
+
+    def choose(self, history, slo):
+        self.calls += 1
+        config = OTHER if self.calls % 2 else CONFIG
+        return Decision(config=config, decision_time=1e-3,
+                        diagnostics={"predicted_p95": 0.08})
+
+
+def trace(seed=5, n=1200, lam=250.0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / lam, size=n))
+
+
+def build_engine(faults=False, guardrail=False):
+    platform = ServerlessPlatform(
+        cold_start=ColdStartModel(),
+        faults=FaultModel(failure_rate=0.2) if faults else None,
+        concurrency_limit=4,
+        seed=123,
+    )
+    return ServingEngine(
+        CONFIG,
+        platform=platform,
+        chooser=FlipFlopChooser(),
+        pool=WarmPoolConfig(keep_alive_s=2.0, max_containers=4,
+                            max_queued_batches=2),
+        deploy_delay_s=0.25,
+        decision_interval_s=0.5,
+        min_history=16,
+        guardrail=(GuardrailConfig(window=32, k=2, cooldown_s=2.0)
+                   if guardrail else None),
+    )
+
+
+class TestChaos:
+    @pytest.mark.parametrize("faults", [False, True])
+    @pytest.mark.parametrize("chaos_seed", [0, 1])
+    def test_random_kills_are_bit_identical(self, tmp_path, faults,
+                                            chaos_seed):
+        ts = trace()
+        baseline = build_engine(faults=faults).run(ts, record_trace=True)
+        log, crashes = run_with_crashes(
+            lambda: build_engine(faults=faults),
+            ts,
+            tmp_path / "chaos.ckpt",
+            n_crashes=3,
+            seed=chaos_seed,
+            checkpoint_every=64,
+            max_events=baseline.n_events,
+            record_trace=True,
+        )
+        assert crashes, "the drill must actually kill the engine"
+        assert_serving_logs_equal(baseline, log)
+
+    def test_kills_with_guardrail_active(self, tmp_path):
+        ts = trace()
+        baseline = build_engine(guardrail=True).run(ts, record_trace=True)
+        log, crashes = run_with_crashes(
+            lambda: build_engine(guardrail=True),
+            ts,
+            tmp_path / "chaos-guard.ckpt",
+            n_crashes=2,
+            seed=3,
+            checkpoint_every=64,
+            max_events=baseline.n_events,
+            record_trace=True,
+        )
+        assert crashes
+        assert_serving_logs_equal(baseline, log)
+
+    def test_zero_crashes_degenerates_to_a_plain_run(self, tmp_path):
+        ts = trace(n=400)
+        baseline = build_engine().run(ts, record_trace=True)
+        log, crashes = run_with_crashes(
+            lambda: build_engine(), ts, tmp_path / "none.ckpt",
+            n_crashes=0, max_events=baseline.n_events, record_trace=True,
+        )
+        assert crashes == []
+        assert_serving_logs_equal(baseline, log)

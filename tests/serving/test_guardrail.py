@@ -1,0 +1,252 @@
+"""SLO guardrail: breaker state machine and its engine integration.
+
+Unit tests drive :class:`SLOGuardrail` directly with synthetic latency
+windows; integration tests force a misprediction (an SLO-breaking config
+the "learned" controller keeps choosing) and assert the breaker trips
+within ``k`` windows, deploys the fallback, suppresses the controller
+while open, emits ``guardrail.*`` telemetry — and never fires on a
+compliant trace, where the data plane must stay bit-identical to a
+guardrail-off run.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.batching.config import BatchConfig
+from repro.core.types import Decision
+from repro.serving import (
+    GuardrailConfig,
+    ServingEngine,
+    SimulatedCrash,
+    SLOGuardrail,
+    assert_serving_logs_equal,
+)
+from repro.serving.guardrail import CLOSED, HALF_OPEN, OPEN
+from repro.telemetry import MetricsRegistry, use_registry
+
+pytestmark = pytest.mark.serving
+
+GOOD = BatchConfig(memory_mb=2048.0, batch_size=1, timeout=0.0)
+BAD = BatchConfig(memory_mb=2048.0, batch_size=64, timeout=0.5)
+SLO = 0.1
+
+
+def guard(window=4, k=2, cooldown_s=5.0, probe_windows=2, fallback=None):
+    return SLOGuardrail(
+        config=GuardrailConfig(window=window, k=k, cooldown_s=cooldown_s,
+                               probe_windows=probe_windows, fallback=fallback),
+        slo=SLO,
+    )
+
+
+def violating(n=4):
+    return np.full(n, 2 * SLO)
+
+
+def compliant(n=4):
+    return np.full(n, SLO / 10)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="window"):
+            GuardrailConfig(window=0)
+        with pytest.raises(ValueError, match="percentile"):
+            GuardrailConfig(percentile=0.0)
+        with pytest.raises(ValueError, match="percentile"):
+            GuardrailConfig(percentile=101.0)
+        with pytest.raises(ValueError, match="k"):
+            GuardrailConfig(k=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            GuardrailConfig(cooldown_s=0.0)
+        with pytest.raises(ValueError, match="probe_windows"):
+            GuardrailConfig(probe_windows=0)
+        with pytest.raises(ValueError, match="slo"):
+            SLOGuardrail(config=GuardrailConfig(), slo=0.0)
+
+
+class TestStateMachine:
+    def test_trips_after_exactly_k_violating_windows(self):
+        g = guard(k=3)
+        assert g.observe(violating(), 0.0, GOOD) == []
+        assert g.observe(violating(), 1.0, GOOD) == []
+        actions = g.observe(violating(), 2.0, GOOD)
+        assert [a for a, _ in actions] == ["tripped"]
+        assert g.state == OPEN
+        assert g.trips == 1
+
+    def test_compliant_window_resets_the_streak(self):
+        g = guard(k=2)
+        g.observe(violating(), 0.0, GOOD)
+        g.observe(compliant(), 1.0, GOOD)  # streak broken
+        g.observe(violating(), 2.0, GOOD)
+        assert g.state == CLOSED  # still one short of k
+        assert g.observe(violating(), 3.0, GOOD)[0][0] == "tripped"
+
+    def test_partial_windows_carry_over(self):
+        g = guard(window=4, k=1)
+        assert g.observe(violating(3), 0.0, GOOD) == []  # 3 of 4 buffered
+        actions = g.observe(violating(5), 1.0, GOOD)  # completes 2 windows
+        assert [a for a, _ in actions] == ["tripped"]
+
+    def test_observed_percentile_is_reported(self):
+        g = guard(k=1)
+        [(action, observed)] = g.observe(violating(), 0.0, GOOD)
+        assert action == "tripped"
+        assert observed == pytest.approx(2 * SLO)
+
+    def test_open_waits_out_cooldown_then_probes(self):
+        g = guard(k=1, cooldown_s=5.0)
+        g.observe(violating(), 0.0, GOOD)
+        assert g.observe(violating(), 4.9, GOOD) == []  # still cooling down
+        actions = g.observe(np.empty(0), 5.0, GOOD)
+        assert [a for a, _ in actions] == ["probe"]
+        assert g.state == HALF_OPEN
+        assert math.isnan(actions[0][1])  # probes carry no window
+
+    def test_half_open_restores_after_clean_probe_windows(self):
+        g = guard(k=1, cooldown_s=1.0, probe_windows=2)
+        g.observe(violating(), 0.0, GOOD)
+        g.observe(compliant(), 2.0, GOOD)  # probe + first clean window
+        actions = g.observe(compliant(), 3.0, GOOD)
+        assert [a for a, _ in actions] == ["restored"]
+        assert g.state == CLOSED
+        assert g.restores == 1
+
+    def test_half_open_retrips_on_a_single_violation(self):
+        g = guard(k=3, cooldown_s=1.0)
+        for t in range(3):
+            g.observe(violating(), float(t), GOOD)
+        assert g.state == OPEN  # tripped at t=2.0; cooldown ends at t=3.0
+        actions = g.observe(violating(), 3.5, GOOD)  # probe, then re-trip
+        assert [a for a, _ in actions] == ["probe", "tripped"]
+        assert g.state == OPEN
+        assert g.trips == 2
+
+    def test_fallback_precedence(self):
+        explicit = BatchConfig(memory_mb=1024.0, batch_size=2, timeout=0.01)
+        g = guard(fallback=explicit)
+        assert g.fallback_config(BAD) == explicit
+        g = guard()
+        g.observe(compliant(), 0.0, GOOD)  # records last known-good
+        assert g.last_good == GOOD
+        assert g.fallback_config(BAD) == GOOD
+        g = guard()  # nothing known-good yet: conservative (M, B=1, T=0)
+        assert g.fallback_config(BAD) == BatchConfig(
+            memory_mb=BAD.memory_mb, batch_size=1, timeout=0.0)
+
+
+class BadChooser:
+    """A 'learned' controller whose predictions are always wrong: it keeps
+    choosing an SLO-breaking configuration."""
+
+    def choose(self, history, slo):
+        return Decision(config=BAD, decision_time=0.0,
+                        diagnostics={"predicted_p95": slo / 2})
+
+
+def trace(seed=5, n=3000, lam=250.0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / lam, size=n))
+
+
+def build_engine(config, chooser=None, guardrail=None):
+    return ServingEngine(config, chooser=chooser, slo=SLO,
+                         decision_interval_s=1.0 if chooser else None,
+                         guardrail=guardrail)
+
+
+class TestEngineIntegration:
+    def test_trips_within_k_windows_under_forced_misprediction(self):
+        gcfg = GuardrailConfig(window=32, k=2, cooldown_s=2.0)
+        log = build_engine(BAD, BadChooser(), gcfg).run(trace(),
+                                                        record_trace=True)
+        assert log.guardrail_trips >= 1
+        # The first trip happens at the k-th completed window: no completed
+        # request beyond k * window precedes it.
+        first_trip = next(e for e in log.event_trace
+                          if e[0] == "guardrail" and e[2] == "tripped")
+        served_before = sum(
+            e[3] for e in log.event_trace
+            if e[0] == "start" and e[6] <= first_trip[1]
+        )
+        assert served_before <= gcfg.window * (gcfg.k + 1)
+        # The fallback actually deployed and decisions were suppressed.
+        assert any(d.reason == "guardrail" for d in log.decisions)
+        assert log.guardrail_suppressed >= 1
+        assert log.guardrail_probes >= 1
+
+    def test_trip_emits_telemetry(self):
+        registry = MetricsRegistry()
+        gcfg = GuardrailConfig(window=32, k=2, cooldown_s=2.0)
+        with use_registry(registry):
+            build_engine(BAD, BadChooser(), gcfg).run(trace())
+        records = list(registry.records())
+        counters = {r["name"]: r["value"] for r in records
+                    if r.get("type") == "counter"}
+        assert counters["guardrail.tripped"] >= 1
+        assert counters["guardrail.probe"] >= 1
+        assert counters["guardrail.suppressed_decisions"] >= 1
+        events = [r for r in records if r.get("kind") == "guardrail"]
+        assert any(e["action"] == "tripped" and e["state"] == "open"
+                   for e in events)
+
+    def test_restore_telemetry_when_controller_recovers(self):
+        # A chooser that serves BAD until the breaker trips, then GOOD: the
+        # half-open probe should succeed and the breaker close again.
+        class RecoveringChooser:
+            def __init__(self):
+                self.calls = 0
+
+            def choose(self, history, slo):
+                self.calls += 1
+                return Decision(config=BAD if self.calls <= 1 else GOOD,
+                                decision_time=0.0)
+
+        registry = MetricsRegistry()
+        gcfg = GuardrailConfig(window=32, k=2, cooldown_s=2.0,
+                               probe_windows=2)
+        with use_registry(registry):
+            log = build_engine(BAD, RecoveringChooser(), gcfg).run(trace())
+        assert log.guardrail_trips >= 1
+        assert log.guardrail_restores >= 1
+        assert log.guardrail_state == "closed"
+        counters = {r["name"]: r["value"] for r in registry.records()
+                    if r.get("type") == "counter"}
+        assert counters["guardrail.restored"] >= 1
+
+    def test_never_trips_on_compliant_trace(self):
+        gcfg = GuardrailConfig(window=32, k=2, cooldown_s=2.0)
+        log = build_engine(GOOD, guardrail=gcfg).run(trace())
+        assert log.guardrail_trips == 0
+        assert log.guardrail_state == "closed"
+
+    def test_compliant_data_plane_identical_to_guardrail_off(self):
+        ts = trace()
+        on = build_engine(GOOD, guardrail=GuardrailConfig(window=32, k=2,
+                                                          cooldown_s=2.0))
+        off = build_engine(GOOD)
+        a, b = on.run(ts, record_trace=True), off.run(ts, record_trace=True)
+        for name in ("latencies", "batch_costs", "start_times",
+                     "dispatch_times", "batch_sizes", "batch_cold"):
+            np.testing.assert_array_equal(getattr(a, name), getattr(b, name))
+        assert a.event_trace == b.event_trace
+
+    def test_guardrail_state_survives_kill_and_restore(self, tmp_path):
+        gcfg = GuardrailConfig(window=32, k=2, cooldown_s=2.0)
+        ts = trace()
+
+        def factory():
+            return build_engine(BAD, BadChooser(), gcfg)
+
+        baseline = factory().run(ts, record_trace=True)
+        assert baseline.guardrail_trips >= 2  # breaker was genuinely busy
+        ck = tmp_path / "guard.ckpt"
+        with pytest.raises(SimulatedCrash):
+            factory().run(ts, record_trace=True, checkpoint_path=ck,
+                          checkpoint_every=64,
+                          crash_after_events=baseline.n_events // 2)
+        resumed = factory().restore(ck)
+        assert_serving_logs_equal(baseline, resumed)

@@ -1,0 +1,43 @@
+"""Lint: the serving layer must never touch NumPy's global RNG.
+
+Checkpoint/restore snapshots the *platform's* bit-generator state; any code
+in ``src/repro/serving/`` drawing from ``np.random``'s module-level
+generator (``np.random.random``, ``np.random.seed``, legacy ``RandomState``
+helpers, …) would be invisible to that snapshot and silently break the
+bit-identical-resume guarantee. Explicit generator construction
+(``default_rng``, ``Generator``, ``SeedSequence``, ``PCG64`` & co.) is
+fine — those are seeded, owned objects the engine can persist.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.serving
+
+SERVING_DIR = (
+    Path(__file__).resolve().parents[2] / "src" / "repro" / "serving"
+)
+
+#: Explicit-generator constructors that are allowed through.
+ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+           "SFC64", "MT19937", "BitGenerator"}
+
+GLOBAL_RNG = re.compile(r"\bnp\.random\.(\w+)")
+
+
+def test_serving_layer_has_no_global_rng_calls():
+    assert SERVING_DIR.is_dir(), f"missing {SERVING_DIR}"
+    offenders = []
+    for path in sorted(SERVING_DIR.glob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for match in GLOBAL_RNG.finditer(line):
+                if match.group(1) not in ALLOWED:
+                    offenders.append(
+                        f"{path.name}:{lineno}: np.random.{match.group(1)}"
+                    )
+    assert not offenders, (
+        "global NumPy RNG use in src/repro/serving/ breaks checkpoint "
+        "determinism:\n" + "\n".join(offenders)
+    )

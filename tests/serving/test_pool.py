@@ -140,3 +140,67 @@ class TestConfigValidation:
             WarmPoolConfig(max_containers=0)
         with pytest.raises(ValueError):
             WarmPoolConfig(max_queued_batches=-1)
+
+
+class TestEdgeCases:
+    """PR 5 satellite: the boundary semantics the engine leans on."""
+
+    def test_zero_keep_alive_makes_every_later_start_cold(self):
+        # keep_alive_s=0 is "no warm capacity": any time elapsing between
+        # release and the next acquire expires the container.
+        pool = WarmPool(WarmPoolConfig(keep_alive_s=0.0))
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 1.0)
+        b = pool.acquire(1.0 + 1e-9, 2048.0)
+        assert b.cold
+        assert pool.stats.expired == 1
+        pool.release(b.container_id, 2.0)
+        c = pool.acquire(3.0, 2048.0)
+        assert c.cold
+        assert pool.stats.cold_starts == 3
+        assert pool.stats.warm_starts == 0
+
+    def test_zero_keep_alive_same_instant_reuse_is_still_warm(self):
+        # Expiry is strict (idle > keep_alive_s), so a release and acquire
+        # at the same timestamp still reuses — zero idle time has passed.
+        pool = WarmPool(WarmPoolConfig(keep_alive_s=0.0))
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 1.0)
+        assert not pool.acquire(1.0, 2048.0).cold
+
+    def test_expiry_exactly_at_reuse_time_is_warm(self):
+        # now - free_at == keep_alive_s sits inside the window: the
+        # boundary belongs to the container, matching the strict `>` in
+        # WarmPool._expire.
+        pool = WarmPool(WarmPoolConfig(keep_alive_s=10.0))
+        a = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 5.0)
+        lease = pool.acquire(15.0, 2048.0)
+        assert not lease.cold
+        assert pool.stats.expired == 0
+
+    def test_eviction_breaks_free_at_ties_by_lowest_id(self):
+        # Two idle containers stamped at the same instant: eviction must be
+        # deterministic, and the rule is min((free_at, container_id)).
+        pool = WarmPool(WarmPoolConfig(max_containers=2))
+        a = pool.acquire(0.0, 2048.0)
+        b = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 5.0)
+        pool.release(b.container_id, 5.0)
+        lease = pool.acquire(6.0, 4096.0)  # new tier forces an eviction
+        assert lease.cold
+        assert pool.stats.evicted == 1
+        # The lower id (a) was evicted; b is still present and warm.
+        assert pool.warm_containers(6.0, memory_mb=2048.0) == 1
+        reused = pool.acquire(6.0, 2048.0)
+        assert not reused.cold
+        assert reused.container_id == b.container_id
+
+    def test_warm_reuse_breaks_free_at_ties_by_highest_id(self):
+        # The MRU pick's mirror rule: max((free_at, container_id)).
+        pool = WarmPool()
+        a = pool.acquire(0.0, 2048.0)
+        b = pool.acquire(0.0, 2048.0)
+        pool.release(a.container_id, 5.0)
+        pool.release(b.container_id, 5.0)
+        assert pool.acquire(6.0, 2048.0).container_id == b.container_id

@@ -95,6 +95,40 @@ class TestDashboard:
         assert text.startswith("custom title")
 
 
+class TestReliabilitySection:
+    def test_renders_guardrail_and_checkpoint_rows(self):
+        from repro.telemetry.events import CheckpointEvent, GuardrailEvent
+
+        reg = MetricsRegistry()
+        reg.counter("guardrail.tripped").inc(2)
+        reg.counter("guardrail.probe").inc(2)
+        reg.counter("guardrail.restored").inc()
+        reg.counter("guardrail.suppressed_decisions").inc(5)
+        reg.counter("checkpoint.snapshots").inc(7)
+        reg.counter("checkpoint.restores").inc()
+        reg.record_event(GuardrailEvent(
+            time=1.0, action="tripped", state="open", observed_p=0.24,
+            slo=0.1, memory_mb=2048.0, batch_size=1, timeout=0.0,
+        ))
+        reg.record_event(GuardrailEvent(
+            time=5.0, action="restored", state="closed", observed_p=0.05,
+            slo=0.1, memory_mb=2048.0, batch_size=8, timeout=0.05,
+        ))
+        reg.record_event(CheckpointEvent(
+            time=6.0, events_processed=640, journal_entries=900,
+        ))
+        text = render_dashboard(reg)
+        assert "reliability" in text
+        assert "breaker trips" in text and "snapshots written" in text
+        assert "240.0" in text  # worst tripped percentile in ms
+        assert "(2048 MB, B=1, T=0s)" in text  # last fallback config
+        assert "final breaker state" in text and "closed" in text
+        assert "event 640" in text
+
+    def test_absent_without_reliability_metrics(self):
+        assert "reliability" not in render_dashboard(populated_registry())
+
+
 class TestPerformanceSection:
     def test_renders_simcore_throughput(self):
         reg = MetricsRegistry()
