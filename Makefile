@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-faults test-serving test-chaos bench-smoke bench bench-perf lint
+.PHONY: test test-faults test-serving test-fleet test-chaos bench-smoke bench bench-perf lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
@@ -17,6 +17,11 @@ test-faults:
 ## Serving-runtime tests only (engine, warm pool, drift triggers).
 test-serving:
 	$(PYTEST) -q -m serving
+
+## Fleet serving tests: multi-endpoint engine, shared container budget,
+## cross-tenant scheduler, and the fleet config loader.
+test-fleet:
+	$(PYTEST) -q -m fleet
 
 ## Crash drills: random kills + checkpoint restore + equivalence oracle.
 test-chaos:

@@ -35,6 +35,14 @@ class RequestClass:
 
     def __post_init__(self) -> None:
         ts = np.asarray(self.timestamps, dtype=float)
+        if ts.size and not np.all(np.isfinite(ts)):
+            raise ValueError(
+                f"class {self.name!r}: timestamps contain non-finite values"
+            )
+        if ts.size and np.any(ts < 0):
+            raise ValueError(
+                f"class {self.name!r}: timestamps must be >= 0"
+            )
         if ts.size and np.any(np.diff(ts) < 0):
             raise ValueError(f"class {self.name!r}: timestamps must be sorted")
         if self.slo <= 0:
@@ -54,8 +62,9 @@ class MultiClassConfig:
         return BatchConfig(self.memory_mb, b, t)
 
     def __str__(self) -> str:
+        # ":g" keeps sub-millisecond timeouts visible (0.4ms, not 0ms).
         inner = ", ".join(
-            f"{k}:(B={b},T={t * 1e3:.0f}ms)" for k, (b, t) in sorted(self.per_class.items())
+            f"{k}:(B={b},T={t * 1e3:g}ms)" for k, (b, t) in sorted(self.per_class.items())
         )
         return f"(M={self.memory_mb:.0f}MB, {inner})"
 
@@ -92,13 +101,23 @@ def simulate_multiclass(
     classes: list[RequestClass],
     config: MultiClassConfig,
     platform: ServerlessPlatform,
+    platforms: dict[str, ServerlessPlatform] | None = None,
 ) -> MultiClassResult:
-    """Simulate every class's stream under its (shared-M) batch config."""
+    """Simulate every class's stream under its (shared-M) batch config.
+
+    ``platforms`` optionally overrides the shared ``platform`` per class —
+    the fleet scheduler plans heterogeneous endpoints (different service
+    profiles or pricing) through this hook.
+    """
     missing = {c.name for c in classes} - set(config.per_class)
     if missing:
         raise ValueError(f"config missing classes: {sorted(missing)}")
     results = {
-        c.name: simulate(c.timestamps, config.batch_config(c.name), platform)
+        c.name: simulate(
+            c.timestamps,
+            config.batch_config(c.name),
+            platforms.get(c.name, platform) if platforms else platform,
+        )
         for c in classes
     }
     return MultiClassResult(config=config, per_class=results)
@@ -110,13 +129,15 @@ def optimize_multiclass(
     memories: tuple[float, ...] = (512.0, 1024.0, 1792.0, 3008.0),
     batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
     timeouts: tuple[float, ...] = (0.0, 0.025, 0.05, 0.1, 0.2),
+    platforms: dict[str, ServerlessPlatform] | None = None,
 ) -> tuple[MultiClassConfig, MultiClassResult]:
     """Decomposed exhaustive search (the MBS insight).
 
     For each memory tier, each class independently picks its cheapest
     (B, T) meeting its own SLO (falling back to its lowest-latency option);
     the tier with the lowest total cost — preferring tiers where *every*
-    class is feasible — wins.
+    class is feasible — wins. ``platforms`` optionally overrides the shared
+    ``platform`` per class (heterogeneous fleet endpoints).
     """
     if not classes:
         raise ValueError("classes must be non-empty")
@@ -129,12 +150,13 @@ def optimize_multiclass(
         chosen: dict[str, tuple[int, float]] = {}
         feasible_all = True
         for c in classes:
+            cls_platform = platforms.get(c.name, platform) if platforms else platform
             best_cls: tuple[float, tuple[int, float]] | None = None
             fallback: tuple[float, tuple[int, float]] | None = None
             for b, t in product(batch_sizes, timeouts):
                 if b == 1 and t > 0:
                     continue
-                res = simulate(c.timestamps, BatchConfig(mem, b, t), platform)
+                res = simulate(c.timestamps, BatchConfig(mem, b, t), cls_platform)
                 lat = res.latency_percentile(c.percentile)
                 if res.n_requests == 0 or not np.isfinite(lat):
                     continue
@@ -154,7 +176,8 @@ def optimize_multiclass(
             else:  # empty stream: any config serves it
                 chosen[c.name] = (batch_sizes[0], timeouts[0])
         config = MultiClassConfig(memory_mb=mem, per_class=chosen)
-        result = simulate_multiclass(classes, config, platform)
+        result = simulate_multiclass(classes, config, platform,
+                                     platforms=platforms)
         key = (not feasible_all, result.total_cost)
         if best is None or key < (not best[0], best[1]):
             best = (feasible_all, result.total_cost, config, result)

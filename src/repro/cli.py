@@ -14,7 +14,11 @@ Subcommands cover the full workflow without writing Python:
   re-decisions; earlier segments warm up the controller history.
   ``--checkpoint PATH`` makes the run crash-safe (snapshots + event
   journal; ``--restore`` resumes it bit-identically) and ``--guardrail``
-  arms the SLO circuit breaker;
+  arms the SLO circuit breaker. ``--fleet fleet.json`` switches to
+  multi-endpoint fleet serving (:mod:`repro.serving.fleet`): the trace is
+  split across the configured endpoints by share, each with its own SLO
+  and pool, under an optional shared container budget and cross-tenant
+  scheduler;
 * ``report``   — render the ASCII telemetry dashboard from such a dump.
 """
 
@@ -106,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_srv = sub.add_parser("serve", help="live serving loop over a trace")
     p_srv.add_argument("--trace", required=True, help="trace .npz path")
+    p_srv.add_argument("--fleet", metavar="PATH",
+                       help="fleet mode: serve the multi-endpoint fleet "
+                            "described by this JSON config (endpoints split "
+                            "the trace by their share weights); see "
+                            "repro.serving.fleet_config for the schema")
     p_srv.add_argument("--chooser", choices=["deepbat", "batch", "static"],
                        default="static")
     p_srv.add_argument("--model", help="surrogate checkpoint (deepbat only)")
@@ -362,6 +371,13 @@ def _validate_serve_args(args) -> None:
     if args.restore and not args.checkpoint:
         raise ValueError("--restore needs --checkpoint PATH (the snapshot "
                          "to resume from)")
+    if args.fleet:
+        for flag in ("checkpoint", "restore", "guardrail", "drift"):
+            if getattr(args, flag):
+                raise ValueError(
+                    f"--{flag} is not supported with --fleet (per-endpoint "
+                    "reliability knobs belong in the fleet config file)"
+                )
     if args.guardrail:
         if args.guardrail_window < 1:
             raise ValueError(f"--guardrail-window must be >= 1, "
@@ -380,13 +396,21 @@ def _cmd_serve(args) -> int:
     from repro.batching.config import BatchConfig
     from repro.core.drift import WorkloadDriftDetector
     from repro.serverless.service_profile import ColdStartModel
-    from repro.serving import CheckpointError, GuardrailConfig, ServingEngine, WarmPoolConfig
+    from repro.serving import (
+        CheckpointError,
+        DriftConfig,
+        GuardrailConfig,
+        ServingEngine,
+        WarmPoolConfig,
+    )
 
     try:
         _validate_serve_args(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.fleet:
+        return _cmd_serve_fleet(args)
     if args.telemetry:
         try:
             with open(args.telemetry, "w", encoding="utf-8"):
@@ -454,9 +478,9 @@ def _cmd_serve(args) -> int:
             (args.decision_interval or trace.segment_duration)
             if chooser is not None else None
         ),
-        drift_detector=detector,
-        drift_window=args.drift_window,
-        retrain_delay_s=args.retrain_delay,
+        drift=DriftConfig(detector=detector,
+                          window=args.drift_window,
+                          retrain_delay_s=args.retrain_delay),
         guardrail=(
             GuardrailConfig(window=args.guardrail_window,
                             percentile=args.guardrail_percentile,
@@ -514,6 +538,125 @@ def _cmd_serve(args) -> int:
         title=f"{trace.name}: served segments {args.start_segment}:"
               f"{trace.n_segments}, SLO {args.slo * 1e3:.0f} ms "
               f"({args.chooser})",
+    ))
+    if registry is not None:
+        n = write_jsonl(registry, args.telemetry)
+        print(f"wrote {n} telemetry records to {args.telemetry}")
+    return 0
+
+
+def _cmd_serve_fleet(args) -> int:
+    """``repro serve --fleet fleet.json``: multi-endpoint fleet serving.
+
+    The trace is split across the endpoints by their ``share`` weights;
+    warmup segments (before ``--start-segment``) seed each lane's
+    controller history. Platform-level flags (``--seed``,
+    ``--cold-starts``, ``--fault-rate``/``--fault-timeout``/``--retries``)
+    apply to every endpoint; per-endpoint knobs live in the config file.
+    """
+    from repro.serverless.service_profile import ColdStartModel
+    from repro.serving import FleetConfigError, load_fleet_config, split_by_shares
+
+    try:
+        fleet_cfg = load_fleet_config(args.fleet)
+    except FleetConfigError as exc:
+        print(f"error: invalid fleet config: {exc}", file=sys.stderr)
+        return 2
+    missing = [ep.name for ep in fleet_cfg.endpoints if ep.share is None]
+    if missing:
+        print(f"error: invalid fleet config: endpoints need a 'share' to "
+              f"split --trace traffic; missing on: {missing}", file=sys.stderr)
+        return 2
+    needs_model = [ep.name for ep in fleet_cfg.endpoints
+                   if ep.chooser == "deepbat"]
+    if needs_model and not args.model:
+        print(f"error: --model is required for deepbat endpoints: "
+              f"{needs_model}", file=sys.stderr)
+        return 2
+    if args.telemetry:
+        try:
+            with open(args.telemetry, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write {args.telemetry}: {exc}", file=sys.stderr)
+            return 2
+
+    trace = load_trace(args.trace)
+    if not 0 <= args.start_segment < trace.n_segments:
+        print("error: --start-segment out of range", file=sys.stderr)
+        return 2
+    cut = args.start_segment * trace.segment_duration
+    at = int(np.searchsorted(trace.timestamps, cut))
+    history, serve_ts = trace.timestamps[:at], trace.timestamps[at:]
+    if serve_ts.size == 0:
+        print("error: nothing to serve after --start-segment", file=sys.stderr)
+        return 2
+
+    faulty = args.fault_rate > 0.0 or args.fault_timeout is not None
+    trained = load_trained(args.model) if needs_model else None
+
+    def platform_factory(ep):
+        # Distinct seeds decorrelate per-endpoint fault/cold draws while
+        # keeping the whole fleet a function of --seed.
+        index = [e.name for e in fleet_cfg.endpoints].index(ep.name)
+        return ServerlessPlatform(
+            seed=args.seed + index,
+            cold_start=ColdStartModel() if args.cold_starts else None,
+            faults=(FaultModel(failure_rate=args.fault_rate,
+                               timeout_s=args.fault_timeout)
+                    if faulty else None),
+            retry_policy=RetryPolicy(max_attempts=args.retries),
+        )
+
+    def chooser_factory(ep, platform):
+        if ep.chooser == "deepbat":
+            return DeepBATController(trained, configs=config_grid())
+        if ep.chooser == "batch":
+            return BATCHController(configs=config_grid(),
+                                   profile=platform.profile,
+                                   pricing=platform.pricing)
+        return None
+
+    engine = fleet_cfg.build(platform_factory=platform_factory,
+                             chooser_factory=chooser_factory)
+    traffic = split_by_shares(serve_ts, engine.endpoints, fleet_cfg.split_seed)
+    histories = (
+        split_by_shares(history, engine.endpoints, fleet_cfg.split_seed)
+        if history.size else None
+    )
+
+    registry = MetricsRegistry() if args.telemetry else None
+    scope = use_registry(registry) if registry is not None else contextlib.nullcontext()
+    with scope:
+        log = engine.run(traffic, name=f"fleet-{trace.name}",
+                         trace_name=trace.name, histories=histories)
+
+    rows = []
+    for ep in fleet_cfg.endpoints:
+        ep_log = log[ep.name]
+        rows.append([
+            ep.name,
+            ep_log.n_requests,
+            f"{100.0 * ep_log.shed_rate:.1f}%",
+            f"{ep_log.p(ep.percentile) * 1e3:.1f}",
+            f"{ep.slo * 1e3:.0f}",
+            "yes" if ep_log.p(ep.percentile) <= ep.slo else "NO",
+            f"{ep_log.cost_per_request * 1e6:.4f}",
+            ep_log.reconfigurations,
+        ])
+    rows.append([
+        "fleet", log.n_requests, f"{100.0 * log.n_shed / log.n_requests:.1f}%"
+        if log.n_requests else "0.0%", "-", "-", "-",
+        f"{log.cost_per_request * 1e6:.4f}", log.fleet_decisions,
+    ])
+    budget = (f"budget {fleet_cfg.max_containers} containers"
+              if fleet_cfg.max_containers is not None else "unbounded budget")
+    print(format_table(
+        ["endpoint", "requests", "shed", "p-lat ms", "SLO ms", "met",
+         "cost $/1M", "reconfigs"],
+        rows,
+        title=f"{trace.name}: fleet of {len(fleet_cfg.endpoints)} endpoints, "
+              f"{budget}, segments {args.start_segment}:{trace.n_segments}",
     ))
     if registry is not None:
         n = write_jsonl(registry, args.telemetry)

@@ -13,6 +13,12 @@ event journal (:mod:`repro.serving.checkpoint`), an SLO circuit breaker
 around the learned controller (:mod:`repro.serving.guardrail`), and the
 chaos harness that proves kill-and-restore is bit-identical
 (:mod:`repro.serving.chaos`).
+
+PR 6 generalizes the engine into a fleet: grouped config dataclasses
+(:mod:`repro.serving.config`), multi-endpoint serving under a shared
+container budget with an SLO-aware cross-tenant scheduler
+(:mod:`repro.serving.fleet`), and a validated JSON fleet-config loader
+(:mod:`repro.serving.fleet_config`).
 """
 
 from repro.serving.chaos import (
@@ -28,14 +34,32 @@ from repro.serving.checkpoint import (
     read_snapshot,
     write_snapshot,
 )
+from repro.serving.config import DriftConfig, PredictionDriftConfig
 from repro.serving.engine import ServingEngine
+from repro.serving.fleet import (
+    EndpointSpec,
+    FleetBudget,
+    FleetEngine,
+    FleetLog,
+    FleetScheduler,
+    split_by_shares,
+)
+from repro.serving.fleet_config import FleetConfigError, load_fleet_config
 from repro.serving.guardrail import GuardrailConfig, SLOGuardrail
 from repro.serving.log import ServingDecision, ServingLog
 from repro.serving.pool import Lease, PoolStats, WarmPool, WarmPoolConfig
 
 __all__ = [
     "CheckpointError",
+    "DriftConfig",
+    "EndpointSpec",
+    "FleetBudget",
+    "FleetConfigError",
+    "FleetEngine",
+    "FleetLog",
+    "FleetScheduler",
     "GuardrailConfig",
+    "PredictionDriftConfig",
     "Journal",
     "JournalReplayError",
     "Lease",
@@ -49,6 +73,8 @@ __all__ = [
     "WarmPoolConfig",
     "assert_serving_logs_equal",
     "journal_path",
+    "load_fleet_config",
+    "split_by_shares",
     "read_snapshot",
     "run_with_crashes",
     "write_snapshot",

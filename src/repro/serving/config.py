@@ -1,0 +1,99 @@
+"""Grouped configuration for the serving engines (the PR 6 API redesign).
+
+:class:`~repro.serving.engine.ServingEngine` grew one keyword argument per
+feature across PRs 4–5 — nine of them belonged to just two concerns, drift
+detection and prediction-drift monitoring. This module groups them into
+cohesive, validated config dataclasses shared by both the single-endpoint
+engine and the fleet (:mod:`repro.serving.fleet`):
+
+* :class:`DriftConfig` — the workload-drift trigger: which fitted detector
+  to consult, how often, the cooldown between triggers, and the optional
+  delayed retrain;
+* :class:`PredictionDriftConfig` — the §III-D prediction-error trigger:
+  the training-time baseline error, the tolerance multiplier, and the
+  minimum observation count.
+
+They sit alongside the pre-existing groups
+:class:`~repro.serving.pool.WarmPoolConfig` and
+:class:`~repro.serving.guardrail.GuardrailConfig`, completing the
+config-driven engine API. Validation lives in ``__post_init__`` (the
+scattered ``if ... raise ValueError`` checks moved out of
+``ServingEngine.__init__``), so a malformed group fails at construction —
+before any engine exists. The old flat keyword arguments keep working
+through a deprecation shim on the engine; see
+:class:`~repro.serving.engine.ServingEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    import numpy as np
+
+    from repro.core.drift import WorkloadDriftDetector
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """The workload-drift trigger's policy knobs.
+
+    * ``detector`` — fitted :class:`WorkloadDriftDetector`; ``None`` keeps
+      the cadence parameters (which also pace the prediction-drift check)
+      but never fires a workload trigger;
+    * ``window`` — live interarrivals scored per check;
+    * ``check_every`` — arrivals between checks;
+    * ``cooldown_s`` — minimum simulated time between triggers;
+    * ``retrain_delay_s`` — with a value set, each trigger also schedules a
+      ``RetrainComplete`` (envelope refit on recent traffic) after this
+      long; ``None`` disables retraining;
+    * ``on_retrain`` — optional hook called with the recent interarrivals
+      when a retrain completes.
+    """
+
+    detector: "WorkloadDriftDetector | None" = None
+    window: int = 64
+    check_every: int = 32
+    cooldown_s: float = 30.0
+    retrain_delay_s: float | None = None
+    on_retrain: "Callable[[np.ndarray], None] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError(f"window must be >= 2, got {self.window}")
+        if self.check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {self.check_every}")
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.retrain_delay_s is not None and self.retrain_delay_s < 0:
+            raise ValueError(
+                f"retrain_delay_s must be >= 0 or None, got {self.retrain_delay_s}"
+            )
+
+
+@dataclass(frozen=True)
+class PredictionDriftConfig:
+    """The prediction-error trigger's policy knobs (§III-D, second trigger).
+
+    * ``baseline_error`` — the surrogate's training-time relative p95
+      error; the trigger fires when the live error exceeds
+      ``tolerance × baseline_error``;
+    * ``tolerance`` — the multiplier on the baseline;
+    * ``min_samples`` — completed requests required under the active
+      decision before the observed p95 is trusted.
+    """
+
+    baseline_error: float
+    tolerance: float = 2.0
+    min_samples: int = 64
+
+    def __post_init__(self) -> None:
+        if self.baseline_error <= 0:
+            raise ValueError(
+                f"baseline_error must be > 0, got {self.baseline_error}"
+            )
+        if self.tolerance <= 0:
+            raise ValueError(f"tolerance must be > 0, got {self.tolerance}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
@@ -67,6 +68,7 @@ from repro.core.types import Decision
 from repro.evaluation.harness import Chooser, _resolve_sequence_length
 from repro.serverless.faults import inject_faults
 from repro.serverless.platform import ServerlessPlatform
+from repro.serving.config import DriftConfig, PredictionDriftConfig
 from repro.serving.checkpoint import (
     CheckpointError,
     Journal,
@@ -100,6 +102,21 @@ _P_ARRIVAL = 2
 _P_TIMER = 3
 _P_DECISION = 4
 _P_RETRAIN = 5
+
+#: Flat keyword argument -> grouped-config field name for the shim.
+_FLAT_DRIFT_KWARGS = {
+    "drift_detector": "detector",
+    "drift_window": "window",
+    "drift_check_every": "check_every",
+    "drift_cooldown_s": "cooldown_s",
+    "retrain_delay_s": "retrain_delay_s",
+    "on_retrain": "on_retrain",
+}
+_FLAT_PREDICTION_KWARGS = {
+    "prediction_baseline_error": "baseline_error",
+    "prediction_tolerance": "tolerance",
+    "prediction_min_samples": "min_samples",
+}
 
 
 @dataclass
@@ -188,19 +205,19 @@ class ServingEngine:
         queueing (no shedding).
     deploy_delay_s:
         Lag between a decision and the new configuration taking effect.
-    drift_detector:
-        Fitted :class:`WorkloadDriftDetector`; when a live window falls
-        outside the training envelope, an out-of-band ``DecisionTick``
-        fires (§III-D's OOD trigger, run against live traffic).
-    prediction_baseline_error:
-        Enables the second §III-D trigger via :func:`prediction_drift`:
-        when the relative error between the active decision's predicted p95
-        and the observed p95 exceeds ``prediction_tolerance ×`` this
-        baseline, the controller re-decides. ``None`` disables it.
-    retrain_delay_s:
-        With a value set, each drift trigger also schedules a
-        ``RetrainComplete`` after this long; on completion the drift
-        envelope is refit on recent traffic and ``on_retrain`` is called.
+    drift:
+        :class:`~repro.serving.config.DriftConfig` grouping the workload
+        drift trigger: the fitted :class:`WorkloadDriftDetector`, the check
+        cadence/cooldown, and the optional delayed retrain. When a live
+        window falls outside the training envelope, an out-of-band
+        ``DecisionTick`` fires (§III-D's OOD trigger, run against live
+        traffic). The default ``DriftConfig()`` carries no detector.
+    prediction:
+        :class:`~repro.serving.config.PredictionDriftConfig` enabling the
+        second §III-D trigger via :func:`prediction_drift`: when the
+        relative error between the active decision's predicted p95 and the
+        observed p95 exceeds ``tolerance × baseline_error``, the controller
+        re-decides. ``None`` disables it.
     guardrail:
         Optional :class:`GuardrailConfig` enabling the SLO circuit breaker:
         a sliding monitor over completed-request latencies that trips to a
@@ -208,6 +225,20 @@ class ServingEngine:
         windows, suppresses learned reconfigurations while open, and
         half-open-probes the controller back in after a cooldown. ``None``
         (the default) changes nothing.
+    metrics_prefix:
+        Namespace for the engine's telemetry (counters/histograms). The
+        default ``"serving"`` keeps the historical names; the fleet runs
+        each endpoint under ``serving.<endpoint>`` so two endpoints never
+        share a counter.
+
+    The pre-PR-6 flat keyword arguments (``drift_detector``,
+    ``drift_window``, ``drift_check_every``, ``drift_cooldown_s``,
+    ``retrain_delay_s``, ``on_retrain``, ``prediction_baseline_error``,
+    ``prediction_tolerance``, ``prediction_min_samples``) still work
+    through a deprecation shim — they are folded into the grouped configs
+    with a single :class:`DeprecationWarning` per call and zero behavior
+    change. Mixing a grouped config with flat kwargs of the same group is
+    ambiguous and raises ``ValueError``.
     """
 
     def __init__(
@@ -221,18 +252,16 @@ class ServingEngine:
         decision_interval_s: float | None = None,
         history_tail: int = 4096,
         min_history: int = 32,
-        drift_detector: WorkloadDriftDetector | None = None,
-        drift_window: int = 64,
-        drift_check_every: int = 32,
-        drift_cooldown_s: float = 30.0,
-        retrain_delay_s: float | None = None,
-        on_retrain: Callable[[np.ndarray], None] | None = None,
-        prediction_baseline_error: float | None = None,
-        prediction_tolerance: float = 2.0,
-        prediction_min_samples: int = 64,
+        drift: DriftConfig | None = None,
+        prediction: PredictionDriftConfig | None = None,
         sequence_length: int | None = None,
         guardrail: GuardrailConfig | None = None,
+        metrics_prefix: str = "serving",
+        **deprecated_kwargs,
     ) -> None:
+        drift, prediction = self._apply_deprecated_kwargs(
+            drift, prediction, deprecated_kwargs
+        )
         if slo <= 0:
             raise ValueError(f"slo must be > 0, got {slo}")
         if deploy_delay_s < 0:
@@ -241,12 +270,8 @@ class ServingEngine:
             raise ValueError("decision_interval_s must be > 0 or None")
         if history_tail < 1:
             raise ValueError(f"history_tail must be >= 1, got {history_tail}")
-        if drift_window < 2:
-            raise ValueError(f"drift_window must be >= 2, got {drift_window}")
-        if drift_check_every < 1:
-            raise ValueError("drift_check_every must be >= 1")
-        if retrain_delay_s is not None and retrain_delay_s < 0:
-            raise ValueError("retrain_delay_s must be >= 0 or None")
+        if not metrics_prefix:
+            raise ValueError("metrics_prefix must be non-empty")
         self.initial_config = config
         self.platform = platform if platform is not None else ServerlessPlatform()
         self.chooser = chooser
@@ -260,17 +285,89 @@ class ServingEngine:
         self.decision_interval_s = decision_interval_s
         self.history_tail = history_tail
         self.min_history = min_history
-        self.drift_detector = drift_detector
-        self.drift_window = drift_window
-        self.drift_check_every = drift_check_every
-        self.drift_cooldown_s = drift_cooldown_s
-        self.retrain_delay_s = retrain_delay_s
-        self.on_retrain = on_retrain
-        self.prediction_baseline_error = prediction_baseline_error
-        self.prediction_tolerance = prediction_tolerance
-        self.prediction_min_samples = prediction_min_samples
+        self.drift_config = drift if drift is not None else DriftConfig()
+        self.prediction_config = prediction
+        # Flat views of the grouped configs: the event loop and the
+        # checkpoint fingerprint read these, so old checkpoints (written
+        # before the grouped API) keep restoring.
+        self.drift_detector = self.drift_config.detector
+        self.drift_window = self.drift_config.window
+        self.drift_check_every = self.drift_config.check_every
+        self.drift_cooldown_s = self.drift_config.cooldown_s
+        self.retrain_delay_s = self.drift_config.retrain_delay_s
+        self.on_retrain = self.drift_config.on_retrain
+        self.prediction_baseline_error = (
+            prediction.baseline_error if prediction is not None else None
+        )
+        self.prediction_tolerance = (
+            prediction.tolerance if prediction is not None else 2.0
+        )
+        self.prediction_min_samples = (
+            prediction.min_samples if prediction is not None else 64
+        )
         self.sequence_length = _resolve_sequence_length(chooser, sequence_length)
         self.guardrail_config = guardrail
+        self.metrics_prefix = metrics_prefix
+
+    @staticmethod
+    def _apply_deprecated_kwargs(
+        drift: DriftConfig | None,
+        prediction: PredictionDriftConfig | None,
+        kwargs: dict,
+    ) -> tuple[DriftConfig | None, PredictionDriftConfig | None]:
+        """Fold pre-PR-6 flat keyword arguments into the grouped configs.
+
+        Emits exactly one :class:`DeprecationWarning` naming every flat
+        kwarg used; unknown keyword arguments raise ``TypeError`` as a
+        normal signature would.
+        """
+        unknown = set(kwargs) - set(_FLAT_DRIFT_KWARGS) - set(_FLAT_PREDICTION_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"ServingEngine got unexpected keyword arguments: "
+                f"{sorted(unknown)}"
+            )
+        if not kwargs:
+            return drift, prediction
+        warnings.warn(
+            "ServingEngine flat keyword arguments ("
+            + ", ".join(sorted(kwargs))
+            + ") are deprecated; pass drift=DriftConfig(...) / "
+            "prediction=PredictionDriftConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        drift_flat = {
+            field: kwargs[name]
+            for name, field in _FLAT_DRIFT_KWARGS.items()
+            if name in kwargs
+        }
+        pred_flat = {
+            field: kwargs[name]
+            for name, field in _FLAT_PREDICTION_KWARGS.items()
+            if name in kwargs
+        }
+        if drift_flat:
+            if drift is not None:
+                raise ValueError(
+                    "pass either drift=DriftConfig(...) or the flat drift_* "
+                    "kwargs, not both"
+                )
+            drift = DriftConfig(**drift_flat)
+        if pred_flat:
+            if prediction is not None:
+                raise ValueError(
+                    "pass either prediction=PredictionDriftConfig(...) or "
+                    "the flat prediction_* kwargs, not both"
+                )
+            baseline = pred_flat.pop("baseline_error", None)
+            # Old semantics: the trigger is enabled iff a baseline error is
+            # given; tolerance/min_samples alone configured a disabled
+            # trigger and were (harmlessly) ignored.
+            if baseline is not None:
+                prediction = PredictionDriftConfig(baseline_error=baseline,
+                                                   **pred_flat)
+        return drift, prediction
 
     # ------------------------------------------------------------------- run
     def run(
@@ -343,7 +440,7 @@ class ServingEngine:
             ts=ts,
             n=n,
             buffer=BatchingBuffer(self.initial_config),
-            pool=WarmPool(self.pool_config, self.platform.cold_start),
+            pool=self._make_pool(),
             heap=[],
             seq=0,
             queue=deque(),
@@ -369,6 +466,10 @@ class ServingEngine:
             self._push(st, float(ts[0]) + self.decision_interval_s, _P_DECISION,
                        "decision", "interval")
         return st
+
+    def _make_pool(self) -> WarmPool:
+        """Pool factory; the fleet overrides it to share a container budget."""
+        return WarmPool(self.pool_config, self.platform.cold_start)
 
     # --------------------------------------------------------------- restore
     def restore(
@@ -515,6 +616,23 @@ class ServingEngine:
                 )
         return self._finish(st)
 
+    def _next_event_key(self, st: _RunState) -> tuple[float, int] | None:
+        """``(time, priority)`` of the event :meth:`_step` would process
+        next, or ``None`` when the run is finished. The fleet merges lanes
+        on this key, so it must rank exactly as ``_step`` chooses: on a
+        tie the heap event wins (arrival priority is unique to arrivals,
+        so ties never actually cross the two sources)."""
+        arrival = (
+            (float(st.ts[st.arrival_ptr]), _P_ARRIVAL)
+            if st.arrival_ptr < st.n else None
+        )
+        head = (st.heap[0][0], st.heap[0][1]) if st.heap else None
+        if arrival is None:
+            return head
+        if head is None or arrival < head:
+            return arrival
+        return head
+
     def _step(self, st: _RunState, ctx: _RunContext) -> bool:
         """Process exactly one event (arrival or heap pop); False when done."""
         if st.arrival_ptr >= st.n and not st.heap:
@@ -533,7 +651,7 @@ class ServingEngine:
             st.recent_ts.append(now)
             self._emit(st, ctx, ("arrival", now, i))
             if registry.enabled:
-                registry.counter("serving.requests").inc()
+                registry.counter(f"{self.metrics_prefix}.requests").inc()
             for batch in st.buffer.observe(now):
                 self._dispatch(st, ctx, batch, now)
             self._arm_timer(st)
@@ -642,11 +760,11 @@ class ServingEngine:
                    (container_id, batch.indices))
         registry = ctx.registry
         if registry.enabled:
-            registry.counter("serving.batches").inc()
+            registry.counter(f"{self.metrics_prefix}.batches").inc()
             registry.counter(
-                "serving.cold_starts" if cold else "serving.warm_starts"
+                f"{self.metrics_prefix}.cold_starts" if cold else f"{self.metrics_prefix}.warm_starts"
             ).inc()
-            registry.histogram("serving.queue_delay").observe(
+            registry.histogram(f"{self.metrics_prefix}.queue_delay").observe(
                 start - batch.dispatch_time
             )
         self._emit(st, ctx, ("start", start, container_id, size, cold,
@@ -659,7 +777,7 @@ class ServingEngine:
         registry = ctx.registry
         if lease is not None:
             if registry.enabled and lease.cold:
-                registry.histogram("serving.cold_delay").observe(
+                registry.histogram(f"{self.metrics_prefix}.cold_delay").observe(
                     lease.cold_delay
                 )
             self._start_batch(st, ctx, batch, memory_mb, lease.cold_delay,
@@ -670,8 +788,8 @@ class ServingEngine:
             st.shed[batch.indices] = True
             st.counters["shed_batches"] += 1
             if registry.enabled:
-                registry.counter("serving.shed_requests").inc(batch.size)
-                registry.counter("serving.shed_batches").inc()
+                registry.counter(f"{self.metrics_prefix}.shed_requests").inc(batch.size)
+                registry.counter(f"{self.metrics_prefix}.shed_batches").inc()
                 registry.record_event(ShedEvent(
                     time=now, requests=batch.size,
                     queued_batches=len(st.queue),
@@ -680,7 +798,7 @@ class ServingEngine:
             return
         st.queue.append(batch)
         if registry.enabled:
-            registry.counter("serving.queued_batches").inc()
+            registry.counter(f"{self.metrics_prefix}.queued_batches").inc()
         self._emit(st, ctx, ("queued", now, batch.size))
 
     def _on_completion(self, st: _RunState, ctx: _RunContext, now: float,
@@ -690,7 +808,7 @@ class ServingEngine:
         st.recent_latencies.extend(st.latencies[indices].tolist())
         registry = ctx.registry
         if registry.enabled:
-            registry.histogram("serving.latency").observe_many(
+            registry.histogram(f"{self.metrics_prefix}.latency").observe_many(
                 st.latencies[indices]
             )
         self._emit(st, ctx, ("completion", now, container_id))
@@ -710,6 +828,36 @@ class ServingEngine:
         if pred is None and decision.diagnostics:
             pred = decision.diagnostics.get("predicted_p95")
         return float(pred) if pred is not None else None
+
+    def _inject_decision(self, st: _RunState, ctx: _RunContext, now: float,
+                         config: BatchConfig, reason: str,
+                         decision_time: float = 0.0,
+                         predicted_p95: float | None = None,
+                         degraded: bool = False) -> None:
+        """Record an externally supplied decision and schedule its rollout.
+
+        The fleet scheduler uses this to push an arbitrated ``(M, B, T)``
+        into a lane; ``_on_decision`` funnels chooser output through the
+        same path so both produce identical event sequences.
+        """
+        registry = ctx.registry
+        record = ServingDecision(
+            time=now,
+            reason=reason,
+            config=config,
+            decision_time=float(decision_time),
+            degraded=degraded,
+            predicted_p95=predicted_p95,
+        )
+        st.decisions.append(record)
+        if registry.enabled:
+            registry.counter(f"{self.metrics_prefix}.decisions").inc()
+        self._emit(st, ctx, ("decision", now, reason, str(config)))
+        if config != st.target:
+            st.target = config
+            st.reconfig_gen += 1
+            self._push(st, now + self.deploy_delay_s, _P_RECONFIGURE,
+                       "reconfigure", (st.reconfig_gen, record, now, reason))
 
     def _on_decision(self, st: _RunState, ctx: _RunContext, now: float,
                      reason: str) -> None:
@@ -733,29 +881,16 @@ class ServingEngine:
                 # Live serving must survive a controller crash with no
                 # fallback decision; keep the active configuration.
                 if registry.enabled:
-                    registry.counter("serving.decision_errors").inc()
+                    registry.counter(f"{self.metrics_prefix}.decision_errors").inc()
                 self._emit(st, ctx, ("decision_error", now, reason))
                 decision = None
             if decision is not None:
-                record = ServingDecision(
-                    time=now,
-                    reason=reason,
-                    config=decision.config,
+                self._inject_decision(
+                    st, ctx, now, decision.config, reason,
                     decision_time=float(decision.decision_time),
-                    degraded=decision.degraded,
                     predicted_p95=self._extract_predicted_p95(decision),
+                    degraded=decision.degraded,
                 )
-                st.decisions.append(record)
-                if registry.enabled:
-                    registry.counter("serving.decisions").inc()
-                self._emit(st, ctx, ("decision", now, reason,
-                                     str(decision.config)))
-                if decision.config != st.target:
-                    st.target = decision.config
-                    st.reconfig_gen += 1
-                    self._push(st, now + self.deploy_delay_s, _P_RECONFIGURE,
-                               "reconfigure",
-                               (st.reconfig_gen, record, now, reason))
         if (
             reason == "interval"
             and self.decision_interval_s is not None
@@ -778,7 +913,7 @@ class ServingEngine:
         st.recent_latencies.clear()
         registry = ctx.registry
         if registry.enabled:
-            registry.counter("serving.reconfigurations").inc()
+            registry.counter(f"{self.metrics_prefix}.reconfigurations").inc()
             registry.record_event(ReconfigureEvent(
                 time=now, reason=reason,
                 memory_mb=st.active.memory_mb,
@@ -850,7 +985,7 @@ class ServingEngine:
                 st.counters["drift"] += 1
                 st.cooldown_until = now + self.drift_cooldown_s
                 if registry.enabled:
-                    registry.counter("serving.drift_triggers").inc()
+                    registry.counter(f"{self.metrics_prefix}.drift_triggers").inc()
                     registry.record_event(DriftEvent(
                         time=now, detector="workload", score=score
                     ))
@@ -875,7 +1010,7 @@ class ServingEngine:
                     st.cooldown_until = now + self.drift_cooldown_s
                     if registry.enabled:
                         registry.counter(
-                            "serving.prediction_drift_triggers"
+                            f"{self.metrics_prefix}.prediction_drift_triggers"
                         ).inc()
                         registry.record_event(DriftEvent(
                             time=now, detector="prediction", score=error
@@ -896,7 +1031,7 @@ class ServingEngine:
         if self.on_retrain is not None:
             self.on_retrain(recent)
         if ctx.registry.enabled:
-            ctx.registry.counter("serving.retrains").inc()
+            ctx.registry.counter(f"{self.metrics_prefix}.retrains").inc()
         self._emit(st, ctx, ("retrain", now))
 
     # ---------------------------------------------------------------- finish

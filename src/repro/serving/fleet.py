@@ -1,0 +1,547 @@
+"""Fleet serving: N endpoints, one deterministic event loop (PR 6).
+
+The single-endpoint :class:`~repro.serving.engine.ServingEngine` optimizes
+one model against one SLO. The real serverless setting — the paper's §VI
+(MBS) and HarmonyBatch — is heterogeneous: several request classes with
+distinct SLOs sharing platform capacity. This module generalizes the
+engine into that setting:
+
+* :class:`EndpointSpec` — one tenant: its model/service profile, initial
+  ``(M, B, T)``, per-class SLO + percentile, and traffic source (a named
+  stream passed to :meth:`FleetEngine.run`, or a ``share`` of one trace
+  split by :func:`split_by_shares`);
+* :class:`FleetBudget` / :class:`BudgetedWarmPool` — per-endpoint warm
+  pools drawing on one fleet-wide container budget (the account-level
+  concurrency limit): a cold start anywhere charges the shared cap, and
+  when the fleet is at the cap the globally least-recently-freed idle
+  container — whichever tenant owns it — is evicted to make room;
+* :class:`FleetScheduler` — cross-tenant arbitration of ``(M, B, T)``:
+  cost-min subject to *every* endpoint's SLO, reusing the decomposed
+  multi-class optimizer (:func:`repro.batching.multiclass
+  .optimize_multiclass`) per memory tier over the endpoints' live
+  arrival histories. When the scheduler abstains (insufficient history),
+  each lane's own chooser keeps deciding — the per-endpoint fallback;
+* :class:`FleetEngine` — N lane engines merged into **one** event loop:
+  each lane is a full :class:`ServingEngine` run state, and the fleet
+  repeatedly steps whichever lane owns the globally next event (ordered
+  by ``(time, priority, lane index)`` — exactly the ranking ``_step``
+  itself uses, so with a single endpoint and an unconstrained budget the
+  fleet reproduces ``ServingEngine`` bit-for-bit: latencies, costs, and
+  event trace, faults on and off. That equivalence is this module's
+  keystone, pinned in tier-1).
+
+Determinism: lanes share no RNG (each endpoint has its own platform, and
+fault draws are keyed by per-lane batch index), the budget's eviction is
+a pure ``min`` over ``(free_at, lane, container_id)``, and the scheduler
+plans on *fresh fault-free platforms* so planning never consumes a live
+generator. Telemetry is namespaced ``serving.<endpoint>.*`` per lane, so
+two endpoints never share a counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.batching.config import BatchConfig
+from repro.batching.multiclass import RequestClass, optimize_multiclass
+from repro.serverless.platform import ServerlessPlatform
+from repro.serving.config import DriftConfig, PredictionDriftConfig
+from repro.serving.engine import _P_DECISION, ServingEngine, _RunContext
+from repro.serving.guardrail import GuardrailConfig
+from repro.serving.log import ServingLog
+from repro.serving.pool import WarmPool, WarmPoolConfig
+from repro.telemetry.metrics import get_registry
+from repro.utils.validation import check_sorted
+
+
+# --------------------------------------------------------------- endpoints
+@dataclass(frozen=True)
+class EndpointSpec:
+    """One fleet tenant: a model endpoint with its own SLO and traffic.
+
+    * ``name`` — endpoint identifier; becomes the telemetry namespace
+      ``serving.<name>.*``, so it must not contain ``.``;
+    * ``config`` — the initial ``(M, B, T)`` deployment;
+    * ``slo`` / ``percentile`` — the endpoint's latency target;
+    * ``platform`` — the endpoint's service-time/pricing/fault model
+      (``None`` = a default :class:`ServerlessPlatform`);
+    * ``chooser`` — optional per-endpoint controller (the fallback when
+      the fleet scheduler abstains); ``decision_interval_s`` paces it;
+    * ``share`` — this endpoint's fraction of a single shared trace when
+      :meth:`FleetEngine.run` is given one array instead of per-endpoint
+      streams (see :func:`split_by_shares`);
+    * ``pool`` / ``drift`` / ``prediction`` / ``guardrail`` — the same
+      grouped config dataclasses the single engine takes.
+    """
+
+    name: str
+    config: BatchConfig
+    slo: float = 0.1
+    percentile: float = 95.0
+    platform: ServerlessPlatform | None = None
+    chooser: object | None = None
+    decision_interval_s: float | None = None
+    min_history: int = 32
+    share: float | None = None
+    pool: WarmPoolConfig | None = None
+    drift: DriftConfig | None = None
+    prediction: PredictionDriftConfig | None = None
+    guardrail: GuardrailConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("endpoint name must be non-empty")
+        if "." in self.name:
+            raise ValueError(
+                f"endpoint name {self.name!r} must not contain '.' "
+                "(it namespaces telemetry as serving.<name>.*)"
+            )
+        if self.slo <= 0:
+            raise ValueError(f"endpoint {self.name!r}: slo must be > 0, "
+                             f"got {self.slo}")
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(
+                f"endpoint {self.name!r}: percentile must be in (0, 100], "
+                f"got {self.percentile}"
+            )
+        if self.share is not None and not 0.0 < self.share <= 1.0:
+            raise ValueError(
+                f"endpoint {self.name!r}: share must be in (0, 1], "
+                f"got {self.share}"
+            )
+
+
+def split_by_shares(
+    timestamps: np.ndarray,
+    endpoints: list[EndpointSpec],
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Split one arrival trace across endpoints by their ``share`` weights.
+
+    Each arrival is assigned independently (a thinned Poisson process
+    stays Poisson), with probabilities proportional to the shares. The
+    split is a pure function of ``(timestamps, shares, seed)`` — it uses
+    its own seeded generator, never global state.
+    """
+    ts = check_sorted(np.asarray(timestamps, dtype=float), "timestamps")
+    missing = [e.name for e in endpoints if e.share is None]
+    if missing:
+        raise ValueError(
+            f"endpoints without a share cannot split a single trace: {missing}"
+        )
+    shares = np.asarray([e.share for e in endpoints], dtype=float)
+    edges = np.cumsum(shares) / shares.sum()
+    rng = np.random.default_rng(seed)
+    lane = np.searchsorted(edges, rng.random(ts.size), side="right")
+    return {e.name: ts[lane == i] for i, e in enumerate(endpoints)}
+
+
+# ------------------------------------------------------------ shared budget
+class FleetBudget:
+    """A fleet-wide cap on live containers across all endpoint pools.
+
+    ``max_containers`` bounds busy + warm-idle containers summed over
+    every registered pool (``None`` = unbounded, in which case the budget
+    never denies anything). A pool asking to provision a cold container
+    when the fleet is at the cap triggers a *global* eviction: the
+    least-recently-freed idle container anywhere — ties broken by lane
+    registration order, then container id — is reclaimed, whichever
+    tenant owns it. With every container busy fleet-wide, admission is
+    denied and the batch queues in its own lane.
+
+    A budget is built fresh per :meth:`FleetEngine.run` (pools register
+    at pool construction), so runs never share eviction state.
+    """
+
+    def __init__(self, max_containers: int | None = None) -> None:
+        if max_containers is not None and max_containers < 1:
+            raise ValueError(
+                f"max_containers must be >= 1 or None, got {max_containers}"
+            )
+        self.max_containers = max_containers
+        self._pools: list[WarmPool] = []
+
+    def register(self, pool: WarmPool) -> None:
+        self._pools.append(pool)
+
+    def live_containers(self, now: float) -> int:
+        """Busy + warm-idle containers fleet-wide (after lazy expiry)."""
+        return sum(p.live_containers(now) for p in self._pools)
+
+    def admit_cold(self, now: float) -> bool:
+        """May a new container be provisioned anywhere in the fleet?"""
+        if self.max_containers is None:
+            return True
+        for pool in self._pools:
+            pool._expire(now)
+        live = sum(len(p._containers) for p in self._pools)
+        if live < self.max_containers:
+            return True
+        idle = [
+            (c.free_at, lane, c.container_id, pool)
+            for lane, pool in enumerate(self._pools)
+            for c in pool._containers.values()
+            if c.free_at <= now
+        ]
+        if not idle:
+            return False
+        _, _, victim_id, victim_pool = min(idle, key=lambda x: x[:3])
+        del victim_pool._containers[victim_id]
+        victim_pool.stats.evicted += 1
+        return True
+
+
+class BudgetedWarmPool(WarmPool):
+    """A :class:`WarmPool` whose cold starts charge a shared fleet budget."""
+
+    def __init__(
+        self,
+        config: WarmPoolConfig | None,
+        cold_start,
+        budget: FleetBudget,
+    ) -> None:
+        super().__init__(config, cold_start)
+        self.budget = budget
+        budget.register(self)
+
+    def _admit_cold(self, now: float) -> bool:
+        return self.budget.admit_cold(now)
+
+
+class _LaneEngine(ServingEngine):
+    """A per-endpoint engine whose pool can draw on a shared budget.
+
+    With ``fleet_budget`` unset it *is* a ``ServingEngine`` (the base
+    pool, no budget checks) — the keystone equivalence path.
+    """
+
+    fleet_budget: FleetBudget | None = None
+
+    def _make_pool(self) -> WarmPool:
+        if self.fleet_budget is None:
+            return super()._make_pool()
+        return BudgetedWarmPool(
+            self.pool_config, self.platform.cold_start, self.fleet_budget
+        )
+
+
+# --------------------------------------------------------------- scheduler
+class FleetScheduler:
+    """Cross-tenant ``(M, B, T)`` arbitration via the MBS decomposition.
+
+    At each fleet decision tick the scheduler sees every endpoint's
+    recent interarrival history, rebuilds them as
+    :class:`~repro.batching.multiclass.RequestClass` streams, and runs
+    the decomposed multi-class optimizer: per memory tier each endpoint
+    independently picks its cheapest SLO-feasible ``(B, T)``, and the
+    cheapest tier where every endpoint is feasible wins (cost-min subject
+    to all SLOs). The plan is one shared ``M`` with per-endpoint
+    ``(B, T)`` — exactly the MBS deployment shape.
+
+    Planning runs on **fresh fault-free platforms** cloned from each
+    endpoint's profile/pricing: the live platforms' generators must never
+    be consumed by what-if simulation, or the fleet would stop being
+    bit-reproducible. :meth:`decide` abstains (returns ``None``) while
+    any endpoint's history is shorter than ``min_history`` — the lanes'
+    own choosers remain the fallback controllers.
+    """
+
+    def __init__(
+        self,
+        memories: tuple[float, ...] = (512.0, 1024.0, 2048.0, 4096.0),
+        batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+        timeouts: tuple[float, ...] = (0.0, 0.025, 0.05, 0.1),
+        min_history: int = 32,
+    ) -> None:
+        if not memories or not batch_sizes or not timeouts:
+            raise ValueError("memories, batch_sizes, timeouts must be non-empty")
+        if min_history < 1:
+            raise ValueError(f"min_history must be >= 1, got {min_history}")
+        self.memories = tuple(memories)
+        self.batch_sizes = tuple(batch_sizes)
+        self.timeouts = tuple(timeouts)
+        self.min_history = min_history
+
+    @staticmethod
+    def _planning_platform(platform: ServerlessPlatform) -> ServerlessPlatform:
+        """A fault-free, cold-start-free clone for what-if simulation."""
+        return ServerlessPlatform(
+            profile=platform.profile, pricing=platform.pricing
+        )
+
+    def decide(
+        self,
+        histories: dict[str, np.ndarray],
+        endpoints: list[EndpointSpec],
+    ) -> dict[str, BatchConfig] | None:
+        """Arbitrate one plan, or ``None`` when history is insufficient."""
+        if any(
+            histories.get(e.name) is None
+            or histories[e.name].size < self.min_history
+            for e in endpoints
+        ):
+            return None
+        classes = []
+        platforms = {}
+        for e in endpoints:
+            hist = np.asarray(histories[e.name], dtype=float)
+            ts = np.concatenate([[0.0], np.cumsum(hist)])
+            classes.append(RequestClass(
+                name=e.name, timestamps=ts, slo=e.slo, percentile=e.percentile
+            ))
+            platforms[e.name] = self._planning_platform(
+                e.platform if e.platform is not None else ServerlessPlatform()
+            )
+        config, _result = optimize_multiclass(
+            classes,
+            platforms[endpoints[0].name],
+            memories=self.memories,
+            batch_sizes=self.batch_sizes,
+            timeouts=self.timeouts,
+            platforms=platforms,
+        )
+        return {e.name: config.batch_config(e.name) for e in endpoints}
+
+
+# ------------------------------------------------------------------- fleet
+@dataclass
+class FleetLog:
+    """Per-endpoint :class:`ServingLog`\\ s plus fleet-level aggregates."""
+
+    name: str
+    logs: dict[str, ServingLog]
+    fleet_decisions: int = 0
+    max_containers: int | None = None
+
+    def __getitem__(self, endpoint: str) -> ServingLog:
+        return self.logs[endpoint]
+
+    @property
+    def endpoints(self) -> list[str]:
+        return list(self.logs)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(log.n_requests for log in self.logs.values())
+
+    @property
+    def n_served(self) -> int:
+        return sum(log.n_served for log in self.logs.values())
+
+    @property
+    def n_shed(self) -> int:
+        return sum(log.n_shed for log in self.logs.values())
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(log.total_cost for log in self.logs.values()))
+
+    @property
+    def cost_per_request(self) -> float:
+        served = self.n_served
+        return self.total_cost / served if served else float("nan")
+
+
+class FleetEngine:
+    """N endpoint engines merged into one deterministic event loop.
+
+    Parameters
+    ----------
+    endpoints:
+        The tenants. Each becomes an independent lane — its own
+        :class:`BatchingBuffer`, warm pool, chooser, and telemetry
+        namespace ``serving.<name>.*``.
+    max_containers:
+        The shared fleet-wide container budget (``None`` = unconstrained;
+        each lane then runs the plain per-endpoint pool, which is the
+        keystone-equivalence configuration).
+    scheduler:
+        Optional :class:`FleetScheduler` arbitrating configs across
+        tenants every ``scheduler_interval_s`` of simulated time. When it
+        abstains, lanes fall back to their own choosers.
+    scheduler_interval_s:
+        Cadence of fleet decision ticks (required with a scheduler).
+    """
+
+    def __init__(
+        self,
+        endpoints: list[EndpointSpec],
+        max_containers: int | None = None,
+        scheduler: FleetScheduler | None = None,
+        scheduler_interval_s: float | None = None,
+        split_seed: int = 0,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("endpoints must be non-empty")
+        names = [e.name for e in endpoints]
+        if len(set(names)) != len(names):
+            raise ValueError(f"endpoint names must be unique, got {names}")
+        if max_containers is not None and max_containers < 1:
+            raise ValueError(
+                f"max_containers must be >= 1 or None, got {max_containers}"
+            )
+        if scheduler is not None and (
+            scheduler_interval_s is None or scheduler_interval_s <= 0
+        ):
+            raise ValueError(
+                "scheduler_interval_s must be > 0 when a scheduler is set"
+            )
+        self.endpoints = list(endpoints)
+        self.max_containers = max_containers
+        self.scheduler = scheduler
+        self.scheduler_interval_s = scheduler_interval_s
+        self.split_seed = split_seed
+
+    # ----------------------------------------------------------------- run
+    def run(
+        self,
+        traffic: dict[str, np.ndarray] | np.ndarray,
+        name: str = "fleet",
+        trace_name: str = "trace",
+        histories: dict[str, np.ndarray] | None = None,
+        record_trace: bool = False,
+    ) -> FleetLog:
+        """Serve every endpoint's stream in one merged event loop.
+
+        ``traffic`` is either ``{endpoint: timestamps}`` or a single
+        sorted array, which is split across the endpoints by their
+        ``share`` weights (:func:`split_by_shares`, seeded with the
+        engine's ``split_seed``). ``histories`` optionally seeds each
+        lane's observation window, as ``ServingEngine.run(history=...)``
+        does.
+        """
+        if isinstance(traffic, dict):
+            unknown = set(traffic) - {e.name for e in self.endpoints}
+            if unknown:
+                raise ValueError(
+                    f"traffic for unknown endpoints: {sorted(unknown)}"
+                )
+            streams = {
+                e.name: np.asarray(traffic.get(e.name, []), dtype=float)
+                for e in self.endpoints
+            }
+        else:
+            streams = split_by_shares(traffic, self.endpoints, self.split_seed)
+
+        budget = (
+            FleetBudget(self.max_containers)
+            if self.max_containers is not None else None
+        )
+        registry = get_registry()
+        lanes = []  # (engine, state, ctx) per endpoint, in spec order
+        for spec in self.endpoints:
+            eng = _LaneEngine(
+                spec.config,
+                platform=spec.platform,
+                chooser=spec.chooser,
+                slo=spec.slo,
+                pool=spec.pool,
+                decision_interval_s=spec.decision_interval_s,
+                min_history=spec.min_history,
+                drift=spec.drift,
+                prediction=spec.prediction,
+                guardrail=spec.guardrail,
+                metrics_prefix=f"serving.{spec.name}",
+            )
+            eng.fleet_budget = budget
+            ts = check_sorted(streams[spec.name], f"traffic[{spec.name!r}]")
+            history = histories.get(spec.name) if histories else None
+            st = eng._init_state(
+                ts, name=f"{name}.{spec.name}", trace_name=trace_name,
+                history=history, record_trace=record_trace,
+            )
+            lanes.append((eng, st, _RunContext(registry=registry)))
+
+        first_arrivals = [
+            float(st.ts[0]) for _, st, _ in lanes if st.n
+        ]
+        next_tick = (
+            min(first_arrivals) + self.scheduler_interval_s
+            if self.scheduler is not None and first_arrivals else None
+        )
+        fleet_decisions = 0
+
+        while True:
+            best = None  # ((time, priority, lane), lane_index)
+            for i, (eng, st, _ctx) in enumerate(lanes):
+                key = eng._next_event_key(st)
+                if key is not None:
+                    ranked = (key[0], key[1], i)
+                    if best is None or ranked < best[0]:
+                        best = (ranked, i)
+            if next_tick is not None and (
+                best is None or (next_tick, _P_DECISION) <= best[0][:2]
+            ):
+                # The fleet tick outranks lane events at the same
+                # (time, priority): arbitration lands before any lane's
+                # own decision of that instant.
+                fleet_decisions += self._scheduler_tick(lanes, next_tick)
+                next_tick = (
+                    next_tick + self.scheduler_interval_s
+                    if any(st.arrival_ptr < st.n for _, st, _ in lanes)
+                    else None
+                )
+                continue
+            if best is None:
+                break
+            eng, st, ctx = lanes[best[1]]
+            eng._step(st, ctx)
+            st.events_processed += 1
+            if budget is not None:
+                # A completion (or eviction headroom) in one lane can
+                # unblock batches queued in another; the lanes' own
+                # completion handlers only drain their own queues.
+                self._drain_queues(lanes, float(st.clock))
+
+        logs = {
+            spec.name: eng._finish(st)
+            for spec, (eng, st, _ctx) in zip(self.endpoints, lanes)
+        }
+        return FleetLog(
+            name=name, logs=logs, fleet_decisions=fleet_decisions,
+            max_containers=self.max_containers,
+        )
+
+    # ------------------------------------------------------------ internals
+    def _scheduler_tick(self, lanes, now: float) -> int:
+        """Run one fleet arbitration; returns 1 if a plan was applied."""
+        histories = {
+            spec.name: np.diff(np.asarray(st.recent_ts, dtype=float))
+            for spec, (_eng, st, _ctx) in zip(self.endpoints, lanes)
+        }
+        plan = self.scheduler.decide(histories, self.endpoints)
+        if plan is None:
+            return 0
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("fleet.scheduler_plans").inc()
+        for spec, (eng, st, ctx) in zip(self.endpoints, lanes):
+            eng._inject_decision(st, ctx, now, plan[spec.name], "fleet")
+        return 1
+
+    @staticmethod
+    def _drain_queues(lanes, now: float) -> None:
+        """Start queued batches anywhere the shared budget now allows.
+
+        Without this pass a lane whose only pending work is queued
+        batches would deadlock: it has no completion events of its own,
+        so nothing inside the lane would ever retry the pool.
+        """
+        for eng, st, ctx in lanes:
+            while st.queue:
+                memory_mb = st.active.memory_mb
+                lease = st.pool.acquire(now, memory_mb)
+                if lease is None:
+                    break
+                batch = st.queue.popleft()
+                registry = ctx.registry
+                if registry.enabled and lease.cold:
+                    registry.histogram(
+                        f"{eng.metrics_prefix}.cold_delay"
+                    ).observe(lease.cold_delay)
+                eng._start_batch(
+                    st, ctx, batch, memory_mb, lease.cold_delay,
+                    lease.cold, lease.container_id, start=now,
+                )

@@ -1,0 +1,294 @@
+"""Validated JSON fleet configuration (``repro serve --fleet fleet.json``).
+
+The fleet CLI is driven by a config file instead of a kwargs explosion:
+one JSON document declares the endpoints (name, initial ``(M, B, T)``,
+SLO, traffic share, per-endpoint pool/controller knobs) and the
+fleet-level settings (shared container budget, scheduler cadence). This
+module is the hand-rolled schema for that document — every violation
+raises :class:`FleetConfigError` with the *path* of the offending field
+(``endpoints[1].slo: must be > 0``), which the CLI converts into an
+``exit 2`` error message. Unknown keys are rejected (a typo'd knob must
+not silently become a no-op).
+
+Example::
+
+    {
+      "max_containers": 6,
+      "scheduler": {"interval_s": 5.0},
+      "endpoints": [
+        {"name": "chat",  "memory_mb": 2048, "batch_size": 8,
+         "timeout": 0.05, "slo": 0.15, "share": 0.7},
+        {"name": "embed", "memory_mb": 1024, "batch_size": 16,
+         "timeout": 0.02, "slo": 0.05, "share": 0.3,
+         "chooser": "batch", "decision_interval_s": 10.0}
+      ]
+    }
+
+:func:`load_fleet_config` parses and validates; the resulting
+:class:`FleetConfig` builds a ready :class:`~repro.serving.fleet
+.FleetEngine` via :meth:`FleetConfig.build`, with hooks for the CLI to
+supply per-endpoint platforms and choosers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.batching.config import BatchConfig
+from repro.serving.fleet import EndpointSpec, FleetEngine, FleetScheduler
+from repro.serving.pool import WarmPoolConfig
+
+
+class FleetConfigError(ValueError):
+    """A fleet config file failed validation; the message names the path."""
+
+
+#: Recognized chooser names (resolved by the caller's ``chooser_factory``).
+CHOOSERS = ("none", "batch", "deepbat")
+
+_TOP_KEYS = {"endpoints", "max_containers", "scheduler", "split_seed"}
+_SCHEDULER_KEYS = {"interval_s", "min_history"}
+_ENDPOINT_KEYS = {
+    "name", "memory_mb", "batch_size", "timeout", "slo", "percentile",
+    "share", "chooser", "decision_interval_s", "keep_alive_s",
+    "max_containers", "max_queued_batches",
+}
+
+
+@dataclass(frozen=True)
+class EndpointConfig:
+    """One validated endpoint entry of the fleet config file."""
+
+    name: str
+    memory_mb: float
+    batch_size: int
+    timeout: float
+    slo: float = 0.1
+    percentile: float = 95.0
+    share: float | None = None
+    chooser: str = "none"
+    decision_interval_s: float | None = None
+    keep_alive_s: float = math.inf
+    max_containers: int | None = None
+    max_queued_batches: int | None = None
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """A validated fleet document, ready to build a :class:`FleetEngine`."""
+
+    endpoints: tuple[EndpointConfig, ...]
+    max_containers: int | None = None
+    scheduler_interval_s: float | None = None
+    scheduler_min_history: int = 32
+    split_seed: int = 0
+
+    def build(
+        self,
+        platform_factory: Callable | None = None,
+        chooser_factory: Callable | None = None,
+    ) -> FleetEngine:
+        """Construct the :class:`FleetEngine` this config describes.
+
+        ``platform_factory(endpoint_config)`` supplies each endpoint's
+        :class:`ServerlessPlatform` (``None`` = platform defaults);
+        ``chooser_factory(endpoint_config, platform)`` resolves the
+        ``chooser`` name into a controller (``None`` = no controller,
+        whatever the name — the library has no model registry).
+        """
+        specs = []
+        for ep in self.endpoints:
+            platform = platform_factory(ep) if platform_factory else None
+            chooser = (
+                chooser_factory(ep, platform)
+                if chooser_factory and ep.chooser != "none" else None
+            )
+            specs.append(EndpointSpec(
+                name=ep.name,
+                config=BatchConfig(memory_mb=ep.memory_mb,
+                                   batch_size=ep.batch_size,
+                                   timeout=ep.timeout),
+                slo=ep.slo,
+                percentile=ep.percentile,
+                platform=platform,
+                chooser=chooser,
+                decision_interval_s=ep.decision_interval_s,
+                share=ep.share,
+                pool=WarmPoolConfig(
+                    keep_alive_s=ep.keep_alive_s,
+                    max_containers=ep.max_containers,
+                    max_queued_batches=ep.max_queued_batches,
+                ),
+            ))
+        scheduler = (
+            FleetScheduler(min_history=self.scheduler_min_history)
+            if self.scheduler_interval_s is not None else None
+        )
+        return FleetEngine(
+            specs,
+            max_containers=self.max_containers,
+            scheduler=scheduler,
+            scheduler_interval_s=self.scheduler_interval_s,
+            split_seed=self.split_seed,
+        )
+
+
+# ------------------------------------------------------------- validation
+def _fail(path: str, message: str) -> None:
+    raise FleetConfigError(f"{path}: {message}")
+
+
+def _check_keys(obj: dict, allowed: set, path: str) -> None:
+    unknown = sorted(set(obj) - allowed)
+    if unknown:
+        _fail(path, f"unknown keys {unknown} (allowed: {sorted(allowed)})")
+
+
+def _number(obj: dict, key: str, path: str, default=None, *,
+            required: bool = False, minimum: float | None = None,
+            strict: bool = False, nullable: bool = False):
+    if key not in obj:
+        if required:
+            _fail(f"{path}.{key}", "is required")
+        return default
+    v = obj[key]
+    if v is None and nullable:
+        return None
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        _fail(f"{path}.{key}", f"must be a number, got {v!r}")
+    v = float(v)
+    if not math.isfinite(v):
+        _fail(f"{path}.{key}", f"must be finite, got {v!r}")
+    if minimum is not None:
+        if strict and not v > minimum:
+            _fail(f"{path}.{key}", f"must be > {minimum:g}, got {v:g}")
+        if not strict and not v >= minimum:
+            _fail(f"{path}.{key}", f"must be >= {minimum:g}, got {v:g}")
+    return v
+
+
+def _integer(obj: dict, key: str, path: str, default=None, *,
+             required: bool = False, minimum: int | None = None,
+             nullable: bool = False):
+    if key not in obj:
+        if required:
+            _fail(f"{path}.{key}", "is required")
+        return default
+    v = obj[key]
+    if v is None and nullable:
+        return None
+    if isinstance(v, bool) or not isinstance(v, int):
+        _fail(f"{path}.{key}", f"must be an integer, got {v!r}")
+    if minimum is not None and v < minimum:
+        _fail(f"{path}.{key}", f"must be >= {minimum}, got {v}")
+    return v
+
+
+def _endpoint(obj, path: str) -> EndpointConfig:
+    if not isinstance(obj, dict):
+        _fail(path, f"must be an object, got {type(obj).__name__}")
+    _check_keys(obj, _ENDPOINT_KEYS, path)
+    name = obj.get("name")
+    if not isinstance(name, str) or not name:
+        _fail(f"{path}.name", "is required and must be a non-empty string")
+    if "." in name:
+        _fail(f"{path}.name", f"must not contain '.', got {name!r} "
+                              "(names namespace telemetry as serving.<name>.*)")
+    chooser = obj.get("chooser", "none")
+    if chooser not in CHOOSERS:
+        _fail(f"{path}.chooser", f"must be one of {list(CHOOSERS)}, "
+                                 f"got {chooser!r}")
+    share = _number(obj, "share", path, minimum=0.0, strict=True)
+    if share is not None and share > 1.0:
+        _fail(f"{path}.share", f"must be <= 1, got {share:g}")
+    keep_alive = _number(obj, "keep_alive_s", path, default=math.inf,
+                         minimum=0.0)
+    return EndpointConfig(
+        name=name,
+        memory_mb=_number(obj, "memory_mb", path, required=True,
+                          minimum=0.0, strict=True),
+        batch_size=_integer(obj, "batch_size", path, required=True, minimum=1),
+        timeout=_number(obj, "timeout", path, required=True, minimum=0.0),
+        slo=_number(obj, "slo", path, default=0.1, minimum=0.0, strict=True),
+        percentile=_number(obj, "percentile", path, default=95.0,
+                           minimum=0.0, strict=True),
+        share=share,
+        chooser=chooser,
+        decision_interval_s=_number(obj, "decision_interval_s", path,
+                                    minimum=0.0, strict=True, nullable=True),
+        keep_alive_s=keep_alive,
+        max_containers=_integer(obj, "max_containers", path, minimum=1,
+                                nullable=True),
+        max_queued_batches=_integer(obj, "max_queued_batches", path,
+                                    minimum=0, nullable=True),
+    )
+
+
+def validate_fleet_config(doc) -> FleetConfig:
+    """Validate a parsed fleet document; raise :class:`FleetConfigError`."""
+    if not isinstance(doc, dict):
+        _fail("fleet config", f"must be a JSON object, "
+                              f"got {type(doc).__name__}")
+    _check_keys(doc, _TOP_KEYS, "fleet config")
+    raw_endpoints = doc.get("endpoints")
+    if not isinstance(raw_endpoints, list) or not raw_endpoints:
+        _fail("endpoints", "is required and must be a non-empty array")
+    endpoints = tuple(
+        _endpoint(ep, f"endpoints[{i}]") for i, ep in enumerate(raw_endpoints)
+    )
+    names = [ep.name for ep in endpoints]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        _fail("endpoints", f"names must be unique; duplicated: {dupes}")
+    percentile_out = [ep.name for ep in endpoints if ep.percentile > 100.0]
+    if percentile_out:
+        _fail("endpoints", f"percentile must be <= 100 for: {percentile_out}")
+    shares = [ep.share for ep in endpoints]
+    if any(s is not None for s in shares) and any(s is None for s in shares):
+        missing = [ep.name for ep in endpoints if ep.share is None]
+        _fail("endpoints", f"either every endpoint has a share or none does; "
+                           f"missing on: {missing}")
+
+    scheduler_interval = None
+    scheduler_min_history = 32
+    if "scheduler" in doc and doc["scheduler"] is not None:
+        sched = doc["scheduler"]
+        if not isinstance(sched, dict):
+            _fail("scheduler", f"must be an object, got {type(sched).__name__}")
+        _check_keys(sched, _SCHEDULER_KEYS, "scheduler")
+        scheduler_interval = _number(sched, "interval_s", "scheduler",
+                                     required=True, minimum=0.0, strict=True)
+        scheduler_min_history = _integer(sched, "min_history", "scheduler",
+                                         default=32, minimum=1)
+    return FleetConfig(
+        endpoints=endpoints,
+        max_containers=_integer(doc, "max_containers", "fleet config",
+                                minimum=1, nullable=True),
+        scheduler_interval_s=scheduler_interval,
+        scheduler_min_history=scheduler_min_history,
+        split_seed=_integer(doc, "split_seed", "fleet config", default=0,
+                            minimum=0),
+    )
+
+
+def load_fleet_config(path: str | os.PathLike) -> FleetConfig:
+    """Read and validate a fleet JSON file.
+
+    Raises :class:`FleetConfigError` with an actionable, path-qualified
+    message on any problem — unreadable file, invalid JSON, or a schema
+    violation.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise FleetConfigError(f"cannot read {os.fspath(path)}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise FleetConfigError(
+            f"{os.fspath(path)} is not valid JSON: {exc}"
+        ) from exc
+    return validate_fleet_config(doc)

@@ -182,12 +182,23 @@ class WarmPool:
             del self._containers[victim.container_id]
             self.stats.evicted += 1
 
+        if not self._admit_cold(now):
+            return None
         container = _Container(self._next_id, memory_mb, free_at=math.inf)
         self._next_id += 1
         self._containers[container.container_id] = container
         self.stats.cold_starts += 1
         return Lease(container.container_id, cold=True,
                      cold_delay=self.cold_delay(memory_mb))
+
+    def _admit_cold(self, now: float) -> bool:
+        """Hook: may a *new* container be provisioned at ``now``?
+
+        The base pool only enforces its own ``max_containers`` cap (already
+        checked by the caller); a fleet-shared budget subclasses this to
+        charge the new container against a global account limit.
+        """
+        return True
 
     def release(self, container_id: int, now: float) -> None:
         """Mark a container idle (its invocation — retries included —

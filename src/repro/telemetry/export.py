@@ -155,6 +155,15 @@ def render_dashboard(
             ["serving metric", "value"], serving, title="serving"
         ))
 
+    fleet = _fleet_rows(by_type)
+    if fleet:
+        sections.append(format_table(
+            ["endpoint", "requests", "batches", "cold", "warm", "queued",
+             "shed", "decisions", "reconfigs"],
+            fleet,
+            title="fleet",
+        ))
+
     reliability = _reliability_rows(by_type, by_kind)
     if reliability:
         sections.append(format_table(
@@ -267,7 +276,10 @@ def _serving_rows(by_type: dict, by_kind: dict) -> list[list]:
     counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
     serving = {
         name: value for name, value in counters.items()
-        if name.startswith("serving.")
+        # Exactly two dot-parts: the single-endpoint engine. Fleet lanes
+        # namespace as serving.<endpoint>.<metric> and get their own
+        # section (_fleet_rows) instead of polluting this one.
+        if name.startswith("serving.") and name.count(".") == 1
     }
     if not serving:
         return []
@@ -300,6 +312,34 @@ def _serving_rows(by_type: dict, by_kind: dict) -> list[list]:
         lags = [e["lag"] for e in reconfigures]
         rows.append(["mean reconfigure lag s", f"{np.mean(lags):.3f}"])
     return rows
+
+
+def _fleet_rows(by_type: dict) -> list[list]:
+    """Per-endpoint fleet scorecard from ``serving.<endpoint>.<metric>``
+    counters (the fleet engine's telemetry namespacing). One row per
+    endpoint; rows appear only when a fleet actually ran."""
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    per_endpoint: dict[str, dict[str, float]] = defaultdict(dict)
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "serving":
+            per_endpoint[parts[1]][parts[2]] = value
+    if not per_endpoint:
+        return []
+    return [
+        [
+            endpoint,
+            int(metrics.get("requests", 0)),
+            int(metrics.get("batches", 0)),
+            int(metrics.get("cold_starts", 0)),
+            int(metrics.get("warm_starts", 0)),
+            int(metrics.get("queued_batches", 0)),
+            int(metrics.get("shed_requests", 0)),
+            int(metrics.get("decisions", 0)),
+            int(metrics.get("reconfigurations", 0)),
+        ]
+        for endpoint, metrics in sorted(per_endpoint.items())
+    ]
 
 
 def _reliability_rows(by_type: dict, by_kind: dict) -> list[list]:

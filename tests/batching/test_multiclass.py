@@ -31,6 +31,16 @@ class TestRequestClass:
         with pytest.raises(ValueError):
             RequestClass("x", np.array([1.0]), slo=0.0)
 
+    def test_nan_timestamps_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            RequestClass("x", np.array([1.0, np.nan]), slo=0.1)
+        with pytest.raises(ValueError, match="non-finite"):
+            RequestClass("x", np.array([1.0, np.inf]), slo=0.1)
+
+    def test_negative_timestamps_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            RequestClass("x", np.array([-1.0, 1.0]), slo=0.1)
+
 
 class TestMultiClassConfigAndSim:
     def test_simulate_covers_every_class(self):
@@ -50,6 +60,13 @@ class TestMultiClassConfigAndSim:
     def test_str_format(self):
         cfg = MultiClassConfig(512.0, {"a": (4, 0.05)})
         assert "B=4" in str(cfg)
+
+    def test_str_shows_sub_millisecond_timeouts(self):
+        # Regression: ":.0f" rendered any T < 0.5 ms as "T=0ms".
+        cfg = MultiClassConfig(512.0, {"a": (4, 0.0004)})
+        assert "T=0.4ms" in str(cfg)
+        zero = MultiClassConfig(512.0, {"a": (1, 0.0)})
+        assert "T=0ms" in str(zero)
 
 
 class TestOptimizeMulticlass:
@@ -97,6 +114,69 @@ class TestOptimizeMulticlass:
         cfg, result = optimize_multiclass(classes, PLAT)
         assert "idle" in cfg.per_class
         assert result.per_class["idle"].n_requests == 0
+
+    def test_matches_brute_force_on_small_grid(self):
+        """The decomposed search must equal full enumeration: per memory
+        tier the classes are independent, so per-class cheapest-feasible
+        composes into the global optimum (feasibility-first, then total
+        cost — the optimizer's own tie-break order)."""
+        from itertools import product
+
+        classes = make_classes()
+        memories = (1024.0, 3008.0)
+        batch_sizes = (1, 4, 16)
+        timeouts = (0.0, 0.02, 0.1)
+        cfg, result = optimize_multiclass(
+            classes, PLAT, memories=memories,
+            batch_sizes=batch_sizes, timeouts=timeouts,
+        )
+
+        options = [
+            (b, t) for b, t in product(batch_sizes, timeouts)
+            if not (b == 1 and t > 0)  # the optimizer's degenerate skip
+        ]
+        best_key = None
+        for mem in memories:
+            for combo in product(options, repeat=len(classes)):
+                mc = MultiClassConfig(
+                    mem, {c.name: bt for c, bt in zip(classes, combo)}
+                )
+                res = simulate_multiclass(classes, mc, PLAT)
+                key = (not res.meets_all_slos(classes), res.total_cost)
+                if best_key is None or key < best_key:
+                    best_key = key
+        assert best_key is not None
+        assert result.meets_all_slos(classes) == (not best_key[0])
+        assert result.total_cost == pytest.approx(best_key[1])
+
+    def test_per_class_platform_override(self):
+        """``platforms`` routes each class through its own platform —
+        a 10x-priced class must cost 10x what the shared platform bills."""
+        from repro.serverless.pricing import LambdaPricing
+
+        classes = make_classes()
+        pricey = ServerlessPlatform(pricing=LambdaPricing(
+            gb_second_price=10 * PLAT.pricing.gb_second_price,
+            request_price=10 * PLAT.pricing.request_price,
+        ))
+        cfg = MultiClassConfig(
+            1024.0, {"interactive": (2, 0.01), "batchy": (16, 0.1)}
+        )
+        shared = simulate_multiclass(classes, cfg, PLAT)
+        mixed = simulate_multiclass(classes, cfg, PLAT,
+                                    platforms={"batchy": pricey})
+        assert mixed.per_class["interactive"].total_cost == pytest.approx(
+            shared.per_class["interactive"].total_cost
+        )
+        assert mixed.per_class["batchy"].total_cost == pytest.approx(
+            10 * shared.per_class["batchy"].total_cost
+        )
+        # The optimizer accepts the same mapping.
+        _cfg, res = optimize_multiclass(
+            classes, PLAT, memories=(1024.0,), batch_sizes=(1, 8),
+            timeouts=(0.0, 0.05), platforms={"batchy": pricey},
+        )
+        assert res.per_class["batchy"].total_cost > 0
 
     def test_infeasible_slo_falls_back(self):
         classes = [

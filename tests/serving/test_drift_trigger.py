@@ -14,7 +14,7 @@ from repro.batching.config import BatchConfig
 from repro.core.drift import WorkloadDriftDetector
 from repro.core.types import Decision
 from repro.serverless.platform import ServerlessPlatform
-from repro.serving import ServingEngine
+from repro.serving import DriftConfig, PredictionDriftConfig, ServingEngine
 
 pytestmark = pytest.mark.serving
 
@@ -62,10 +62,8 @@ class TestWorkloadDriftTrigger:
             CALM,
             platform=ServerlessPlatform(),
             chooser=chooser,
-            drift_detector=detector,
-            drift_window=window,
-            drift_check_every=32,
-            drift_cooldown_s=0.05,
+            drift=DriftConfig(detector=detector, window=window,
+                              check_every=32, cooldown_s=0.05),
             min_history=16,
         ).run(ts)
         assert log.drift_triggers >= 1
@@ -83,9 +81,8 @@ class TestWorkloadDriftTrigger:
             CALM,
             platform=ServerlessPlatform(),
             chooser=StubChooser([CALM]),
-            drift_detector=detector,
-            drift_window=window,
-            drift_check_every=32,
+            drift=DriftConfig(detector=detector, window=window,
+                              check_every=32),
         ).run(ts)
         assert log.drift_triggers == 0
         assert all(d.reason != "drift" for d in log.decisions)
@@ -98,10 +95,9 @@ class TestWorkloadDriftTrigger:
             CALM,
             platform=ServerlessPlatform(),
             chooser=StubChooser([CALM]),
-            drift_detector=detector,
-            drift_window=window,
-            drift_check_every=32,
-            drift_cooldown_s=10 * span,  # one trigger fits in the run
+            drift=DriftConfig(detector=detector, window=window,
+                              check_every=32,
+                              cooldown_s=10 * span),  # one trigger per run
         ).run(ts)
         assert log.drift_triggers == 1
 
@@ -114,12 +110,9 @@ class TestWorkloadDriftTrigger:
             CALM,
             platform=ServerlessPlatform(),
             chooser=StubChooser([CALM]),
-            drift_detector=detector,
-            drift_window=window,
-            drift_check_every=32,
-            drift_cooldown_s=1e9,
-            retrain_delay_s=0.2,
-            on_retrain=seen.append,
+            drift=DriftConfig(detector=detector, window=window,
+                              check_every=32, cooldown_s=1e9,
+                              retrain_delay_s=0.2, on_retrain=seen.append),
         ).run(ts)
         assert log.retrains == 1
         assert len(seen) == 1 and seen[0].size > 0
@@ -142,11 +135,10 @@ class TestPredictionDriftTrigger:
             chooser=chooser,
             decision_interval_s=0.5,
             deploy_delay_s=0.0,
-            drift_check_every=32,
-            drift_cooldown_s=0.1,
+            drift=DriftConfig(check_every=32, cooldown_s=0.1),
             min_history=16,
-            prediction_baseline_error=0.1,
-            prediction_min_samples=32,
+            prediction=PredictionDriftConfig(baseline_error=0.1,
+                                             min_samples=32),
         ).run(ts)
         assert log.prediction_drift_triggers >= 1
         assert any(d.reason == "prediction-drift" for d in log.decisions)
@@ -162,8 +154,8 @@ class TestPredictionDriftTrigger:
             platform=ServerlessPlatform(),
             chooser=StubChooser([AGGRESSIVE], predicted_p95=None),
             decision_interval_s=0.5,
-            prediction_baseline_error=0.1,
-            prediction_min_samples=32,
+            prediction=PredictionDriftConfig(baseline_error=0.1,
+                                             min_samples=32),
         ).run(ts)
         assert log.prediction_drift_triggers == 0
         assert truth > 0.0

@@ -1,0 +1,165 @@
+"""Grouped-config engine API (PR 6) and its deprecation shim.
+
+The regroup of ``ServingEngine`` kwargs into :class:`DriftConfig` /
+:class:`PredictionDriftConfig` must be a pure API change: the flat
+pre-PR-6 spelling still works (with exactly one ``DeprecationWarning``)
+and produces **bit-identical** runs.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.batching.config import BatchConfig
+from repro.core.drift import WorkloadDriftDetector
+from repro.serverless.platform import ServerlessPlatform
+from repro.serving import DriftConfig, PredictionDriftConfig, ServingEngine
+
+pytestmark = pytest.mark.serving
+
+CONFIG = BatchConfig(memory_mb=2048.0, batch_size=8, timeout=0.05)
+
+
+def poisson(lam, n, seed):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / lam, size=n))
+
+
+def fitted_detector(lam=50.0, window=32):
+    warmup = np.diff(poisson(lam, 3000, seed=10))
+    return WorkloadDriftDetector().fit(warmup, window)
+
+
+class TestGroupedFlatEquivalence:
+    def test_flat_kwargs_run_bit_identical_to_grouped(self):
+        detector = fitted_detector()
+        ts = poisson(500.0, 2000, seed=1)
+
+        grouped = ServingEngine(
+            CONFIG, platform=ServerlessPlatform(seed=5),
+            drift=DriftConfig(detector=detector, window=32, check_every=16,
+                              cooldown_s=5.0),
+            prediction=PredictionDriftConfig(baseline_error=0.1,
+                                             tolerance=2.0, min_samples=32),
+        ).run(ts, record_trace=True)
+
+        with pytest.warns(DeprecationWarning):
+            engine = ServingEngine(
+                CONFIG, platform=ServerlessPlatform(seed=5),
+                drift_detector=detector, drift_window=32,
+                drift_check_every=16, drift_cooldown_s=5.0,
+                prediction_baseline_error=0.1, prediction_tolerance=2.0,
+                prediction_min_samples=32,
+            )
+        flat = engine.run(ts, record_trace=True)
+
+        np.testing.assert_array_equal(flat.latencies, grouped.latencies)
+        np.testing.assert_array_equal(flat.batch_costs, grouped.batch_costs)
+        assert flat.event_trace == grouped.event_trace
+        assert len(flat.decisions) == len(grouped.decisions)
+
+    def test_exactly_one_warning_for_many_flat_kwargs(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ServingEngine(
+                CONFIG,
+                drift_window=64, drift_check_every=32, retrain_delay_s=2.0,
+                prediction_baseline_error=0.1,
+            )
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        # The single warning names every flat kwarg that was used.
+        for name in ("drift_window", "drift_check_every",
+                     "retrain_delay_s", "prediction_baseline_error"):
+            assert name in message
+
+    def test_grouped_spelling_warns_nothing(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ServingEngine(CONFIG, drift=DriftConfig(window=64),
+                          prediction=PredictionDriftConfig(baseline_error=0.1))
+
+    def test_flat_prediction_without_baseline_stays_disabled(self):
+        # Old semantics: prediction drift was armed iff baseline_error was
+        # given; tolerance/min_samples alone configured nothing.
+        with pytest.warns(DeprecationWarning):
+            engine = ServingEngine(CONFIG, prediction_tolerance=3.0)
+        assert engine.prediction_config is None
+
+
+class TestShimErrors:
+    def test_unknown_kwarg_is_type_error(self):
+        with pytest.raises(TypeError, match="drift_widnow"):
+            ServingEngine(CONFIG, drift_widnow=64)
+
+    def test_mixing_grouped_and_flat_drift_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                ServingEngine(CONFIG, drift=DriftConfig(window=64),
+                              drift_check_every=16)
+
+    def test_mixing_grouped_and_flat_prediction_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                ServingEngine(
+                    CONFIG,
+                    prediction=PredictionDriftConfig(baseline_error=0.1),
+                    prediction_baseline_error=0.2,
+                )
+
+    def test_flat_drift_with_grouped_prediction_is_fine(self):
+        with pytest.warns(DeprecationWarning):
+            engine = ServingEngine(
+                CONFIG, drift_window=64,
+                prediction=PredictionDriftConfig(baseline_error=0.1),
+            )
+        assert engine.drift_config.window == 64
+        assert engine.prediction_config.baseline_error == 0.1
+
+
+class TestConfigValidation:
+    def test_drift_config_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="window"):
+            DriftConfig(window=0)
+        with pytest.raises(ValueError, match="check_every"):
+            DriftConfig(check_every=0)
+        with pytest.raises(ValueError, match="cooldown_s"):
+            DriftConfig(cooldown_s=-1.0)
+        with pytest.raises(ValueError, match="retrain_delay_s"):
+            DriftConfig(retrain_delay_s=-0.5)
+
+    def test_prediction_config_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="baseline_error"):
+            PredictionDriftConfig(baseline_error=0.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            PredictionDriftConfig(baseline_error=0.1, tolerance=0.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            PredictionDriftConfig(baseline_error=0.1, min_samples=0)
+
+    def test_configs_are_frozen(self):
+        cfg = DriftConfig(window=64)
+        with pytest.raises(AttributeError):
+            cfg.window = 32
+
+    def test_flat_attribute_views_preserved(self):
+        # Checkpoint fingerprints and downstream code read the flat
+        # attributes; the grouped API must keep them in place.
+        detector = fitted_detector()
+        engine = ServingEngine(
+            CONFIG,
+            drift=DriftConfig(detector=detector, window=48, check_every=24,
+                              cooldown_s=9.0, retrain_delay_s=1.5),
+            prediction=PredictionDriftConfig(baseline_error=0.2,
+                                             tolerance=4.0, min_samples=16),
+        )
+        assert engine.drift_detector is detector
+        assert engine.drift_window == 48
+        assert engine.drift_check_every == 24
+        assert engine.drift_cooldown_s == 9.0
+        assert engine.retrain_delay_s == 1.5
+        assert engine.prediction_baseline_error == 0.2
+        assert engine.prediction_tolerance == 4.0
+        assert engine.prediction_min_samples == 16

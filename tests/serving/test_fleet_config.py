@@ -1,0 +1,198 @@
+"""Fleet config file schema: load, validate, build, and error paths.
+
+Every rejection must name the *path* of the offending field
+(``endpoints[1].slo: must be > 0``) so the CLI's exit-2 message tells
+the operator exactly what to fix.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving import FleetConfigError, FleetEngine, load_fleet_config
+from repro.serving.fleet_config import validate_fleet_config
+
+pytestmark = [pytest.mark.serving, pytest.mark.fleet]
+
+
+def valid_doc():
+    return {
+        "max_containers": 6,
+        "split_seed": 3,
+        "scheduler": {"interval_s": 5.0, "min_history": 16},
+        "endpoints": [
+            {"name": "chat", "memory_mb": 2048, "batch_size": 8,
+             "timeout": 0.05, "slo": 0.15, "share": 0.7},
+            {"name": "embed", "memory_mb": 1024, "batch_size": 16,
+             "timeout": 0.02, "slo": 0.05, "share": 0.3,
+             "chooser": "batch", "decision_interval_s": 10.0,
+             "keep_alive_s": 30.0, "max_containers": 2,
+             "max_queued_batches": 4},
+        ],
+    }
+
+
+def write(tmp_path, doc):
+    path = tmp_path / "fleet.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestLoadAndBuild:
+    def test_valid_document_round_trips(self, tmp_path):
+        cfg = load_fleet_config(write(tmp_path, valid_doc()))
+        assert [ep.name for ep in cfg.endpoints] == ["chat", "embed"]
+        assert cfg.max_containers == 6
+        assert cfg.split_seed == 3
+        assert cfg.scheduler_interval_s == 5.0
+        assert cfg.scheduler_min_history == 16
+        chat, embed = cfg.endpoints
+        assert chat.memory_mb == 2048.0 and chat.batch_size == 8
+        assert chat.keep_alive_s == math.inf  # default: never expire
+        assert embed.chooser == "batch"
+        assert embed.max_queued_batches == 4
+
+    def test_build_produces_runnable_engine(self, tmp_path):
+        cfg = load_fleet_config(write(tmp_path, valid_doc()))
+        engine = cfg.build()
+        assert isinstance(engine, FleetEngine)
+        rng = np.random.default_rng(0)
+        ts = np.cumsum(rng.exponential(1 / 200.0, size=400))
+        log = engine.run(ts)  # shares route the single trace
+        assert log.n_requests == 400
+        assert set(log.endpoints) == {"chat", "embed"}
+
+    def test_build_invokes_factories(self, tmp_path):
+        cfg = load_fleet_config(write(tmp_path, valid_doc()))
+        seen_platforms, seen_choosers = [], []
+
+        def platform_factory(ep):
+            seen_platforms.append(ep.name)
+            return None
+
+        def chooser_factory(ep, platform):
+            seen_choosers.append(ep.chooser)
+            return None
+
+        cfg.build(platform_factory=platform_factory,
+                  chooser_factory=chooser_factory)
+        assert seen_platforms == ["chat", "embed"]
+        assert seen_choosers == ["batch"]  # "none" endpoints skipped
+
+    def test_minimal_document(self, tmp_path):
+        doc = {"endpoints": [{"name": "solo", "memory_mb": 1024,
+                              "batch_size": 4, "timeout": 0.0}]}
+        cfg = load_fleet_config(write(tmp_path, doc))
+        assert cfg.max_containers is None
+        assert cfg.scheduler_interval_s is None
+        assert cfg.endpoints[0].slo == 0.1
+
+
+class TestFileErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FleetConfigError, match="cannot read"):
+            load_fleet_config(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(FleetConfigError, match="not valid JSON"):
+            load_fleet_config(path)
+
+
+class TestSchemaErrors:
+    def reject(self, doc, pattern):
+        with pytest.raises(FleetConfigError, match=pattern):
+            validate_fleet_config(doc)
+
+    def test_non_object_document(self):
+        self.reject([1, 2], "must be a JSON object")
+
+    def test_missing_endpoints(self):
+        self.reject({}, "endpoints: is required")
+        self.reject({"endpoints": []}, "non-empty array")
+
+    def test_unknown_top_level_key(self):
+        doc = valid_doc()
+        doc["max_continers"] = 3  # typo must not become a silent no-op
+        self.reject(doc, r"unknown keys \['max_continers'\]")
+
+    def test_missing_endpoint_name(self):
+        doc = valid_doc()
+        del doc["endpoints"][1]["name"]
+        self.reject(doc, r"endpoints\[1\]\.name: is required")
+
+    def test_dotted_endpoint_name(self):
+        doc = valid_doc()
+        doc["endpoints"][0]["name"] = "a.b"
+        self.reject(doc, r"endpoints\[0\]\.name: must not contain")
+
+    def test_bad_batch_size(self):
+        doc = valid_doc()
+        doc["endpoints"][0]["batch_size"] = 0
+        self.reject(doc, r"endpoints\[0\]\.batch_size: must be >= 1")
+        doc["endpoints"][0]["batch_size"] = 2.5
+        self.reject(doc, r"endpoints\[0\]\.batch_size: must be an integer")
+        doc["endpoints"][0]["batch_size"] = True  # bools are not integers
+        self.reject(doc, r"endpoints\[0\]\.batch_size: must be an integer")
+
+    def test_bad_numbers(self):
+        doc = valid_doc()
+        doc["endpoints"][0]["slo"] = 0
+        self.reject(doc, r"endpoints\[0\]\.slo: must be > 0")
+        doc = valid_doc()
+        doc["endpoints"][0]["memory_mb"] = "big"
+        self.reject(doc, r"endpoints\[0\]\.memory_mb: must be a number")
+        doc = valid_doc()
+        doc["endpoints"][0]["timeout"] = float("nan")
+        self.reject(doc, r"endpoints\[0\]\.timeout: must be finite")
+
+    def test_percentile_over_100(self):
+        doc = valid_doc()
+        doc["endpoints"][1]["percentile"] = 101
+        self.reject(doc, "percentile must be <= 100.*embed")
+
+    def test_unknown_chooser(self):
+        doc = valid_doc()
+        doc["endpoints"][0]["chooser"] = "magic"
+        self.reject(doc, r"endpoints\[0\]\.chooser: must be one of")
+
+    def test_duplicate_names(self):
+        doc = valid_doc()
+        doc["endpoints"][1]["name"] = "chat"
+        self.reject(doc, "names must be unique.*chat")
+
+    def test_mixed_shares(self):
+        doc = valid_doc()
+        del doc["endpoints"][1]["share"]
+        self.reject(doc, "every endpoint has a share or none.*embed")
+
+    def test_share_out_of_range(self):
+        doc = valid_doc()
+        doc["endpoints"][0]["share"] = 1.5
+        self.reject(doc, r"endpoints\[0\]\.share: must be <= 1")
+        doc["endpoints"][0]["share"] = 0
+        self.reject(doc, r"endpoints\[0\]\.share: must be > 0")
+
+    def test_bad_scheduler(self):
+        doc = valid_doc()
+        doc["scheduler"] = "fast"
+        self.reject(doc, "scheduler: must be an object")
+        doc["scheduler"] = {"interval_s": 0}
+        self.reject(doc, r"scheduler\.interval_s: must be > 0")
+        doc["scheduler"] = {"cadence": 5}
+        self.reject(doc, r"scheduler: unknown keys \['cadence'\]")
+        doc["scheduler"] = {}
+        self.reject(doc, r"scheduler\.interval_s: is required")
+
+    def test_bad_max_containers(self):
+        doc = valid_doc()
+        doc["max_containers"] = 0
+        self.reject(doc, "max_containers: must be >= 1")
+
+    def test_unknown_endpoint_key(self):
+        doc = valid_doc()
+        doc["endpoints"][0]["qps_limit"] = 10
+        self.reject(doc, r"endpoints\[0\]: unknown keys \['qps_limit'\]")

@@ -27,6 +27,13 @@ ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
 GLOBAL_RNG = re.compile(r"\bnp\.random\.(\w+)")
 
 
+def test_fleet_modules_are_in_scope():
+    """The sweep must cover the PR-6 fleet layer — ``split_by_shares``
+    draws from an explicit generator, and only this glob keeps it so."""
+    names = {p.name for p in SERVING_DIR.glob("*.py")}
+    assert {"fleet.py", "fleet_config.py"} <= names
+
+
 def test_serving_layer_has_no_global_rng_calls():
     assert SERVING_DIR.is_dir(), f"missing {SERVING_DIR}"
     offenders = []

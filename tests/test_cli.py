@@ -362,6 +362,114 @@ class TestServeReliability:
         assert "reliability" in out and "breaker trips" in out
 
 
+@pytest.mark.serving
+@pytest.mark.fleet
+class TestServeFleet:
+    """PR 6: ``repro serve --fleet fleet.json`` multi-endpoint serving."""
+
+    @pytest.fixture()
+    def fleet_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps({
+            "max_containers": 6,
+            "scheduler": {"interval_s": 20.0},
+            "endpoints": [
+                {"name": "chat", "memory_mb": 2048, "batch_size": 8,
+                 "timeout": 0.05, "slo": 0.15, "share": 0.7},
+                {"name": "embed", "memory_mb": 1024, "batch_size": 16,
+                 "timeout": 0.02, "slo": 0.08, "share": 0.3,
+                 "chooser": "batch", "decision_interval_s": 30.0},
+            ],
+        }))
+        return path
+
+    def test_two_endpoint_fleet_end_to_end(self, trace_path, fleet_path,
+                                           capsys):
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--fleet", str(fleet_path), "--start-segment", "1",
+                   "--cold-starts", "--keep-alive", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2 endpoints" in out and "budget 6 containers" in out
+        assert "chat" in out and "embed" in out
+        # Per-endpoint SLO verdict column plus the fleet totals row.
+        assert "met" in out and "fleet" in out
+
+    def test_invalid_config_names_field(self, fleet_path, trace_path, capsys):
+        import json
+
+        doc = json.loads(fleet_path.read_text())
+        doc["endpoints"][0]["slo"] = 0
+        fleet_path.write_text(json.dumps(doc))
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--fleet", str(fleet_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid fleet config")
+        assert "endpoints[0].slo" in err
+
+    def test_missing_shares_rejected(self, fleet_path, trace_path, capsys):
+        import json
+
+        doc = json.loads(fleet_path.read_text())
+        for ep in doc["endpoints"]:
+            del ep["share"]
+        fleet_path.write_text(json.dumps(doc))
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--fleet", str(fleet_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "share" in err and "chat" in err
+
+    def test_deepbat_endpoint_requires_model(self, fleet_path, trace_path,
+                                             capsys):
+        import json
+
+        doc = json.loads(fleet_path.read_text())
+        doc["endpoints"][1]["chooser"] = "deepbat"
+        fleet_path.write_text(json.dumps(doc))
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--fleet", str(fleet_path)])
+        assert rc == 2
+        assert "--model" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flags", [
+        ["--guardrail"],
+        ["--drift"],
+        ["--checkpoint", "x.ckpt"],
+    ])
+    def test_single_engine_reliability_flags_rejected(self, fleet_path,
+                                                      trace_path, flags,
+                                                      capsys):
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--fleet", str(fleet_path)] + flags)
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--fleet" in err and flags[0] in err
+
+    def test_telemetry_and_fleet_dashboard(self, trace_path, fleet_path,
+                                           tmp_path, capsys):
+        dump = tmp_path / "fleet.jsonl"
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--fleet", str(fleet_path), "--start-segment", "1",
+                   "--telemetry", str(dump)])
+        assert rc == 0
+        assert "telemetry records" in capsys.readouterr().out
+        records = read_jsonl(dump)
+        names = {r["name"] for r in records if r["type"] == "counter"}
+        # Per-endpoint namespacing, nothing under the bare prefix.
+        assert "serving.chat.requests" in names
+        assert "serving.embed.requests" in names
+        assert "serving.requests" not in names
+        assert "fleet.scheduler_plans" in names
+        rc = main(["report", str(dump)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out and "chat" in out and "embed" in out
+
+
 class TestReportCommand:
     def test_renders_dashboard(self, trace_path, model_path, tmp_path, capsys):
         dump = tmp_path / "telemetry.jsonl"
