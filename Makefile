@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-faults test-serving test-fleet test-chaos bench-smoke bench bench-perf lint
+.PHONY: test test-faults test-serving test-fleet test-chaos bench-smoke bench bench-perf bench-serving lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
@@ -36,10 +36,16 @@ bench-smoke:
 bench:
 	$(PYTEST) -q benchmarks
 
-## Simulation-core microbenchmarks: naive vs fast paths, refreshes
-## BENCH_simcore.json (grid requests/sec, labeling labels/sec).
+## All perf microbenchmarks: refreshes BENCH_simcore.json and
+## BENCH_serving.json, and enforces their speedup floors.
 bench-perf:
-	$(PYTEST) -q -s -m perf benchmarks/test_perf_simcore.py
+	$(PYTEST) -q -s -m perf benchmarks/test_perf_simcore.py benchmarks/test_perf_serving.py
+
+## Serving-loop microbenchmarks only: engine fast path vs the stepwise
+## reference, warm-pool churn, fleet lane-key heap vs scan. Refreshes
+## BENCH_serving.json and enforces the >=3x events/sec floor.
+bench-serving:
+	$(PYTEST) -q -s -m perf benchmarks/test_perf_serving.py
 
 ## Syntax check of every tree we ship (no third-party linter in the image).
 lint:

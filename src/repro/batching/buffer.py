@@ -20,7 +20,14 @@ from repro.telemetry.metrics import get_registry
 
 @dataclass(frozen=True)
 class Batch:
-    """A dispatched batch: request indices, their arrival times, dispatch."""
+    """A dispatched batch: request indices, their arrival times, dispatch.
+
+    ``indices`` is always a contiguous ascending run: the buffer numbers
+    arrivals sequentially and only ever dispatches a prefix of its pending
+    list. Consumers may rely on this — the serving engine assigns
+    per-request results with ``[first_index : first_index + size]`` slices
+    instead of fancy indexing.
+    """
 
     indices: np.ndarray
     arrival_times: np.ndarray
@@ -29,6 +36,11 @@ class Batch:
     @property
     def size(self) -> int:
         return self.indices.size
+
+    @property
+    def first_index(self) -> int:
+        """First request index of the (contiguous) batch."""
+        return int(self.indices[0])
 
     def waits(self) -> np.ndarray:
         """Buffer wait of each request in the batch."""

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import sys
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
@@ -80,7 +81,7 @@ from repro.serving.checkpoint import (
     write_snapshot,
 )
 from repro.serving.guardrail import OPEN, GuardrailConfig, SLOGuardrail
-from repro.serving.log import ServingDecision, ServingLog
+from repro.serving.log import BatchColumns, ServingDecision, ServingLog
 from repro.serving.pool import WarmPool, WarmPoolConfig
 from repro.telemetry.events import (
     CheckpointEvent,
@@ -90,6 +91,7 @@ from repro.telemetry.events import (
     ShedEvent,
 )
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.timing import NULL_TIMERS, StageTimers, stage_timers
 from repro.utils.validation import check_sorted
 
 # Heap tie-break priorities: completions free containers before anything
@@ -102,6 +104,20 @@ _P_ARRIVAL = 2
 _P_TIMER = 3
 _P_DECISION = 4
 _P_RETRAIN = 5
+
+# Event-kind strings, interned once: every heap entry carries the same
+# string object, so the dispatch chain's ``==`` checks short-circuit on
+# identity instead of comparing characters. (Plain equality is still the
+# semantics — a heap restored from a pickle compares by value and stays
+# correct, just without the fast path.)
+_K_ARRIVAL = sys.intern("arrival")
+_K_COMPLETION = sys.intern("completion")
+_K_TIMER = sys.intern("timer")
+_K_RECONFIGURE = sys.intern("reconfigure")
+_K_DECISION = sys.intern("decision")
+_K_RETRAIN = sys.intern("retrain")
+
+_INF = float("inf")
 
 #: Flat keyword argument -> grouped-config field name for the shim.
 _FLAT_DRIFT_KWARGS = {
@@ -156,13 +172,7 @@ class _RunState:
     latencies: np.ndarray = None
     shed: np.ndarray = None
     failed: np.ndarray = None
-    b_dispatch: list = field(default_factory=list)
-    b_start: list = field(default_factory=list)
-    b_size: list = field(default_factory=list)
-    b_cost: list = field(default_factory=list)
-    b_cold: list = field(default_factory=list)
-    b_memory: list = field(default_factory=list)
-    b_retries: list = field(default_factory=list)
+    batches: BatchColumns = field(default_factory=BatchColumns)
     decisions: list = field(default_factory=list)
     trace: list | None = None
     counters: dict = field(default_factory=dict)
@@ -172,7 +182,9 @@ class _RunState:
 class _RunContext:
     """Transient per-drive plumbing that must NOT be checkpointed:
     the live telemetry registry, the open journal handle, the snapshot
-    cadence, the chaos hook, and the journal-replay expectation."""
+    cadence, the chaos hook, the journal-replay expectation, the stage
+    timers, and the service/cost memo caches (pure-function caches — a
+    restore rebuilds them from scratch with identical values)."""
 
     registry: object
     journal: Journal | None = None
@@ -181,6 +193,11 @@ class _RunContext:
     crash_after: int | None = None
     replay_expect: list | None = None
     replay_pos: int = 0
+    timers: StageTimers = NULL_TIMERS
+    #: ``(memory_mb, size) -> service_time`` (fault path: cost is drawn).
+    service_cache: dict = field(default_factory=dict)
+    #: ``(memory_mb, size, cold_delay) -> (service_time, cost)``.
+    cost_cache: dict = field(default_factory=dict)
 
 
 class ServingEngine:
@@ -308,6 +325,15 @@ class ServingEngine:
         self.sequence_length = _resolve_sequence_length(chooser, sequence_length)
         self.guardrail_config = guardrail
         self.metrics_prefix = metrics_prefix
+        # Hot-path flags hoisted out of the event loop: with neither drift
+        # trigger configured the cadence check never fires (output-identical
+        # — an unconfigured _check_drift is a no-op), and completion
+        # latencies only accumulate when the prediction trigger reads them.
+        self._drift_enabled = (
+            self.drift_detector is not None
+            or self.prediction_baseline_error is not None
+        )
+        self._track_latencies = self.prediction_baseline_error is not None
 
     @staticmethod
     def _apply_deprecated_kwargs(
@@ -464,7 +490,7 @@ class ServingEngine:
             st.guardrail = SLOGuardrail(config=self.guardrail_config, slo=self.slo)
         if n and self.chooser is not None and self.decision_interval_s:
             self._push(st, float(ts[0]) + self.decision_interval_s, _P_DECISION,
-                       "decision", "interval")
+                       _K_DECISION, "interval")
         return st
 
     def _make_pool(self) -> WarmPool:
@@ -603,18 +629,127 @@ class ServingEngine:
 
     # ------------------------------------------------------------ event loop
     def _drive(self, st: _RunState, ctx: _RunContext) -> ServingLog:
-        while self._step(st, ctx):
-            st.events_processed += 1
-            if (
-                ctx.snapshot_path is not None
-                and st.events_processed % ctx.checkpoint_every == 0
-            ):
-                self._write_snapshot(st, ctx)
-            if ctx.crash_after is not None and st.events_processed >= ctx.crash_after:
-                raise SimulatedCrash(
-                    f"chaos hook: killed after {st.events_processed} events"
-                )
+        if (
+            ctx.journal is None
+            and ctx.snapshot_path is None
+            and ctx.crash_after is None
+            and not ctx.registry.enabled
+        ):
+            # Nothing observes individual events: no journal entries, no
+            # snapshot cadence, no chaos hook, no per-event telemetry. The
+            # tight loop processes the same events in the same order and
+            # its outputs are bit-identical — the checkpoint/chaos suites
+            # pin that by comparing it against the stepwise path below.
+            self._drive_fast(st, ctx)
+            return self._finish(st)
+        timers = ctx.timers
+        if timers is NULL_TIMERS:
+            timers = ctx.timers = stage_timers(f"{self.metrics_prefix}.perf")
+        try:
+            while self._step(st, ctx):
+                st.events_processed += 1
+                if (
+                    ctx.snapshot_path is not None
+                    and st.events_processed % ctx.checkpoint_every == 0
+                ):
+                    self._write_snapshot(st, ctx)
+                if ctx.crash_after is not None and st.events_processed >= ctx.crash_after:
+                    raise SimulatedCrash(
+                        f"chaos hook: killed after {st.events_processed} events"
+                    )
+        finally:
+            timers.flush()
         return self._finish(st)
+
+    def _drive_fast(self, st: _RunState, ctx: _RunContext) -> None:
+        """The uninstrumented hot loop: same events, same order, less work.
+
+        Differences from driving :meth:`_step` in a loop — none of them
+        observable in the outputs:
+
+        * arrivals are consumed in **contiguous runs**: the heap head is
+          read once per run and refreshed only after a handler actually
+          pushed an event, instead of two tuple constructions and a heap
+          peek for every single arrival;
+        * timestamps come from one bulk ``ndarray.tolist()`` conversion
+          instead of a ``float(st.ts[i])`` numpy-scalar unboxing each;
+        * the ``("arrival", ...)`` trace tuple is only built when a trace
+          is being recorded.
+
+        Runs that checkpoint, journal, chaos-crash, or emit telemetry keep
+        the stepwise loop: snapshots cut at exact event boundaries and the
+        journal wants one entry per event.
+        """
+        ts = st.ts.tolist()
+        n = st.n
+        heap = st.heap
+        buffer = st.buffer
+        timers = st.timers
+        recent_ts = st.recent_ts
+        trace = st.trace
+        drift_every = self.drift_check_every
+        check_drift = self._drift_enabled
+        events = st.events_processed
+        while True:
+            if heap:
+                head = heap[0]
+                head_time = head[0]
+                head_prio = head[1]
+            else:
+                head_time = _INF
+                head_prio = _P_ARRIVAL
+            ptr = st.arrival_ptr
+            while ptr < n:
+                t = ts[ptr]
+                if t > head_time or (t == head_time and head_prio < _P_ARRIVAL):
+                    break
+                st.clock = t
+                st.arrival_ptr = ptr = ptr + 1
+                st.arrivals_seen += 1
+                recent_ts.append(t)
+                if trace is not None:
+                    trace.append(("arrival", t, ptr - 1))
+                before = len(heap)
+                for batch in buffer.observe(t):
+                    self._dispatch(st, ctx, batch, t)
+                deadline = buffer.next_deadline()
+                if deadline is not None and deadline not in timers:
+                    timers.add(deadline)
+                    heappush(heap, (deadline, _P_TIMER, st.seq, _K_TIMER,
+                                    deadline))
+                    st.seq += 1
+                if check_drift and st.arrivals_seen % drift_every == 0:
+                    self._check_drift(st, ctx, t)
+                events += 1
+                if len(heap) != before:
+                    if heap:
+                        head = heap[0]
+                        head_time = head[0]
+                        head_prio = head[1]
+                    else:  # pragma: no cover - handlers only push
+                        head_time = _INF
+                        head_prio = _P_ARRIVAL
+            if not heap:
+                break
+            item = heappop(heap)
+            now = item[0]
+            kind = item[3]
+            st.clock = now
+            if kind == _K_COMPLETION:
+                self._on_completion(st, ctx, now, item[4])
+            elif kind == _K_TIMER:
+                timers.discard(item[4])
+                for batch in buffer.poll(now):
+                    self._dispatch(st, ctx, batch, now)
+                self._arm_timer(st)
+            elif kind == _K_RECONFIGURE:
+                self._on_reconfigure(st, ctx, now, item[4])
+            elif kind == _K_DECISION:
+                self._on_decision(st, ctx, now, item[4])
+            elif kind == _K_RETRAIN:
+                self._on_retrain(st, ctx, now)
+            events += 1
+        st.events_processed = events
 
     def _next_event_key(self, st: _RunState) -> tuple[float, int] | None:
         """``(time, priority)`` of the event :meth:`_step` would process
@@ -634,46 +769,79 @@ class ServingEngine:
         return head
 
     def _step(self, st: _RunState, ctx: _RunContext) -> bool:
-        """Process exactly one event (arrival or heap pop); False when done."""
+        """Process exactly one event (arrival or heap pop); False when done.
+
+        This is the stepwise (checkpointable, instrumentable) path; plain
+        runs take :meth:`_drive_fast` instead. With ``ctx.timers`` enabled
+        every event is accumulated into a ``serving.perf.*`` stage named
+        after its kind — the disabled branch never touches the clock.
+        """
         if st.arrival_ptr >= st.n and not st.heap:
             return False
         take_arrival = st.arrival_ptr < st.n and (
             not st.heap
             or (st.ts[st.arrival_ptr], _P_ARRIVAL) < (st.heap[0][0], st.heap[0][1])
         )
-        registry = ctx.registry
+        timers = ctx.timers
         if take_arrival:
-            i = st.arrival_ptr
-            now = float(st.ts[i])
-            st.clock = now
-            st.arrival_ptr += 1
-            st.arrivals_seen += 1
-            st.recent_ts.append(now)
-            self._emit(st, ctx, ("arrival", now, i))
-            if registry.enabled:
-                registry.counter(f"{self.metrics_prefix}.requests").inc()
-            for batch in st.buffer.observe(now):
-                self._dispatch(st, ctx, batch, now)
-            self._arm_timer(st)
-            if st.arrivals_seen % self.drift_check_every == 0:
-                self._check_drift(st, ctx, now)
+            if timers.enabled:
+                with timers.stage(_K_ARRIVAL):
+                    self._on_arrival(st, ctx)
+            else:
+                self._on_arrival(st, ctx)
             return True
         now, _priority, _seq, kind, payload = heappop(st.heap)
         st.clock = now
-        if kind == "completion":
+        if timers.enabled:
+            with timers.stage(kind):
+                self._handle_heap_event(st, ctx, now, kind, payload)
+        else:
+            self._handle_heap_event(st, ctx, now, kind, payload)
+        return True
+
+    def _on_arrival(self, st: _RunState, ctx: _RunContext) -> None:
+        i = st.arrival_ptr
+        now = float(st.ts[i])
+        st.clock = now
+        st.arrival_ptr += 1
+        st.arrivals_seen += 1
+        st.recent_ts.append(now)
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("arrival", now, i))
+        registry = ctx.registry
+        if registry.enabled:
+            registry.counter(f"{self.metrics_prefix}.requests").inc()
+        released = st.buffer.observe(now)
+        if released:
+            timers = ctx.timers
+            if timers.enabled:
+                # Nested stage: dispatch time shows up inside "arrival"
+                # and on its own row.
+                with timers.stage("dispatch"):
+                    for batch in released:
+                        self._dispatch(st, ctx, batch, now)
+            else:
+                for batch in released:
+                    self._dispatch(st, ctx, batch, now)
+        self._arm_timer(st)
+        if self._drift_enabled and st.arrivals_seen % self.drift_check_every == 0:
+            self._check_drift(st, ctx, now)
+
+    def _handle_heap_event(self, st: _RunState, ctx: _RunContext, now: float,
+                           kind: str, payload) -> None:
+        if kind == _K_COMPLETION:
             self._on_completion(st, ctx, now, payload)
-        elif kind == "timer":
+        elif kind == _K_TIMER:
             st.timers.discard(payload)
             for batch in st.buffer.poll(now):
                 self._dispatch(st, ctx, batch, now)
             self._arm_timer(st)
-        elif kind == "reconfigure":
+        elif kind == _K_RECONFIGURE:
             self._on_reconfigure(st, ctx, now, payload)
-        elif kind == "decision":
+        elif kind == _K_DECISION:
             self._on_decision(st, ctx, now, payload)
-        elif kind == "retrain":
+        elif kind == _K_RETRAIN:
             self._on_retrain(st, ctx, now)
-        return True
 
     # ------------------------------------------------------------- plumbing
     def _push(self, st: _RunState, time: float, priority: int, kind: str,
@@ -709,25 +877,31 @@ class ServingEngine:
         deadline = st.buffer.next_deadline()
         if deadline is not None and deadline not in st.timers:
             st.timers.add(deadline)
-            self._push(st, deadline, _P_TIMER, "timer", deadline)
+            self._push(st, deadline, _P_TIMER, _K_TIMER, deadline)
 
     def _trigger_decision(self, st: _RunState, now: float, reason: str) -> None:
-        self._push(st, now, _P_DECISION, "decision", reason)
+        self._push(st, now, _P_DECISION, _K_DECISION, reason)
 
     # ----------------------------------------------------------- data plane
     def _start_batch(self, st: _RunState, ctx: _RunContext, batch: Batch,
                      memory_mb: float, cold_delay: float, cold: bool,
                      container_id: int, start: float) -> None:
         size = batch.size
-        service = float(self.platform.profile.service_time(memory_mb, size))
-        duration = cold_delay + service
         if self.platform.faults_active:
+            key = (memory_mb, size)
+            service = ctx.service_cache.get(key)
+            if service is None:
+                service = float(
+                    self.platform.profile.service_time(memory_mb, size)
+                )
+                ctx.service_cache[key] = service
             # Fixed-draw-count child generator per dispatched batch:
             # randomness is a function of the batch index, never of
             # event interleaving (repro.serverless.faults discipline).
-            rng = self.platform.spawn_rng(len(st.b_dispatch))
+            rng = self.platform.spawn_rng(len(st.batches))
             outcome = inject_faults(
-                np.asarray([duration]), memory_mb, self.platform.pricing,
+                np.asarray([cold_delay + service]), memory_mb,
+                self.platform.pricing,
                 self.platform.faults, self.platform.retry_policy, rng,
             )
             fault_delay = float(outcome.fault_delays[0])
@@ -735,29 +909,39 @@ class ServingEngine:
             retries = int(outcome.attempts[0]) - 1
             batch_failed = bool(outcome.failed[0])
         else:
+            # service_time and invocation_cost are pure functions of the
+            # key, so the memoized floats are the exact values a fresh
+            # call would produce — bit-identity is free.
+            key = (memory_mb, size, cold_delay)
+            hit = ctx.cost_cache.get(key)
+            if hit is None:
+                service = float(
+                    self.platform.profile.service_time(memory_mb, size)
+                )
+                cost = float(self.platform.pricing.invocation_cost(
+                    memory_mb, cold_delay + service
+                ))
+                ctx.cost_cache[key] = (service, cost)
+            else:
+                service, cost = hit
             fault_delay = 0.0
-            cost = float(
-                self.platform.pricing.invocation_cost(memory_mb, duration)
-            )
             retries = 0
             batch_failed = False
         # Same association as BatchExecution.completion_times, so the
         # static-config equivalence is bitwise, not merely close.
         completion = start + cold_delay + service + fault_delay
-        st.b_dispatch.append(batch.dispatch_time)
-        st.b_start.append(start)
-        st.b_size.append(size)
-        st.b_cost.append(cost)
-        st.b_cold.append(cold)
-        st.b_memory.append(memory_mb)
-        st.b_retries.append(retries)
-        st.counters["n_retries"] += retries
-        st.latencies[batch.indices] = completion - batch.arrival_times
+        st.batches.append(batch.dispatch_time, start, size, cost, cold,
+                          memory_mb, retries)
+        if retries:
+            st.counters["n_retries"] += retries
+        i0 = batch.first_index
+        stop = i0 + size
+        st.latencies[i0:stop] = completion - batch.arrival_times
         if batch_failed:
-            st.failed[batch.indices] = True
+            st.failed[i0:stop] = True
             st.counters["n_failed"] += size
-        self._push(st, completion, _P_COMPLETION, "completion",
-                   (container_id, batch.indices))
+        self._push(st, completion, _P_COMPLETION, _K_COMPLETION,
+                   (container_id, i0, size))
         registry = ctx.registry
         if registry.enabled:
             registry.counter(f"{self.metrics_prefix}.batches").inc()
@@ -767,8 +951,9 @@ class ServingEngine:
             registry.histogram(f"{self.metrics_prefix}.queue_delay").observe(
                 start - batch.dispatch_time
             )
-        self._emit(st, ctx, ("start", start, container_id, size, cold,
-                             memory_mb, completion))
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("start", start, container_id, size, cold,
+                                 memory_mb, completion))
 
     def _dispatch(self, st: _RunState, ctx: _RunContext, batch: Batch,
                   now: float) -> None:
@@ -785,7 +970,7 @@ class ServingEngine:
             return
         limit = self.pool_config.max_queued_batches
         if limit is not None and len(st.queue) >= limit:
-            st.shed[batch.indices] = True
+            st.shed[batch.first_index:batch.first_index + batch.size] = True
             st.counters["shed_batches"] += 1
             if registry.enabled:
                 registry.counter(f"{self.metrics_prefix}.shed_requests").inc(batch.size)
@@ -794,29 +979,40 @@ class ServingEngine:
                     time=now, requests=batch.size,
                     queued_batches=len(st.queue),
                 ))
-            self._emit(st, ctx, ("shed", now, batch.size))
+            if st.trace is not None or ctx.journal is not None:
+                self._emit(st, ctx, ("shed", now, batch.size))
             return
         st.queue.append(batch)
         if registry.enabled:
             registry.counter(f"{self.metrics_prefix}.queued_batches").inc()
-        self._emit(st, ctx, ("queued", now, batch.size))
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("queued", now, batch.size))
 
     def _on_completion(self, st: _RunState, ctx: _RunContext, now: float,
                        payload) -> None:
-        container_id, indices = payload
+        if len(payload) == 3:
+            container_id, i0, size = payload
+            lat = st.latencies[i0:i0 + size]
+        else:
+            # A pre-speed-pass snapshot's heap carries (id, indices-array)
+            # payloads; honor them so old checkpoints keep restoring.
+            container_id, indices = payload
+            lat = st.latencies[indices]
         st.pool.release(container_id, now)
-        st.recent_latencies.extend(st.latencies[indices].tolist())
+        if self._track_latencies:
+            st.recent_latencies.extend(lat.tolist())
         registry = ctx.registry
         if registry.enabled:
             registry.histogram(f"{self.metrics_prefix}.latency").observe_many(
-                st.latencies[indices]
+                lat
             )
-        self._emit(st, ctx, ("completion", now, container_id))
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("completion", now, container_id))
         if st.queue:
             self._dispatch(st, ctx, st.queue.popleft(), now)
         if st.guardrail is not None:
             for action, observed in st.guardrail.observe(
-                st.latencies[indices], now, st.active
+                lat, now, st.active
             ):
                 self._on_guardrail_action(st, ctx, now, action, observed)
 
@@ -857,7 +1053,7 @@ class ServingEngine:
             st.target = config
             st.reconfig_gen += 1
             self._push(st, now + self.deploy_delay_s, _P_RECONFIGURE,
-                       "reconfigure", (st.reconfig_gen, record, now, reason))
+                       _K_RECONFIGURE, (st.reconfig_gen, record, now, reason))
 
     def _on_decision(self, st: _RunState, ctx: _RunContext, now: float,
                      reason: str) -> None:
@@ -897,7 +1093,7 @@ class ServingEngine:
             and st.arrival_ptr < st.n
         ):
             self._push(st, now + self.decision_interval_s, _P_DECISION,
-                       "decision", "interval")
+                       _K_DECISION, "interval")
 
     def _on_reconfigure(self, st: _RunState, ctx: _RunContext, now: float,
                         payload) -> None:
@@ -946,7 +1142,7 @@ class ServingEngine:
                 # superseded by the generation bump.
                 st.target = fallback
                 st.reconfig_gen += 1
-                self._push(st, now, _P_RECONFIGURE, "reconfigure",
+                self._push(st, now, _P_RECONFIGURE, _K_RECONFIGURE,
                            (st.reconfig_gen, record, now, "guardrail"))
             event_config = fallback
         elif action == "probe":
@@ -994,7 +1190,7 @@ class ServingEngine:
                 if self.retrain_delay_s is not None and not st.retrain_pending:
                     st.retrain_pending = True
                     self._push(st, now + self.retrain_delay_s, _P_RETRAIN,
-                               "retrain", None)
+                               _K_RETRAIN, None)
                 return
         if (
             self.prediction_baseline_error is not None
@@ -1030,6 +1226,10 @@ class ServingEngine:
                 pass  # not enough recent traffic to refit the envelope
         if self.on_retrain is not None:
             self.on_retrain(recent)
+            # The retrain hook may refit the platform's models in place;
+            # drop the memoized service/cost values so later batches see it.
+            ctx.service_cache.clear()
+            ctx.cost_cache.clear()
         if ctx.registry.enabled:
             ctx.registry.counter(f"{self.metrics_prefix}.retrains").inc()
         self._emit(st, ctx, ("retrain", now))
@@ -1037,19 +1237,21 @@ class ServingEngine:
     # ---------------------------------------------------------------- finish
     def _finish(self, st: _RunState) -> ServingLog:
         stats = st.pool.stats
+        (b_dispatch, b_start, b_sizes, b_costs, b_cold, b_memory,
+         b_retries) = st.batches.arrays()
         return ServingLog(
             name=st.name, trace=st.trace_name, slo=self.slo,
             arrival_times=st.ts,
             latencies=st.latencies,
             shed=st.shed,
             failed=st.failed,
-            dispatch_times=np.asarray(st.b_dispatch),
-            start_times=np.asarray(st.b_start),
-            batch_sizes=np.asarray(st.b_size, dtype=int),
-            batch_costs=np.asarray(st.b_cost),
-            batch_cold=np.asarray(st.b_cold, dtype=bool),
-            batch_memory=np.asarray(st.b_memory),
-            batch_retries=np.asarray(st.b_retries, dtype=int),
+            dispatch_times=b_dispatch,
+            start_times=b_start,
+            batch_sizes=b_sizes,
+            batch_costs=b_costs,
+            batch_cold=b_cold,
+            batch_memory=b_memory,
+            batch_retries=b_retries,
             decisions=st.decisions,
             reconfigurations=st.counters["reconfigurations"],
             drift_triggers=st.counters["drift"],

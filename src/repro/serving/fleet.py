@@ -41,6 +41,7 @@ two endpoints never share a counter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 import numpy as np
 
@@ -53,6 +54,7 @@ from repro.serving.guardrail import GuardrailConfig
 from repro.serving.log import ServingLog
 from repro.serving.pool import WarmPool, WarmPoolConfig
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.timing import stage_timers
 from repro.utils.validation import check_sorted
 
 
@@ -452,7 +454,11 @@ class FleetEngine:
                 ts, name=f"{name}.{spec.name}", trace_name=trace_name,
                 history=history, record_trace=record_trace,
             )
-            lanes.append((eng, st, _RunContext(registry=registry)))
+            ctx = _RunContext(
+                registry=registry,
+                timers=stage_timers(f"{eng.metrics_prefix}.perf"),
+            )
+            lanes.append((eng, st, ctx))
 
         first_arrivals = [
             float(st.ts[0]) for _, st, _ in lanes if st.n
@@ -461,8 +467,101 @@ class FleetEngine:
             min(first_arrivals) + self.scheduler_interval_s
             if self.scheduler is not None and first_arrivals else None
         )
-        fleet_decisions = 0
+        drive = self._drive_lanes_scan if self._scan_lanes else self._drive_lanes
+        fleet_decisions = drive(lanes, budget, next_tick)
+        for _eng, _st, ctx in lanes:
+            ctx.timers.flush()
 
+        logs = {
+            spec.name: eng._finish(st)
+            for spec, (eng, st, _ctx) in zip(self.endpoints, lanes)
+        }
+        return FleetLog(
+            name=name, logs=logs, fleet_decisions=fleet_decisions,
+            max_containers=self.max_containers,
+        )
+
+    # ------------------------------------------------------------ internals
+    #: When True, :meth:`run` drives lanes with the original scan-every-lane
+    #: loop (:meth:`_drive_lanes_scan`). The serving benchmark flips this on
+    #: a subclass to measure the heap-merged loop against its specification.
+    _scan_lanes = False
+
+    def _drive_lanes(self, lanes, budget, next_tick) -> int:
+        """Heap-merged lane stepping: the fleet's next event in O(log n).
+
+        A lane-key heap holds one entry ``(time, priority, lane, stamp)``
+        per lane — the lane's own next-event key plus its index, exactly
+        the ranking the scan loop minimized, so the selection (ties
+        included: earlier lane first) is identical. Entries are lazily
+        invalidated by a per-lane stamp: whenever a lane's key may have
+        changed (it was stepped, a cross-lane drain started one of its
+        queued batches, or a scheduler tick injected decisions), the stamp
+        is bumped and a fresh entry pushed; stale entries are discarded as
+        they surface. Bit-identity with :meth:`_drive_lanes_scan` is
+        pinned by the fleet equivalence tests.
+        """
+        fleet_decisions = 0
+        stamps = [0] * len(lanes)
+        lane_heap: list[tuple[float, int, int, int]] = []
+
+        def rekey(i: int) -> None:
+            stamps[i] += 1
+            eng, st, _ctx = lanes[i]
+            key = eng._next_event_key(st)
+            if key is not None:
+                heappush(lane_heap, (key[0], key[1], i, stamps[i]))
+
+        for i in range(len(lanes)):
+            rekey(i)
+
+        while True:
+            head = None
+            while lane_heap:
+                t, p, i, stamp = lane_heap[0]
+                if stamp != stamps[i]:
+                    heappop(lane_heap)
+                    continue
+                head = (t, p, i)
+                break
+            if next_tick is not None and (
+                head is None or (next_tick, _P_DECISION) <= (head[0], head[1])
+            ):
+                # The fleet tick outranks lane events at the same
+                # (time, priority): arbitration lands before any lane's
+                # own decision of that instant.
+                fleet_decisions += self._scheduler_tick(lanes, next_tick)
+                next_tick = (
+                    next_tick + self.scheduler_interval_s
+                    if any(st.arrival_ptr < st.n for _, st, _ in lanes)
+                    else None
+                )
+                for i in range(len(lanes)):
+                    rekey(i)
+                continue
+            if head is None:
+                break
+            i = head[2]
+            eng, st, ctx = lanes[i]
+            eng._step(st, ctx)
+            st.events_processed += 1
+            if budget is not None:
+                # A completion (or eviction headroom) in one lane can
+                # unblock batches queued in another; the lanes' own
+                # completion handlers only drain their own queues.
+                changed = self._drain_queues(lanes, float(st.clock))
+                changed.add(i)
+                for j in changed:
+                    rekey(j)
+            else:
+                rekey(i)
+        return fleet_decisions
+
+    def _drive_lanes_scan(self, lanes, budget, next_tick) -> int:
+        """The original O(lanes)-per-event selection loop, kept verbatim as
+        the executable specification for :meth:`_drive_lanes` and as the
+        "before" side of the serving benchmark."""
+        fleet_decisions = 0
         while True:
             best = None  # ((time, priority, lane), lane_index)
             for i, (eng, st, _ctx) in enumerate(lanes):
@@ -474,9 +573,6 @@ class FleetEngine:
             if next_tick is not None and (
                 best is None or (next_tick, _P_DECISION) <= best[0][:2]
             ):
-                # The fleet tick outranks lane events at the same
-                # (time, priority): arbitration lands before any lane's
-                # own decision of that instant.
                 fleet_decisions += self._scheduler_tick(lanes, next_tick)
                 next_tick = (
                     next_tick + self.scheduler_interval_s
@@ -490,21 +586,9 @@ class FleetEngine:
             eng._step(st, ctx)
             st.events_processed += 1
             if budget is not None:
-                # A completion (or eviction headroom) in one lane can
-                # unblock batches queued in another; the lanes' own
-                # completion handlers only drain their own queues.
                 self._drain_queues(lanes, float(st.clock))
+        return fleet_decisions
 
-        logs = {
-            spec.name: eng._finish(st)
-            for spec, (eng, st, _ctx) in zip(self.endpoints, lanes)
-        }
-        return FleetLog(
-            name=name, logs=logs, fleet_decisions=fleet_decisions,
-            max_containers=self.max_containers,
-        )
-
-    # ------------------------------------------------------------ internals
     def _scheduler_tick(self, lanes, now: float) -> int:
         """Run one fleet arbitration; returns 1 if a plan was applied."""
         histories = {
@@ -522,14 +606,18 @@ class FleetEngine:
         return 1
 
     @staticmethod
-    def _drain_queues(lanes, now: float) -> None:
+    def _drain_queues(lanes, now: float) -> set[int]:
         """Start queued batches anywhere the shared budget now allows.
 
         Without this pass a lane whose only pending work is queued
         batches would deadlock: it has no completion events of its own,
-        so nothing inside the lane would ever retry the pool.
+        so nothing inside the lane would ever retry the pool. Returns the
+        indices of lanes that started at least one batch — their
+        next-event key may have changed, so the heap-merged loop re-keys
+        exactly those.
         """
-        for eng, st, ctx in lanes:
+        changed: set[int] = set()
+        for lane, (eng, st, ctx) in enumerate(lanes):
             while st.queue:
                 memory_mb = st.active.memory_mb
                 lease = st.pool.acquire(now, memory_mb)
@@ -545,3 +633,5 @@ class FleetEngine:
                     st, ctx, batch, memory_mb, lease.cold_delay,
                     lease.cold, lease.container_id, start=now,
                 )
+                changed.add(lane)
+        return changed

@@ -23,6 +23,78 @@ from repro.evaluation.harness import ExperimentLog, SegmentOutcome
 from repro.evaluation.metrics import vcr as _vcr
 
 
+class BatchColumns:
+    """Chunked struct-of-arrays accumulator for the per-batch record.
+
+    The serving engine appends one row per executed batch (dispatch, start,
+    size, cost, cold, memory, retries). Growing seven Python lists and
+    converting them with ``np.asarray`` at the end of a run boxes every
+    scalar twice; this accumulator writes straight into preallocated numpy
+    chunks of ``chunk_rows`` rows and concatenates the chunks once in
+    :meth:`arrays`. The object pickles (checkpoint snapshots carry it), and
+    :meth:`arrays` produces dtypes identical to the historical
+    ``np.asarray`` conversion, so :class:`ServingLog` contents are
+    bit-identical to the list-backed build.
+    """
+
+    chunk_rows = 1024
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._full: list[tuple[np.ndarray, ...]] = []
+        self._alloc()
+
+    def _alloc(self) -> None:
+        rows = self.chunk_rows
+        self._dispatch = np.empty(rows)
+        self._start = np.empty(rows)
+        self._size = np.empty(rows, dtype=int)
+        self._cost = np.empty(rows)
+        self._cold = np.empty(rows, dtype=bool)
+        self._memory = np.empty(rows)
+        self._retries = np.empty(rows, dtype=int)
+        self._fill = 0
+
+    def _chunk(self, rows: int) -> tuple[np.ndarray, ...]:
+        return (self._dispatch[:rows], self._start[:rows], self._size[:rows],
+                self._cost[:rows], self._cold[:rows], self._memory[:rows],
+                self._retries[:rows])
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, dispatch: float, start: float, size: int, cost: float,
+               cold: bool, memory: float, retries: int) -> None:
+        i = self._fill
+        if i == self.chunk_rows:
+            self._full.append(self._chunk(self.chunk_rows))
+            self._alloc()
+            i = 0
+        self._dispatch[i] = dispatch
+        self._start[i] = start
+        self._size[i] = size
+        self._cost[i] = cost
+        self._cold[i] = cold
+        self._memory[i] = memory
+        self._retries[i] = retries
+        self._fill = i + 1
+        self._count += 1
+
+    def arrays(self) -> tuple[np.ndarray, ...]:
+        """``(dispatch, start, sizes, costs, cold, memory, retries)`` as
+        freshly-owned arrays (float, float, int, float, bool, float, int)."""
+        chunks = list(self._full)
+        if self._fill:
+            chunks.append(self._chunk(self._fill))
+        if not chunks:
+            return (np.empty(0), np.empty(0), np.empty(0, dtype=int),
+                    np.empty(0), np.empty(0, dtype=bool), np.empty(0),
+                    np.empty(0, dtype=int))
+        return tuple(
+            np.concatenate([chunk[k] for chunk in chunks]) for k in range(7)
+        )
+
+
 @dataclass
 class ServingDecision:
     """One controller invocation inside the serving loop.

@@ -22,12 +22,27 @@ that state:
 
 The pool is purely deterministic — no RNG — so the serving engine's
 event-trace determinism reduces to event ordering.
+
+Two implementations share the semantics:
+
+* :class:`WarmPool` — the production pool. Expiry, MRU warm reuse, and
+  capacity eviction all run off heaps with lazy invalidation (an idle
+  min-heap keyed ``(free_at, container_id)`` doubling as expiry queue and
+  eviction order, plus one MRU max-heap per memory tier), so every
+  :meth:`~WarmPool.acquire` costs O(log n) instead of the three O(n)
+  scans the linear version pays.
+* :class:`ReferenceWarmPool` — the original linear-scan implementation,
+  kept verbatim as the *executable specification*: the pool test suite
+  drives both through identical operation sequences and asserts
+  bit-identical leases, stats, and container sets, and the serving
+  benchmark uses it as the "before" side of ``BENCH_serving.json``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 from repro.serverless.service_profile import ColdStartModel
 
@@ -101,6 +116,28 @@ class WarmPool:
     Expiry is evaluated lazily at acquire time — capacity only matters at
     that moment, so no timer events are needed and the pool stays
     event-order deterministic.
+
+    Internals (the serving-loop speed pass): the linear implementation
+    (:class:`ReferenceWarmPool`) rescans every container on each acquire —
+    once for expiry, once for a warm match, once for an eviction victim —
+    which is O(n) per dispatched batch and dominated big-pool runs. This
+    pool keeps the same observable behaviour with heaps:
+
+    * ``_idle_heap`` — min-heap of ``(free_at, container_id)`` entries, one
+      per release. Ascending ``free_at`` is simultaneously the expiry order
+      (oldest idle first) and the reference eviction order
+      (``min(idle, key=(free_at, container_id))``).
+    * ``_warm_heaps[memory_mb]`` — per-tier max-heap on
+      ``(free_at, container_id)`` (stored negated), mirroring the
+      reference's MRU pick ``max(warm, key=(free_at, container_id))``.
+
+    Entries are invalidated lazily: an entry is live only while the
+    container still exists *and* still has the recorded ``free_at`` (an
+    acquire resets ``free_at`` to ``inf``, orphaning every older entry).
+    A container re-released at an identical timestamp re-creates an equal
+    key, which selects identically — so lazy invalidation never changes a
+    decision, only skips dead weight. Bit-identity with the reference is
+    pinned by ``tests/serving/test_pool_equivalence.py``.
     """
 
     def __init__(
@@ -113,6 +150,8 @@ class WarmPool:
         self.stats = PoolStats()
         self._containers: dict[int, _Container] = {}
         self._next_id = 0
+        self._idle_heap: list[tuple[float, int]] = []
+        self._warm_heaps: dict[float, list[tuple[float, int]]] = {}
 
     # ------------------------------------------------------------- inspection
     def cold_delay(self, memory_mb: float) -> float:
@@ -141,14 +180,19 @@ class WarmPool:
         keep = self.config.keep_alive_s
         if math.isinf(keep):
             return
-        dead = [
-            cid
-            for cid, c in self._containers.items()
-            if c.free_at <= now and now - c.free_at > keep
-        ]
-        for cid in dead:
-            del self._containers[cid]
-        self.stats.expired += len(dead)
+        # The heap yields idle containers oldest-first; ``now - free_at``
+        # is monotone non-increasing along that order, so the first
+        # still-alive entry ends the sweep. The comparison is kept as
+        # ``now - free_at > keep`` (not a precomputed cutoff) so the
+        # floating-point decision is bit-identical to the linear scan's.
+        heap = self._idle_heap
+        containers = self._containers
+        while heap and now - heap[0][0] > keep:
+            free_at, cid = heappop(heap)
+            container = containers.get(cid)
+            if container is not None and container.free_at == free_at:
+                del containers[cid]
+                self.stats.expired += 1
 
     def acquire(self, now: float, memory_mb: float) -> Lease | None:
         """Grant a container for a batch dispatching at ``now``.
@@ -160,33 +204,50 @@ class WarmPool:
         queues or sheds the batch.
         """
         self._expire(now)
-        warm = [
-            c
-            for c in self._containers.values()
-            if c.free_at <= now and c.memory_mb == memory_mb
-        ]
-        if warm:
-            chosen = max(warm, key=lambda c: (c.free_at, c.container_id))
-            chosen.free_at = math.inf
+        containers = self._containers
+        warm_heap = self._warm_heaps.get(memory_mb)
+        while warm_heap:
+            neg_free, neg_cid = warm_heap[0]
+            cid = -neg_cid
+            container = containers.get(cid)
+            if container is None or container.free_at != -neg_free:
+                heappop(warm_heap)  # expired, evicted, or re-acquired
+                continue
+            # Idle containers always have free_at <= now (a release can
+            # only stamp a past event time), so the MRU top is grantable.
+            heappop(warm_heap)
+            container.free_at = math.inf
             self.stats.warm_starts += 1
-            return Lease(chosen.container_id, cold=False, cold_delay=0.0)
+            return Lease(cid, cold=False, cold_delay=0.0)
 
         cap = self.config.max_containers
-        if cap is not None and len(self._containers) >= cap:
+        if cap is not None and len(containers) >= cap:
             # Evict an idle container of another tier to make room (a
             # redeploy); with every container busy the pool is exhausted.
-            idle = [c for c in self._containers.values() if c.free_at <= now]
-            if not idle:
+            # The idle heap's ascending (free_at, id) order is exactly the
+            # reference victim choice: the least-recently-freed idle
+            # container, ties broken by container id.
+            idle_heap = self._idle_heap
+            victim_id = None
+            while idle_heap:
+                free_at, cid = idle_heap[0]
+                container = containers.get(cid)
+                if container is None or container.free_at != free_at:
+                    heappop(idle_heap)
+                    continue
+                victim_id = cid
+                break
+            if victim_id is None:
                 return None
-            victim = min(idle, key=lambda c: (c.free_at, c.container_id))
-            del self._containers[victim.container_id]
+            heappop(idle_heap)
+            del containers[victim_id]
             self.stats.evicted += 1
 
         if not self._admit_cold(now):
             return None
         container = _Container(self._next_id, memory_mb, free_at=math.inf)
         self._next_id += 1
-        self._containers[container.container_id] = container
+        containers[container.container_id] = container
         self.stats.cold_starts += 1
         return Lease(container.container_id, cold=True,
                      cold_delay=self.cold_delay(memory_mb))
@@ -205,5 +266,72 @@ class WarmPool:
         finished at ``now``); the keep-alive clock starts here."""
         container = self._containers.get(container_id)
         if container is None:  # reclaimed mid-flight cannot happen; be safe
+            return
+        container.free_at = now
+        heappush(self._idle_heap, (now, container_id))
+        warm_heap = self._warm_heaps.get(container.memory_mb)
+        if warm_heap is None:
+            warm_heap = self._warm_heaps[container.memory_mb] = []
+        heappush(warm_heap, (-now, -container_id))
+
+
+class ReferenceWarmPool(WarmPool):
+    """The original linear-scan pool, kept as the executable specification.
+
+    Every acquire rescans the container dict (expiry sweep, warm-match
+    scan, eviction-victim scan) exactly as the pre-speed-pass pool did.
+    ``tests/serving/test_pool_equivalence.py`` drives this and
+    :class:`WarmPool` through identical operation sequences and asserts
+    bit-identical behaviour; ``benchmarks/test_perf_serving.py`` uses it
+    as the "before" implementation when measuring the serving speedup.
+    """
+
+    def _expire(self, now: float) -> None:
+        keep = self.config.keep_alive_s
+        if math.isinf(keep):
+            return
+        dead = [
+            cid
+            for cid, c in self._containers.items()
+            if c.free_at <= now and now - c.free_at > keep
+        ]
+        for cid in dead:
+            del self._containers[cid]
+        self.stats.expired += len(dead)
+
+    def acquire(self, now: float, memory_mb: float) -> Lease | None:
+        self._expire(now)
+        warm = [
+            c
+            for c in self._containers.values()
+            if c.free_at <= now and c.memory_mb == memory_mb
+        ]
+        if warm:
+            chosen = max(warm, key=lambda c: (c.free_at, c.container_id))
+            chosen.free_at = math.inf
+            self.stats.warm_starts += 1
+            return Lease(chosen.container_id, cold=False, cold_delay=0.0)
+
+        cap = self.config.max_containers
+        if cap is not None and len(self._containers) >= cap:
+            idle = [c for c in self._containers.values() if c.free_at <= now]
+            if not idle:
+                return None
+            victim = min(idle, key=lambda c: (c.free_at, c.container_id))
+            del self._containers[victim.container_id]
+            self.stats.evicted += 1
+
+        if not self._admit_cold(now):
+            return None
+        container = _Container(self._next_id, memory_mb, free_at=math.inf)
+        self._next_id += 1
+        self._containers[container.container_id] = container
+        self.stats.cold_starts += 1
+        return Lease(container.container_id, cold=True,
+                     cold_delay=self.cold_delay(memory_mb))
+
+    def release(self, container_id: int, now: float) -> None:
+        container = self._containers.get(container_id)
+        if container is None:
             return
         container.free_at = now

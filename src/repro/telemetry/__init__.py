@@ -1,9 +1,10 @@
 """Dependency-free observability for the serving loop.
 
-Four pieces: :mod:`~repro.telemetry.metrics` (counters, gauges, streaming
+Five pieces: :mod:`~repro.telemetry.metrics` (counters, gauges, streaming
 histograms, and the :class:`MetricsRegistry` sink), :mod:`~repro.telemetry.
-tracing` (nested wall-clock spans), :mod:`~repro.telemetry.events`
-(structured decision/dispatch/violation/segment records), and
+tracing` (nested wall-clock spans), :mod:`~repro.telemetry.timing`
+(aggregate per-stage timers for hot event loops), :mod:`~repro.telemetry.
+events` (structured decision/dispatch/violation/segment records), and
 :mod:`~repro.telemetry.export` (JSONL round-trip plus an ASCII dashboard).
 
 The default registry is a no-op, so the instrumentation wired through the
@@ -38,6 +39,13 @@ from repro.telemetry.metrics import (
     set_registry,
     use_registry,
 )
+from repro.telemetry.timing import (
+    NULL_TIMERS,
+    NullStageTimers,
+    Stage,
+    StageTimers,
+    stage_timers,
+)
 from repro.telemetry.tracing import NULL_SPAN, NullSpan, Span, SpanRecord
 
 __all__ = [
@@ -52,14 +60,18 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_SPAN",
+    "NULL_TIMERS",
     "NullRegistry",
     "NullSpan",
+    "NullStageTimers",
     "ReconfigureEvent",
     "RetryEvent",
     "SegmentEvent",
     "ShedEvent",
     "Span",
     "SpanRecord",
+    "Stage",
+    "StageTimers",
     "TelemetryEvent",
     "ViolationEvent",
     "event_from_record",
@@ -67,6 +79,7 @@ __all__ = [
     "read_jsonl",
     "render_dashboard",
     "set_registry",
+    "stage_timers",
     "use_registry",
     "write_jsonl",
 ]

@@ -1,0 +1,151 @@
+"""Nestable per-stage wall-clock timers for hot loops (the serving perf layer).
+
+:mod:`repro.telemetry.tracing` records one :class:`SpanRecord` *per span* —
+perfect for attributing a single DeepBAT decision, ruinous inside an event
+loop that processes hundreds of thousands of events (one record allocation
+per event would dominate the loop it measures). This module is the
+aggregate counterpart: a :class:`StageTimers` set keeps one accumulator per
+named stage (``calls`` + ``total`` seconds, two floats), so timing an event
+costs two ``perf_counter()`` reads and two adds regardless of run length.
+
+Stages nest — a stage opened while another is active simply accumulates
+into its own bucket (each open is a stack entry, so a stage may even
+re-enter itself) — which is enough to split "arrival handling" into
+"dispatch" and "drift check" without building a span tree.
+
+The layer is opt-in twice over:
+
+* with telemetry disabled, :func:`stage_timers` returns the shared
+  :data:`NULL_TIMERS` singleton whose ``enabled`` flag is ``False`` — hot
+  loops are expected to *branch on that flag* and run an uninstrumented
+  path, so the disabled cost is one attribute lookup per run, not per
+  event (``tests/telemetry/test_timing.py`` pins this: no clock call is
+  reachable through this module while telemetry is off);
+* with telemetry enabled, accumulators only become metrics at
+  :meth:`StageTimers.flush`: one ``<prefix>.<stage>.seconds`` and
+  ``<prefix>.<stage>.calls`` counter pair per stage (the serving engine
+  flushes ``serving.perf.*`` at the end of a run, rendered by the
+  dashboard's "performance (serving)" section).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+
+
+class Stage:
+    """One named accumulator; use as a (re-entrant) context manager."""
+
+    __slots__ = ("name", "calls", "total", "_starts")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total = 0.0
+        self._starts: list[float] = []
+
+    def __enter__(self) -> "Stage":
+        self._starts.append(perf_counter())
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.total += perf_counter() - self._starts.pop()
+        self.calls += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.calls if self.calls else 0.0
+
+
+class StageTimers:
+    """A set of named stage accumulators flushing to one metrics prefix."""
+
+    enabled: bool = True
+
+    def __init__(self, prefix: str, registry: MetricsRegistry | None = None) -> None:
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self.prefix = prefix
+        self._registry = registry if registry is not None else get_registry()
+        self._stages: dict[str, Stage] = {}
+
+    def stage(self, name: str) -> Stage:
+        """The accumulator for ``name`` (created on first use).
+
+        The returned object is stable, so hot loops should hoist it once
+        (``arrival = timers.stage("arrival")``) and re-enter it per event.
+        """
+        stage = self._stages.get(name)
+        if stage is None:
+            stage = self._stages[name] = Stage(name)
+        return stage
+
+    def stages(self) -> dict[str, Stage]:
+        return dict(self._stages)
+
+    def flush(self) -> None:
+        """Drain every accumulator into ``<prefix>.<stage>.{seconds,calls}``
+        counters and reset it, so repeated flushes never double-count."""
+        registry = self._registry
+        if not registry.enabled:
+            return
+        for name, stage in self._stages.items():
+            if not stage.calls:
+                continue
+            registry.counter(f"{self.prefix}.{name}.seconds").inc(stage.total)
+            registry.counter(f"{self.prefix}.{name}.calls").inc(stage.calls)
+            stage.calls = 0
+            stage.total = 0.0
+
+
+class _NullStage:
+    """Do-nothing stage: ``with`` costs two constant method calls, and —
+    pinned by the timing lint test — never touches the clock."""
+
+    __slots__ = ()
+    name = "null"
+    calls = 0
+    total = 0.0
+    mean = 0.0
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_STAGE = _NullStage()
+
+
+class NullStageTimers(StageTimers):
+    """Disabled timer set: shared singleton, every stage is the null stage."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 - no state at all
+        pass
+
+    def stage(self, name: str) -> Stage:  # type: ignore[override]
+        return _NULL_STAGE  # type: ignore[return-value]
+
+    def stages(self) -> dict[str, Stage]:
+        return {}
+
+    def flush(self) -> None:
+        pass
+
+
+#: The shared disabled instance handed out while telemetry is off.
+NULL_TIMERS = NullStageTimers()
+
+
+def stage_timers(prefix: str) -> StageTimers:
+    """A :class:`StageTimers` bound to the active registry, or
+    :data:`NULL_TIMERS` when telemetry is disabled."""
+    registry = get_registry()
+    if not registry.enabled:
+        return NULL_TIMERS
+    return StageTimers(prefix, registry)

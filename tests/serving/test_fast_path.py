@@ -1,0 +1,187 @@
+"""Fast drive loop ≡ stepwise drive loop, bit-for-bit.
+
+The speed pass gave :meth:`ServingEngine._drive` a fast path (batched
+arrival runs, cached heap head, memoized service/cost) that is taken
+whenever no stepwise-only feature is active — no checkpointing, no crash
+hook, telemetry off. The stepwise loop remains the path for telemetry and
+crash-safe runs, so the two must stay interchangeable: same trace, same
+engine, same seed ⇒ identical :class:`ServingLog`, event trace included.
+
+Also pins the hot-path micro-fixes: interned event kinds keep the engine's
+same-seed determinism, and the per-batch service/cost memo is invalidated
+on retrain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batching.config import BatchConfig
+from repro.core.types import Decision
+from repro.serverless.faults import FaultModel
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.service_profile import ColdStartModel
+from repro.serving import ServingEngine, WarmPoolConfig
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+pytestmark = pytest.mark.serving
+
+CONFIG = BatchConfig(memory_mb=2048.0, batch_size=8, timeout=0.05)
+OTHER = BatchConfig(memory_mb=4096.0, batch_size=16, timeout=0.02)
+
+
+class FlipFlopChooser:
+    def __init__(self):
+        self.calls = 0
+
+    def choose(self, history, slo):
+        self.calls += 1
+        config = OTHER if self.calls % 2 else CONFIG
+        return Decision(config=config, decision_time=1e-3,
+                        diagnostics={"predicted_p95": 0.08})
+
+
+def trace(seed=5, n=1500, lam=250.0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / lam, size=n))
+
+
+def build_engine(seed=123, faults=False):
+    fault_model = FaultModel(failure_rate=0.2) if faults else None
+    platform = ServerlessPlatform(
+        cold_start=ColdStartModel(),
+        faults=fault_model,
+        concurrency_limit=4,
+        seed=seed,
+    )
+    return ServingEngine(
+        CONFIG,
+        platform=platform,
+        chooser=FlipFlopChooser(),
+        pool=WarmPoolConfig(keep_alive_s=2.0, max_containers=4,
+                            max_queued_batches=2),
+        deploy_delay_s=0.25,
+        decision_interval_s=0.5,
+        min_history=16,
+    )
+
+
+def assert_logs_identical(a, b):
+    np.testing.assert_array_equal(a.latencies, b.latencies)
+    np.testing.assert_array_equal(a.shed, b.shed)
+    np.testing.assert_array_equal(a.failed, b.failed)
+    np.testing.assert_array_equal(a.dispatch_times, b.dispatch_times)
+    np.testing.assert_array_equal(a.start_times, b.start_times)
+    np.testing.assert_array_equal(a.batch_sizes, b.batch_sizes)
+    np.testing.assert_array_equal(a.batch_costs, b.batch_costs)
+    np.testing.assert_array_equal(a.batch_cold, b.batch_cold)
+    np.testing.assert_array_equal(a.batch_memory, b.batch_memory)
+    np.testing.assert_array_equal(a.batch_retries, b.batch_retries)
+    assert a.event_trace == b.event_trace
+    assert a.n_events == b.n_events
+    assert a.reconfigurations == b.reconfigurations
+    assert len(a.decisions) == len(b.decisions)
+    assert (a.cold_starts, a.warm_starts, a.expired_containers,
+            a.evicted_containers, a.n_retries, a.n_failed) == (
+        b.cold_starts, b.warm_starts, b.expired_containers,
+        b.evicted_containers, b.n_retries, b.n_failed)
+
+
+class TestFastEqualsStepwise:
+    @pytest.mark.parametrize("faults", [False, True])
+    def test_telemetry_run_matches_plain_run(self, faults):
+        # Telemetry off → fast path; telemetry on → stepwise (timed) loop.
+        ts = trace()
+        fast = build_engine(seed=7, faults=faults).run(ts, record_trace=True)
+        with use_registry(MetricsRegistry()):
+            slow = build_engine(seed=7, faults=faults).run(
+                ts, record_trace=True
+            )
+        assert_logs_identical(fast, slow)
+
+    def test_checkpointed_run_matches_plain_run(self, tmp_path):
+        # A checkpoint_path forces the stepwise loop (snapshot cadence).
+        ts = trace(seed=9)
+        fast = build_engine(seed=7, faults=True).run(ts, record_trace=True)
+        slow = build_engine(seed=7, faults=True).run(
+            ts, record_trace=True,
+            checkpoint_path=tmp_path / "run.ckpt", checkpoint_every=128,
+        )
+        assert fast.n_events == slow.n_events
+        np.testing.assert_array_equal(fast.latencies, slow.latencies)
+        np.testing.assert_array_equal(fast.batch_costs, slow.batch_costs)
+        assert fast.event_trace == slow.event_trace
+
+
+class TestHotPathMicroFixes:
+    @pytest.mark.parametrize("faults", [False, True])
+    def test_same_seed_runs_identical(self, faults):
+        # Interned event-kind constants and the payload restructure must
+        # not perturb replay determinism.
+        ts = trace(seed=11)
+        a = build_engine(seed=3, faults=faults).run(ts, record_trace=True)
+        b = build_engine(seed=3, faults=faults).run(ts, record_trace=True)
+        assert_logs_identical(a, b)
+
+    def test_retrain_invalidates_service_memo(self):
+        # A retrain hook that changes the service profile must take effect
+        # on the next dispatched batch — the per-run (memory, size) memo
+        # cannot keep serving a stale pre-retrain service time.
+        from repro.core.drift import WorkloadDriftDetector
+        from repro.serving import DriftConfig
+
+        class ScalingProfile:
+            """Wraps the real profile; a retrain can rescale it live."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.scale = 1.0
+
+            def service_time(self, memory_mb, size):
+                return self.scale * self.inner.service_time(memory_mb, size)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        class StaticChooser:
+            def choose(self, history, slo):
+                return Decision(config=CONFIG, decision_time=1e-3)
+
+        # Detector fit on calm traffic, live traffic 40x faster: one
+        # drift trigger (huge cooldown), followed by one retrain.
+        ts = np.cumsum(
+            np.random.default_rng(14).exponential(1 / 2000.0, size=4000)
+        )
+
+        def run_with(make_hook):
+            warmup = np.diff(np.cumsum(
+                np.random.default_rng(10).exponential(1 / 50.0, size=3000)
+            ))
+            detector = WorkloadDriftDetector().fit(warmup, 32)
+            platform = ServerlessPlatform()
+            profile = ScalingProfile(platform.profile)
+            platform.profile = profile
+            return ServingEngine(
+                CONFIG,
+                platform=platform,
+                chooser=StaticChooser(),
+                drift=DriftConfig(detector=detector, window=32,
+                                  check_every=32, cooldown_s=1e9,
+                                  retrain_delay_s=0.2,
+                                  on_retrain=make_hook(profile)),
+                min_history=16,
+            ).run(ts)
+
+        def doubling(profile):
+            def hook(recent):
+                profile.scale = 2.0
+            return hook
+
+        def inert(profile):
+            return lambda recent: None
+
+        doubled = run_with(doubling)
+        plain = run_with(inert)
+        assert doubled.retrains == 1 and plain.retrains == 1
+        # Were the memo kept across the retrain, the doubled profile would
+        # never be re-read and the two runs would be identical.
+        assert not np.array_equal(doubled.latencies, plain.latencies)
