@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-faults test-serving test-fleet test-chaos bench-smoke bench bench-perf bench-serving lint
+.PHONY: test test-faults test-serving test-fleet test-chaos test-prewarm bench-smoke bench bench-perf bench-serving lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
@@ -26,6 +26,11 @@ test-fleet:
 ## Crash drills: random kills + checkpoint restore + equivalence oracle.
 test-chaos:
 	$(PYTEST) -q -m chaos
+
+## Predictive prewarming: forecasters, policy math, engine integration,
+## the Alibaba-like cold-start evaluation, and the oracle upper bound.
+test-prewarm:
+	$(PYTEST) -q -m prewarm
 
 ## Quick benchmark sanity check: the §IV-F decision-time speedup table.
 ## First run trains the shared workbench models; later runs load the cache.

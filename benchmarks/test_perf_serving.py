@@ -1,6 +1,7 @@
 """Microbenchmarks of the live serving loop → ``BENCH_serving.json``.
 
-Three measurements anchor the serving-side speed pass (PR 7):
+Three measurements anchor the serving-side speed pass (PR 7), plus a
+prewarm-overhead guard (PR 8):
 
 * **Engine** — the reference trace (60k Poisson arrivals through a finite
   keep-alive pool) on the optimized engine (fast drive loop, heap pool,
@@ -13,6 +14,9 @@ Three measurements anchor the serving-side speed pass (PR 7):
 * **Fleet** — an 8-endpoint fleet on the lane-key-heap loop
   (``FleetEngine._drive_lanes``) vs the scan-every-lane specification
   (``_drive_lanes_scan``), logs bit-identical.
+* **Prewarm** — the same reference trace with the predictive prewarmer
+  ticking at 4 Hz vs prewarm-off. Acceptance bar: **≤ 50% overhead** —
+  the forecaster and pool provisioning must not give back the speed pass.
 
 Every "before" implementation is the executable specification kept in the
 tree (``ReferenceWarmPool``, ``_drive_lanes_scan``, the stepwise
@@ -173,6 +177,49 @@ def test_engine_throughput_floor():
     print(f"\nengine: {json.dumps(payload)}")
     assert speedup >= 3.0, (
         f"serving fast path only {speedup:.2f}x over the reference trace"
+    )
+
+
+def test_prewarm_overhead_bounded():
+    """PR 8 guard: the predictive prewarmer must not give back the PR 7
+    speed pass. A prewarm-on run (empirical forecaster, 4 Hz ticks) pays
+    for periodic forecasts and pool provisioning on top of the fast drive
+    loop; that overhead has to stay a fraction of the baseline, not a
+    multiple of it."""
+    from repro.serving.config import PrewarmConfig
+    from repro.serving.prewarm import EmpiricalRateForecaster
+
+    ts = _reference_trace()
+    prewarm = PrewarmConfig(forecaster=EmpiricalRateForecaster(),
+                            interval_s=0.25, headroom=2.0, window=256)
+
+    def run(cfg):
+        return ServingEngine(
+            REFERENCE_CONFIG, platform=ServerlessPlatform(),
+            pool=REFERENCE_POOL, prewarm=cfg,
+        ).run(ts)
+
+    (off_s, off), (on_s, on) = _best_of_pair(
+        lambda: run(None), lambda: run(prewarm)
+    )
+
+    assert on.prewarm_ticks > 0  # the policy genuinely ran
+    overhead = on_s / off_s - 1.0
+    payload = {
+        "n_requests": int(ts.size),
+        "interval_s": prewarm.interval_s,
+        "ticks": int(on.prewarm_ticks),
+        "prewarmed_containers": int(on.prewarmed_containers),
+        "off_seconds": round(off_s, 4),
+        "on_seconds": round(on_s, 4),
+        "overhead_pct": round(100.0 * overhead, 1),
+        "requests_per_sec_off": round(ts.size / off_s),
+        "requests_per_sec_on": round(ts.size / on_s),
+    }
+    _merge_results("prewarm", payload)
+    print(f"\nprewarm: {json.dumps(payload)}")
+    assert overhead <= 0.5, (
+        f"prewarming costs {100 * overhead:.0f}% of engine throughput"
     )
 
 

@@ -19,10 +19,21 @@ def latest_window(
 
     ``pad_value`` defaults to the sample mean (or 0 when the sample is
     empty), which keeps padded windows statistically neutral.
+
+    Non-finite inter-arrivals are rejected: with the mean default a single
+    NaN would silently poison every padded slot (and any downstream
+    surrogate input), so the poisoning is surfaced here with a clear error
+    instead.
     """
     if length < 1:
         raise ValueError(f"length must be >= 1, got {length}")
     x = np.asarray(interarrival_times, dtype=float)
+    if x.size and not np.isfinite(x).all():
+        bad = np.flatnonzero(~np.isfinite(x))
+        raise ValueError(
+            f"interarrival_times contains {bad.size} non-finite "
+            f"value(s) (first at index {bad[0]}); windows must be finite"
+        )
     if x.size >= length:
         return x[-length:].copy()
     if pad_value is None:

@@ -18,7 +18,9 @@ Subcommands cover the full workflow without writing Python:
   multi-endpoint fleet serving (:mod:`repro.serving.fleet`): the trace is
   split across the configured endpoints by share, each with its own SLO
   and pool, under an optional shared container budget and cross-tenant
-  scheduler;
+  scheduler. ``--prewarm {empirical,map,oracle}`` arms predictive
+  warm-pool prewarming (:mod:`repro.serving.prewarm`): forecast the
+  near-future arrival rate and provision containers ahead of demand;
 * ``report``   — render the ASCII telemetry dashboard from such a dump.
 """
 
@@ -177,6 +179,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="consecutive violating windows that trip")
     p_srv.add_argument("--guardrail-cooldown", type=float, default=30.0,
                        help="seconds open before probing the controller again")
+    p_srv.add_argument("--prewarm", choices=["empirical", "map", "oracle"],
+                       default=None,
+                       help="predictive warm-pool prewarming: forecast the "
+                            "near-future arrival rate and provision "
+                            "containers ahead of demand (empirical windowed "
+                            "rate, a MAP fitted on the warmup segments, or "
+                            "the oracle that reads the future trace — the "
+                            "upper bound, not a deployable policy)")
+    p_srv.add_argument("--prewarm-interval", type=float, default=1.0,
+                       help="seconds between prewarming ticks (default 1)")
+    p_srv.add_argument("--prewarm-horizon", type=float, default=None,
+                       help="forecast horizon in seconds (default: the tick "
+                            "interval plus the active tier's cold-start "
+                            "delay)")
+    p_srv.add_argument("--prewarm-headroom", type=float, default=1.0,
+                       help="multiplier on the forecast rate before sizing "
+                            "the warm pool (default 1.0)")
+    p_srv.add_argument("--prewarm-max", type=int, default=None,
+                       help="containers provisioned per tick at most "
+                            "(default: unbounded)")
+    p_srv.add_argument("--prewarm-window", type=int, default=256,
+                       help="recent inter-arrivals fed to the forecaster "
+                            "(default 256)")
+    p_srv.add_argument("--prewarm-retire", action="store_true",
+                       help="also retire idle containers above the target "
+                            "(off by default: idle containers bill nothing "
+                            "and retiring strips the keep-alive slack)")
 
     p_rep = sub.add_parser("report", help="render a telemetry dashboard")
     p_rep.add_argument("path", help="JSONL dump written by evaluate --telemetry")
@@ -372,7 +401,7 @@ def _validate_serve_args(args) -> None:
         raise ValueError("--restore needs --checkpoint PATH (the snapshot "
                          "to resume from)")
     if args.fleet:
-        for flag in ("checkpoint", "restore", "guardrail", "drift"):
+        for flag in ("checkpoint", "restore", "guardrail", "drift", "prewarm"):
             if getattr(args, flag):
                 raise ValueError(
                     f"--{flag} is not supported with --fleet (per-endpoint "
@@ -390,6 +419,20 @@ def _validate_serve_args(args) -> None:
                              f"got {args.guardrail_k}")
         check_positive(args.guardrail_cooldown, "--guardrail-cooldown "
                        "(seconds the breaker stays open; must be positive)")
+    if args.prewarm:
+        check_positive(args.prewarm_interval, "--prewarm-interval (seconds)")
+        if args.prewarm_horizon is not None:
+            check_positive(args.prewarm_horizon, "--prewarm-horizon (seconds)")
+        check_positive(args.prewarm_headroom, "--prewarm-headroom")
+        if args.prewarm_max is not None and args.prewarm_max < 1:
+            raise ValueError(
+                f"--prewarm-max must be >= 1 (or omitted for unbounded), "
+                f"got {args.prewarm_max}"
+            )
+        if args.prewarm_window < 1:
+            raise ValueError(
+                f"--prewarm-window must be >= 1, got {args.prewarm_window}"
+            )
 
 
 def _cmd_serve(args) -> int:
@@ -464,6 +507,41 @@ def _cmd_serve(args) -> int:
         except ValueError as exc:
             print(f"warning: drift detector disabled ({exc})", file=sys.stderr)
             detector = None
+    prewarm_cfg = None
+    if args.prewarm:
+        from repro.serving import (
+            EmpiricalRateForecaster,
+            MAPRateForecaster,
+            OracleForecaster,
+            PrewarmConfig,
+        )
+
+        if args.prewarm == "map":
+            from repro.arrival.fitting import fit_map
+
+            try:
+                process, report = fit_map(warmup)
+            except ValueError as exc:
+                print(f"warning: MAP prewarming fell back to the empirical "
+                      f"forecaster ({exc})", file=sys.stderr)
+                forecaster = EmpiricalRateForecaster()
+            else:
+                print(f"prewarm: fitted {report.kind} MAP on {warmup.size} "
+                      f"warmup inter-arrivals")
+                forecaster = MAPRateForecaster(process)
+        elif args.prewarm == "oracle":
+            forecaster = OracleForecaster(timestamps=serve_ts)
+        else:
+            forecaster = EmpiricalRateForecaster()
+        prewarm_cfg = PrewarmConfig(
+            forecaster=forecaster,
+            interval_s=args.prewarm_interval,
+            horizon_s=args.prewarm_horizon,
+            headroom=args.prewarm_headroom,
+            max_per_tick=args.prewarm_max,
+            retire=args.prewarm_retire,
+            window=args.prewarm_window,
+        )
 
     engine = ServingEngine(
         config,
@@ -488,6 +566,7 @@ def _cmd_serve(args) -> int:
                             cooldown_s=args.guardrail_cooldown)
             if args.guardrail else None
         ),
+        prewarm=prewarm_cfg,
     )
     registry = MetricsRegistry() if args.telemetry else None
     scope = use_registry(registry) if registry is not None else contextlib.nullcontext()
@@ -530,6 +609,14 @@ def _cmd_serve(args) -> int:
                  ["guardrail restores", log.guardrail_restores],
                  ["suppressed decisions", log.guardrail_suppressed],
                  ["breaker state", log.guardrail_state]]
+    if args.prewarm:
+        rows += [
+            ["prewarm ticks", log.prewarm_ticks],
+            ["prewarmed containers", f"{log.prewarmed_containers} "
+                                     f"({log.prewarm_retired} retired)"],
+            ["all-in cost $/1M req",
+             f"{log.total_cost_with_prewarm / max(log.n_served, 1) * 1e6:.4f}"],
+        ]
     if args.checkpoint:
         rows += [["checkpoints written", log.checkpoints]]
     print(format_table(

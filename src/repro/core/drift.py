@@ -57,6 +57,9 @@ class WorkloadDriftDetector:
     threshold: float = 0.25
     lo_: np.ndarray | None = None
     hi_: np.ndarray | None = None
+    #: Window length the envelope was fitted at. The ACF/tail features are
+    #: not length-invariant, so ``score`` validates live windows against it.
+    window_length_: int | None = None
 
     def fit(self, training_interarrivals: np.ndarray, window_length: int,
             stride: int | None = None) -> "WorkloadDriftDetector":
@@ -74,13 +77,20 @@ class WorkloadDriftDetector:
         span = np.maximum(hi - lo, 1e-9)
         self.lo_ = lo - self.margin * span
         self.hi_ = hi + self.margin * span
+        self.window_length_ = int(window_length)
         return self
 
     def score(self, window: np.ndarray) -> float:
         """Fraction of drift features outside the training envelope."""
         if self.lo_ is None or self.hi_ is None:
             raise RuntimeError("detector has not been fitted")
-        stats = window_statistics(window)[0]
+        w = np.asarray(window, dtype=float)
+        if self.window_length_ is not None and w.shape[-1] != self.window_length_:
+            raise ValueError(
+                f"window length {w.shape[-1]} does not match the envelope's "
+                f"fitted length {self.window_length_}"
+            )
+        stats = window_statistics(w)[0]
         outside = (stats < self.lo_) | (stats > self.hi_)
         return float(outside.mean())
 
@@ -103,6 +113,7 @@ class WorkloadDriftDetector:
             "threshold": self.threshold,
             "lo": None if self.lo_ is None else self.lo_.copy(),
             "hi": None if self.hi_ is None else self.hi_.copy(),
+            "window_length": self.window_length_,
         }
 
     def set_state(self, state: dict) -> "WorkloadDriftDetector":
@@ -114,6 +125,10 @@ class WorkloadDriftDetector:
         lo, hi = state.get("lo"), state.get("hi")
         self.lo_ = None if lo is None else np.asarray(lo, dtype=float).copy()
         self.hi_ = None if hi is None else np.asarray(hi, dtype=float).copy()
+        # Pre-window-length snapshots carry no "window_length" key; restore
+        # them without length validation rather than refusing to load.
+        wl = state.get("window_length")
+        self.window_length_ = None if wl is None else int(wl)
         return self
 
 

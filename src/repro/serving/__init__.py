@@ -19,6 +19,12 @@ PR 6 generalizes the engine into a fleet: grouped config dataclasses
 container budget with an SLO-aware cross-tenant scheduler
 (:mod:`repro.serving.fleet`), and a validated JSON fleet-config loader
 (:mod:`repro.serving.fleet_config`).
+
+PR 8 adds predictive warm-pool prewarming
+(:mod:`repro.serving.prewarm`): a periodic policy forecasts the
+near-future arrival rate from the fitted arrival models and provisions or
+retires warm containers ahead of demand, with an oracle upper bound for
+honest evaluation.
 """
 
 from repro.serving.chaos import (
@@ -34,7 +40,7 @@ from repro.serving.checkpoint import (
     read_snapshot,
     write_snapshot,
 )
-from repro.serving.config import DriftConfig, PredictionDriftConfig
+from repro.serving.config import DriftConfig, PredictionDriftConfig, PrewarmConfig
 from repro.serving.engine import ServingEngine
 from repro.serving.fleet import (
     EndpointSpec,
@@ -48,10 +54,20 @@ from repro.serving.fleet_config import FleetConfigError, load_fleet_config
 from repro.serving.guardrail import GuardrailConfig, SLOGuardrail
 from repro.serving.log import ServingDecision, ServingLog
 from repro.serving.pool import Lease, PoolStats, WarmPool, WarmPoolConfig
+from repro.serving.prewarm import (
+    EmpiricalRateForecaster,
+    MAPRateForecaster,
+    NHPPRateForecaster,
+    OracleForecaster,
+    PrewarmPlan,
+    PrewarmPolicy,
+    RateForecaster,
+)
 
 __all__ = [
     "CheckpointError",
     "DriftConfig",
+    "EmpiricalRateForecaster",
     "EndpointSpec",
     "FleetBudget",
     "FleetConfigError",
@@ -59,11 +75,18 @@ __all__ = [
     "FleetLog",
     "FleetScheduler",
     "GuardrailConfig",
+    "MAPRateForecaster",
+    "NHPPRateForecaster",
+    "OracleForecaster",
     "PredictionDriftConfig",
+    "PrewarmConfig",
+    "PrewarmPlan",
+    "PrewarmPolicy",
     "Journal",
     "JournalReplayError",
     "Lease",
     "PoolStats",
+    "RateForecaster",
     "SLOGuardrail",
     "ServingDecision",
     "ServingEngine",

@@ -11,7 +11,11 @@ engine and the fleet (:mod:`repro.serving.fleet`):
   delayed retrain;
 * :class:`PredictionDriftConfig` — the §III-D prediction-error trigger:
   the training-time baseline error, the tolerance multiplier, and the
-  minimum observation count.
+  minimum observation count;
+* :class:`PrewarmConfig` — predictive warm-pool prewarming: which rate
+  forecaster drives it, how often the policy ticks, how far ahead it
+  looks, and the headroom / retire knobs (see
+  :mod:`repro.serving.prewarm`).
 
 They sit alongside the pre-existing groups
 :class:`~repro.serving.pool.WarmPoolConfig` and
@@ -33,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     import numpy as np
 
     from repro.core.drift import WorkloadDriftDetector
+    from repro.serving.prewarm import RateForecaster
 
 
 @dataclass(frozen=True)
@@ -97,3 +102,65 @@ class PredictionDriftConfig:
             raise ValueError(f"tolerance must be > 0, got {self.tolerance}")
         if self.min_samples < 1:
             raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+
+
+@dataclass(frozen=True)
+class PrewarmConfig:
+    """Predictive warm-pool prewarming policy knobs.
+
+    * ``forecaster`` — a :class:`~repro.serving.prewarm.RateForecaster`
+      supplying the near-future arrival-rate estimate (empirical window,
+      NHPP profile, MAP local rate, or the oracle upper bound);
+    * ``interval_s`` — simulated time between prewarm ticks;
+    * ``horizon_s`` — how far ahead the forecast looks; ``None`` defaults
+      to ``interval_s`` plus the active tier's cold-start delay (provision
+      lead time covers the next tick and the spin-up it replaces);
+    * ``headroom`` — multiplier on the forecast target (1.0 = size exactly
+      to the expected load; >1 buys burst insurance at provisioning cost);
+    * ``max_per_tick`` — cap on containers provisioned per tick (rate
+      limiter against a forecast spike); ``None`` = uncapped;
+    * ``retire`` — also retire idle containers above the target, ahead of
+      their keep-alive expiry;
+    * ``window`` — recent inter-arrivals handed to the forecaster.
+    """
+
+    forecaster: "RateForecaster"
+    interval_s: float = 1.0
+    horizon_s: float | None = None
+    headroom: float = 1.0
+    max_per_tick: int | None = None
+    retire: bool = False
+    window: int = 256
+
+    def __post_init__(self) -> None:
+        if self.forecaster is None:
+            raise ValueError("forecaster must be set")
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+        if self.horizon_s is not None and self.horizon_s <= 0:
+            raise ValueError(
+                f"horizon_s must be > 0 or None, got {self.horizon_s}"
+            )
+        if self.headroom <= 0:
+            raise ValueError(f"headroom must be > 0, got {self.headroom}")
+        if self.max_per_tick is not None and self.max_per_tick < 1:
+            raise ValueError("max_per_tick must be >= 1 or None")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    def fingerprint(self) -> tuple:
+        """Scalar identity for checkpoint compatibility checks.
+
+        Deliberately excludes the forecaster object (object identity would
+        never match across processes — the detector is likewise left out of
+        the drift fingerprint) in favour of its class name.
+        """
+        return (
+            type(self.forecaster).__name__,
+            self.interval_s,
+            self.horizon_s,
+            self.headroom,
+            self.max_per_tick,
+            self.retire,
+            self.window,
+        )

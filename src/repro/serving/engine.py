@@ -20,6 +20,9 @@ event                     what happens
                           configuration
 ``RetrainComplete``       a drift-triggered fine-tune lands; the drift
                           envelope is refit on recent traffic
+``PrewarmTick``           the predictive prewarmer forecasts the near-future
+                          arrival rate and provisions/retires warm
+                          containers ahead of demand
 ========================  ====================================================
 
 The engine adds the state the offline path cannot express — a warm-pool
@@ -69,7 +72,7 @@ from repro.core.types import Decision
 from repro.evaluation.harness import Chooser, _resolve_sequence_length
 from repro.serverless.faults import inject_faults
 from repro.serverless.platform import ServerlessPlatform
-from repro.serving.config import DriftConfig, PredictionDriftConfig
+from repro.serving.config import DriftConfig, PredictionDriftConfig, PrewarmConfig
 from repro.serving.checkpoint import (
     CheckpointError,
     Journal,
@@ -83,6 +86,7 @@ from repro.serving.checkpoint import (
 from repro.serving.guardrail import OPEN, GuardrailConfig, SLOGuardrail
 from repro.serving.log import BatchColumns, ServingDecision, ServingLog
 from repro.serving.pool import WarmPool, WarmPoolConfig
+from repro.serving.prewarm import PrewarmPolicy
 from repro.telemetry.events import (
     CheckpointEvent,
     DriftEvent,
@@ -104,6 +108,7 @@ _P_ARRIVAL = 2
 _P_TIMER = 3
 _P_DECISION = 4
 _P_RETRAIN = 5
+_P_PREWARM = 6
 
 # Event-kind strings, interned once: every heap entry carries the same
 # string object, so the dispatch chain's ``==`` checks short-circuit on
@@ -116,6 +121,7 @@ _K_TIMER = sys.intern("timer")
 _K_RECONFIGURE = sys.intern("reconfigure")
 _K_DECISION = sys.intern("decision")
 _K_RETRAIN = sys.intern("retrain")
+_K_PREWARM = sys.intern("prewarm")
 
 _INF = float("inf")
 
@@ -242,6 +248,14 @@ class ServingEngine:
         windows, suppresses learned reconfigurations while open, and
         half-open-probes the controller back in after a cooldown. ``None``
         (the default) changes nothing.
+    prewarm:
+        Optional :class:`~repro.serving.config.PrewarmConfig` enabling
+        predictive warm-pool prewarming: a deterministic periodic
+        ``PrewarmTick`` forecasts the near-future arrival rate
+        (:mod:`repro.serving.prewarm`), sizes the active tier's warm
+        target, and provisions or retires containers ahead of demand.
+        ``None`` (the default) changes nothing — runs stay bit-identical
+        to the purely reactive pool.
     metrics_prefix:
         Namespace for the engine's telemetry (counters/histograms). The
         default ``"serving"`` keeps the historical names; the fleet runs
@@ -273,6 +287,7 @@ class ServingEngine:
         prediction: PredictionDriftConfig | None = None,
         sequence_length: int | None = None,
         guardrail: GuardrailConfig | None = None,
+        prewarm: PrewarmConfig | None = None,
         metrics_prefix: str = "serving",
         **deprecated_kwargs,
     ) -> None:
@@ -324,6 +339,10 @@ class ServingEngine:
         )
         self.sequence_length = _resolve_sequence_length(chooser, sequence_length)
         self.guardrail_config = guardrail
+        self.prewarm_config = prewarm
+        self._prewarm_policy = (
+            PrewarmPolicy(prewarm) if prewarm is not None else None
+        )
         self.metrics_prefix = metrics_prefix
         # Hot-path flags hoisted out of the event loop: with neither drift
         # trigger configured the cadence check never fires (output-identical
@@ -491,6 +510,14 @@ class ServingEngine:
         if n and self.chooser is not None and self.decision_interval_s:
             self._push(st, float(ts[0]) + self.decision_interval_s, _P_DECISION,
                        _K_DECISION, "interval")
+        if n and self.prewarm_config is not None:
+            # The prewarm counters exist only when the feature is on, so a
+            # defaults-off run's state (and snapshots) match PR 7 exactly.
+            st.counters["prewarm_ticks"] = 0
+            st.counters["prewarm_cost"] = 0.0
+            # First tick at the trace start: with warmup ``history`` seeding
+            # recent_ts the forecaster can cover the opening burst front.
+            self._push(st, float(ts[0]), _P_PREWARM, _K_PREWARM, None)
         return st
 
     def _make_pool(self) -> WarmPool:
@@ -587,6 +614,15 @@ class ServingEngine:
             "prediction_min_samples": self.prediction_min_samples,
             "sequence_length": self.sequence_length,
             "guardrail": self.guardrail_config,
+            # Scalars only (the forecaster object would never compare equal
+            # across processes — like the drift detector, it is restored by
+            # constructing the engine identically). Disabled → None, which
+            # is also what pre-prewarm checkpoints yield via .get(), so old
+            # snapshots keep restoring.
+            "prewarm": (
+                self.prewarm_config.fingerprint()
+                if self.prewarm_config is not None else None
+            ),
             "platform_seed": self.platform.seed,
             "platform_faults": self.platform.faults,
             "platform_retry": self.platform.retry_policy,
@@ -748,6 +784,8 @@ class ServingEngine:
                 self._on_decision(st, ctx, now, item[4])
             elif kind == _K_RETRAIN:
                 self._on_retrain(st, ctx, now)
+            elif kind == _K_PREWARM:
+                self._on_prewarm(st, ctx, now)
             events += 1
         st.events_processed = events
 
@@ -842,6 +880,8 @@ class ServingEngine:
             self._on_decision(st, ctx, now, payload)
         elif kind == _K_RETRAIN:
             self._on_retrain(st, ctx, now)
+        elif kind == _K_PREWARM:
+            self._on_prewarm(st, ctx, now)
 
     # ------------------------------------------------------------- plumbing
     def _push(self, st: _RunState, time: float, priority: int, kind: str,
@@ -1234,6 +1274,67 @@ class ServingEngine:
             ctx.registry.counter(f"{self.metrics_prefix}.retrains").inc()
         self._emit(st, ctx, ("retrain", now))
 
+    def _on_prewarm(self, st: _RunState, ctx: _RunContext, now: float) -> None:
+        """One predictive-prewarm tick: forecast, size, provision/retire.
+
+        Deterministic and checkpoint-safe by construction: the next tick
+        is an ordinary heap event, the counters live in ``st.counters``,
+        and the forecaster is stateless — so a restore resumes the tick
+        cadence bit-identically without any dedicated policy state.
+        """
+        pw = self.prewarm_config
+        if pw is None:  # a restored pre-prewarm heap cannot carry this kind
+            return
+        st.counters["prewarm_ticks"] += 1
+        tier = st.active.memory_mb
+        cold_delay = st.pool.cold_delay(tier)
+        # Default horizon: the next tick plus the spin-up the prewarm is
+        # replacing — the window demand must be covered ahead of.
+        horizon = (
+            pw.horizon_s if pw.horizon_s is not None
+            else pw.interval_s + cold_delay
+        )
+        recent = np.diff(
+            np.asarray(st.recent_ts, dtype=float)[-(pw.window + 1):]
+        )
+        service = float(
+            self.platform.profile.service_time(tier, st.active.batch_size)
+        )
+        plan = self._prewarm_policy.plan(
+            recent, now, horizon,
+            batch_size=st.active.batch_size,
+            service_time=service,
+            live=st.pool.live_containers(now, tier),
+            idle=st.pool.warm_containers(now, tier),
+        )
+        provisioned = retired = 0
+        cost = 0.0
+        if plan.provision:
+            provisioned = st.pool.prewarm(now, tier, plan.provision)
+            if provisioned:
+                # Each speculative container bills its cold start off the
+                # request path — the trade-off the telemetry surfaces.
+                cost = provisioned * float(
+                    self.platform.pricing.invocation_cost(tier, cold_delay)
+                )
+                st.counters["prewarm_cost"] += cost
+        if plan.retire:
+            retired = st.pool.retire_idle(now, tier, plan.retire)
+        registry = ctx.registry
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            registry.counter(f"{prefix}.prewarm.ticks").inc()
+            if provisioned:
+                registry.counter(f"{prefix}.prewarm.provisioned").inc(provisioned)
+                registry.counter(f"{prefix}.prewarm.cost").inc(cost)
+            if retired:
+                registry.counter(f"{prefix}.prewarm.retired").inc(retired)
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("prewarm", now, round(plan.rate, 9),
+                                 plan.target, provisioned, retired))
+        if st.arrival_ptr < st.n:
+            self._push(st, now + pw.interval_s, _P_PREWARM, _K_PREWARM, None)
+
     # ---------------------------------------------------------------- finish
     def _finish(self, st: _RunState) -> ServingLog:
         stats = st.pool.stats
@@ -1262,6 +1363,12 @@ class ServingEngine:
             warm_starts=stats.warm_starts,
             expired_containers=stats.expired,
             evicted_containers=stats.evicted,
+            # getattr/.get: a snapshot written before the prewarm fields
+            # existed unpickles without them and must still finish cleanly.
+            prewarmed_containers=getattr(stats, "prewarmed", 0),
+            prewarm_retired=getattr(stats, "retired", 0),
+            prewarm_ticks=st.counters.get("prewarm_ticks", 0),
+            prewarm_cost=st.counters.get("prewarm_cost", 0.0),
             n_retries=st.counters["n_retries"],
             n_failed=st.counters["n_failed"],
             sequence_length=self.sequence_length,

@@ -48,7 +48,7 @@ import numpy as np
 from repro.batching.config import BatchConfig
 from repro.batching.multiclass import RequestClass, optimize_multiclass
 from repro.serverless.platform import ServerlessPlatform
-from repro.serving.config import DriftConfig, PredictionDriftConfig
+from repro.serving.config import DriftConfig, PredictionDriftConfig, PrewarmConfig
 from repro.serving.engine import _P_DECISION, ServingEngine, _RunContext
 from repro.serving.guardrail import GuardrailConfig
 from repro.serving.log import ServingLog
@@ -74,8 +74,9 @@ class EndpointSpec:
     * ``share`` — this endpoint's fraction of a single shared trace when
       :meth:`FleetEngine.run` is given one array instead of per-endpoint
       streams (see :func:`split_by_shares`);
-    * ``pool`` / ``drift`` / ``prediction`` / ``guardrail`` — the same
-      grouped config dataclasses the single engine takes.
+    * ``pool`` / ``drift`` / ``prediction`` / ``guardrail`` /
+      ``prewarm`` — the same grouped config dataclasses the single
+      engine takes.
     """
 
     name: str
@@ -91,6 +92,7 @@ class EndpointSpec:
     drift: DriftConfig | None = None
     prediction: PredictionDriftConfig | None = None
     guardrail: GuardrailConfig | None = None
+    prewarm: PrewarmConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -445,6 +447,7 @@ class FleetEngine:
                 drift=spec.drift,
                 prediction=spec.prediction,
                 guardrail=spec.guardrail,
+                prewarm=spec.prewarm,
                 metrics_prefix=f"serving.{spec.name}",
             )
             eng.fleet_budget = budget

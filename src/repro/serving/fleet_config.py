@@ -39,8 +39,10 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.batching.config import BatchConfig
+from repro.serving.config import PrewarmConfig
 from repro.serving.fleet import EndpointSpec, FleetEngine, FleetScheduler
 from repro.serving.pool import WarmPoolConfig
+from repro.serving.prewarm import EmpiricalRateForecaster
 
 
 class FleetConfigError(ValueError):
@@ -55,7 +57,10 @@ _SCHEDULER_KEYS = {"interval_s", "min_history"}
 _ENDPOINT_KEYS = {
     "name", "memory_mb", "batch_size", "timeout", "slo", "percentile",
     "share", "chooser", "decision_interval_s", "keep_alive_s",
-    "max_containers", "max_queued_batches",
+    "max_containers", "max_queued_batches", "prewarm",
+}
+_PREWARM_KEYS = {
+    "interval_s", "horizon_s", "headroom", "max_per_tick", "retire", "window",
 }
 
 
@@ -75,6 +80,11 @@ class EndpointConfig:
     keep_alive_s: float = math.inf
     max_containers: int | None = None
     max_queued_batches: int | None = None
+    #: Built from the endpoint's ``prewarm`` object. JSON cannot name a
+    #: fitted arrival model, so file-driven prewarming always uses the
+    #: windowed empirical forecaster; programmatic :class:`EndpointSpec`
+    #: construction can pass any forecaster.
+    prewarm: PrewarmConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -123,6 +133,7 @@ class FleetConfig:
                     max_containers=ep.max_containers,
                     max_queued_batches=ep.max_queued_batches,
                 ),
+                prewarm=ep.prewarm,
             ))
         scheduler = (
             FleetScheduler(min_history=self.scheduler_min_history)
@@ -188,6 +199,28 @@ def _integer(obj: dict, key: str, path: str, default=None, *,
     return v
 
 
+def _prewarm(obj, path: str) -> PrewarmConfig:
+    if not isinstance(obj, dict):
+        _fail(path, f"must be an object, got {type(obj).__name__}")
+    _check_keys(obj, _PREWARM_KEYS, path)
+    retire = obj.get("retire", False)
+    if not isinstance(retire, bool):
+        _fail(f"{path}.retire", f"must be a boolean, got {retire!r}")
+    return PrewarmConfig(
+        forecaster=EmpiricalRateForecaster(),
+        interval_s=_number(obj, "interval_s", path, default=1.0,
+                           minimum=0.0, strict=True),
+        horizon_s=_number(obj, "horizon_s", path, minimum=0.0, strict=True,
+                          nullable=True),
+        headroom=_number(obj, "headroom", path, default=1.0,
+                         minimum=0.0, strict=True),
+        max_per_tick=_integer(obj, "max_per_tick", path, minimum=1,
+                              nullable=True),
+        retire=retire,
+        window=_integer(obj, "window", path, default=256, minimum=1),
+    )
+
+
 def _endpoint(obj, path: str) -> EndpointConfig:
     if not isinstance(obj, dict):
         _fail(path, f"must be an object, got {type(obj).__name__}")
@@ -225,6 +258,10 @@ def _endpoint(obj, path: str) -> EndpointConfig:
                                 nullable=True),
         max_queued_batches=_integer(obj, "max_queued_batches", path,
                                     minimum=0, nullable=True),
+        prewarm=(
+            _prewarm(obj["prewarm"], f"{path}.prewarm")
+            if obj.get("prewarm") is not None else None
+        ),
     )
 
 

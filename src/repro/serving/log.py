@@ -146,6 +146,13 @@ class ServingLog:
     warm_starts: int = 0
     expired_containers: int = 0
     evicted_containers: int = 0
+    # Predictive prewarming (PR 8); all zero when the feature is off.
+    prewarm_ticks: int = 0
+    prewarmed_containers: int = 0
+    prewarm_retired: int = 0
+    #: Provisioning spend of speculative cold starts (billed off the
+    #: request path); add to ``total_cost`` for the all-in bill.
+    prewarm_cost: float = 0.0
     # Fault layer.
     n_retries: int = 0
     n_failed: int = 0
@@ -200,6 +207,12 @@ class ServingLog:
     @property
     def cost_per_request(self) -> float:
         return self.total_cost / self.n_served if self.n_served else np.nan
+
+    @property
+    def total_cost_with_prewarm(self) -> float:
+        """Request-path spend plus speculative provisioning spend — the
+        number the prewarming trade-off must be judged on."""
+        return self.total_cost + self.prewarm_cost
 
     @property
     def cold_start_rate(self) -> float:

@@ -91,6 +91,8 @@ class PoolStats:
     warm_starts: int = 0
     expired: int = 0
     evicted: int = 0
+    prewarmed: int = 0
+    retired: int = 0
 
     @property
     def cold_start_rate(self) -> float:
@@ -160,18 +162,37 @@ class WarmPool:
             return 0.0
         return float(self.cold_start.delay(memory_mb))
 
-    def live_containers(self, now: float) -> int:
-        """Containers currently busy or within their keep-alive window."""
-        self._expire(now)
-        return len(self._containers)
+    def live_containers(self, now: float, memory_mb: float | None = None) -> int:
+        """Containers currently busy or within their keep-alive window
+        (optionally of one memory tier).
+
+        Pure inspection: containers past their keep-alive are *counted out*
+        but not reclaimed, so a prewarmer (or any observer) polling off the
+        event clock cannot mutate pool state. Reclamation still happens
+        lazily inside :meth:`acquire`/:meth:`prewarm`/:meth:`retire_idle`,
+        where ``now`` is an event timestamp.
+        """
+        keep = self.config.keep_alive_s
+        return sum(
+            1
+            for c in self._containers.values()
+            if not (c.free_at <= now and now - c.free_at > keep)
+            and (memory_mb is None or c.memory_mb == memory_mb)
+        )
 
     def warm_containers(self, now: float, memory_mb: float | None = None) -> int:
-        """Idle-but-warm containers (optionally of one memory tier)."""
-        self._expire(now)
+        """Idle-but-warm containers (optionally of one memory tier).
+
+        Pure inspection, like :meth:`live_containers` — the expiry filter is
+        applied in the count (the same ``now - free_at > keep`` float
+        comparison the sweep uses) without sweeping anything out.
+        """
+        keep = self.config.keep_alive_s
         return sum(
             1
             for c in self._containers.values()
             if c.free_at <= now
+            and not (now - c.free_at > keep)
             and (memory_mb is None or c.memory_mb == memory_mb)
         )
 
@@ -273,6 +294,66 @@ class WarmPool:
         if warm_heap is None:
             warm_heap = self._warm_heaps[container.memory_mb] = []
         heappush(warm_heap, (-now, -container_id))
+
+    # ------------------------------------------------------------- prewarming
+    def prewarm(self, now: float, memory_mb: float, n: int) -> int:
+        """Speculatively provision up to ``n`` warm containers at this tier.
+
+        Each provisioned container pays its cold start *off the request
+        path* (the caller accounts the provisioning cost) and enters the
+        pool idle-warm at ``now`` — the keep-alive clock starts
+        immediately, exactly as if an invocation had just released it.
+        Prewarming respects ``max_containers`` and the fleet admission
+        hook but never evicts: speculative capacity must not cannibalize
+        live containers. Returns the number actually provisioned.
+        """
+        if n <= 0:
+            return 0
+        self._expire(now)
+        containers = self._containers
+        cap = self.config.max_containers
+        provisioned = 0
+        for _ in range(n):
+            if cap is not None and len(containers) >= cap:
+                break
+            if not self._admit_cold(now):
+                break
+            container = _Container(self._next_id, memory_mb, free_at=math.inf)
+            self._next_id += 1
+            containers[container.container_id] = container
+            # release() marks it idle at ``now`` — and is the one place the
+            # production pool and the linear-scan reference differ on index
+            # maintenance, so prewarm stays a single shared implementation.
+            self.release(container.container_id, now)
+            provisioned += 1
+        self.stats.prewarmed += provisioned
+        return provisioned
+
+    def retire_idle(self, now: float, memory_mb: float, n: int) -> int:
+        """Retire up to ``n`` idle containers of one tier, coldest-first.
+
+        The inverse of :meth:`prewarm`: when the forecast says the tier is
+        over-provisioned, idle containers are reclaimed ahead of their
+        keep-alive expiry (stopping their idle-time billing). Busy
+        containers are never touched. Victims follow the eviction order —
+        least-recently-freed first, ties by container id. Orphaned heap
+        entries self-invalidate lazily, as with expiry and eviction.
+        Returns the number actually retired.
+        """
+        if n <= 0:
+            return 0
+        self._expire(now)
+        idle = [
+            c
+            for c in self._containers.values()
+            if c.free_at <= now and c.memory_mb == memory_mb
+        ]
+        idle.sort(key=lambda c: (c.free_at, c.container_id))
+        for c in idle[:n]:
+            del self._containers[c.container_id]
+        retired = min(n, len(idle))
+        self.stats.retired += retired
+        return retired
 
 
 class ReferenceWarmPool(WarmPool):

@@ -1,0 +1,260 @@
+"""Predictive warm-pool prewarming from the fitted arrival models.
+
+The warm pool (:mod:`repro.serving.pool`) is reactive: a container exists
+only because a past batch cold-started it, so every burst front pays the
+full cold-start storm the cost model penalizes. This module closes the
+loop with the forecasting machinery the repo already owns — the policy
+periodically estimates the near-future arrival rate, converts it into a
+target warm-container count for the active ``(M, B, T)`` deployment, and
+asks the pool to speculatively provision (or retire) the difference ahead
+of demand.
+
+Two pieces, both deterministic and stateless between ticks:
+
+* **Rate forecasters** — interchangeable estimators of the mean arrival
+  rate over ``[now, now + horizon]``:
+
+  - :class:`EmpiricalRateForecaster` — the windowed fallback: recent
+    arrivals over their span, no model required;
+  - :class:`NHPPRateForecaster` — a fitted NHPP rate profile
+    (:func:`repro.arrival.nhpp.diurnal_rate` or any callable), averaged
+    over the horizon;
+  - :class:`MAPRateForecaster` — a fitted MMPP/MAP
+    (:class:`repro.arrival.map_process.MAP`): the phase distribution is
+    filtered along the recent inter-arrivals, then the conditional rate is
+    averaged over the horizon as the phase relaxes toward stationarity;
+  - :class:`OracleForecaster` — perfect future knowledge of the trace,
+    the upper bound every honest evaluation must report alongside.
+
+* :class:`PrewarmPolicy` — pure planning: forecast → Little's-law target
+  (``ceil(headroom · λ̂ · s(M, B) / B)``) → provision/retire deltas. The
+  serving engine owns the tick cadence, the pool mutation, and the cost
+  accounting, so the policy itself carries no mutable run state — which is
+  what keeps prewarming checkpoint-safe for free (the next tick lives on
+  the event heap, the counters in the run state, both already snapshotted).
+
+Statelessness also means no randomness: every forecaster is a pure
+function of its inputs, preserving the engine's bit-identical determinism
+and replay guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arrival.map_process import MAP
+
+
+class RateForecaster:
+    """Interface: mean arrival rate expected over ``[now, now + horizon]``.
+
+    ``recent_interarrivals`` are the live inter-arrival times (most recent
+    last); ``now`` is the current simulated time. Implementations must be
+    pure functions of their constructor arguments and these inputs —
+    no internal mutable state, no randomness — so the prewarmer stays
+    deterministic and checkpoint-safe.
+    """
+
+    def forecast_rate(
+        self, recent_interarrivals: np.ndarray, now: float, horizon_s: float
+    ) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EmpiricalRateForecaster(RateForecaster):
+    """Windowed empirical rate: recent arrival count over its time span.
+
+    The model-free fallback — it assumes the immediate past persists over
+    the horizon, which is exactly the assumption that fails at a burst
+    front (and why the fitted forecasters exist).
+    """
+
+    def forecast_rate(
+        self, recent_interarrivals: np.ndarray, now: float, horizon_s: float
+    ) -> float:
+        x = np.asarray(recent_interarrivals, dtype=float)
+        if x.size == 0:
+            return 0.0
+        span = float(x.sum())
+        if span <= 0.0 or not math.isfinite(span):
+            return 0.0
+        return x.size / span
+
+
+@dataclass(frozen=True)
+class NHPPRateForecaster(RateForecaster):
+    """Mean of a fitted NHPP rate profile ``λ(t)`` over the horizon.
+
+    ``rate_fn`` is the same vectorized signature
+    :func:`repro.arrival.nhpp.sample_nhpp` consumes (an array of times to
+    an array of rates), so a profile fitted for generation doubles as the
+    forecast with no adaptation.
+    """
+
+    rate_fn: Callable[[np.ndarray], np.ndarray]
+    grid_points: int = 16
+
+    def forecast_rate(
+        self, recent_interarrivals: np.ndarray, now: float, horizon_s: float
+    ) -> float:
+        grid = np.linspace(now, now + horizon_s, max(2, self.grid_points))
+        rates = np.asarray(self.rate_fn(grid), dtype=float)
+        return float(np.mean(rates))
+
+
+def _expm(a: np.ndarray) -> np.ndarray:
+    """Matrix exponential by scaling-and-squaring of a truncated series.
+
+    The MAP matrices here are tiny (order 2–4), so a 16-term Taylor series
+    after halving to unit norm is exact to double precision — and keeps the
+    forecaster on plain NumPy.
+    """
+    norm = float(np.linalg.norm(a, ord=np.inf))
+    k = max(0, int(math.ceil(math.log2(norm))) + 1) if norm > 1.0 else 0
+    b = a / (2.0**k)
+    out = np.eye(a.shape[0])
+    term = np.eye(a.shape[0])
+    for i in range(1, 17):
+        term = term @ b / i
+        out = out + term
+    for _ in range(k):
+        out = out @ out
+    return out
+
+
+@dataclass(frozen=True)
+class MAPRateForecaster(RateForecaster):
+    """Conditional rate of a fitted MMPP/MAP given the recent arrivals.
+
+    Standard MAP filtering: starting from the stationary post-arrival
+    phase distribution, each observed inter-arrival ``x`` updates the
+    phase belief ``p ← p · e^{D0 x} · D1`` (renormalized). The forecast is
+    the conditional arrival rate ``p · e^{Qt} · λ`` (``Q = D0 + D1``,
+    ``λ`` the per-phase rates ``D1·𝟙``) averaged over a grid on the
+    horizon — capturing both *which regime we are in now* and *how fast
+    the regime mixes away* over the look-ahead.
+    """
+
+    process: "MAP"
+    filter_window: int = 64
+    grid_points: int = 8
+
+    def forecast_rate(
+        self, recent_interarrivals: np.ndarray, now: float, horizon_s: float
+    ) -> float:
+        d0 = self.process.d0
+        d1 = self.process.d1
+        p = np.asarray(self.process.arrival_phase_distribution(), dtype=float)
+        x = np.asarray(recent_interarrivals, dtype=float)
+        for gap in x[-self.filter_window:]:
+            if not (math.isfinite(gap) and gap >= 0.0):
+                continue
+            p = p @ _expm(d0 * gap) @ d1
+            total = float(p.sum())
+            if total <= 0.0 or not math.isfinite(total):
+                p = np.asarray(
+                    self.process.arrival_phase_distribution(), dtype=float
+                )
+            else:
+                p = p / total
+        lam = d1.sum(axis=1)
+        q = d0 + d1
+        n_grid = max(2, self.grid_points)
+        step = _expm(q * (horizon_s / (n_grid - 1)))
+        rates = []
+        for _ in range(n_grid):
+            rates.append(float(p @ lam))
+            p = p @ step
+        return float(np.mean(rates))
+
+
+class OracleForecaster(RateForecaster):
+    """Perfect future knowledge: the realized rate over the horizon.
+
+    Holds the full arrival trace and simply counts the arrivals that *will*
+    land in ``(now, now + horizon]``. Not a policy anyone can deploy — it
+    is the upper bound that tells you how much of the cold-start gap is
+    forecasting error versus irreducible provisioning lag.
+    """
+
+    def __init__(self, timestamps: np.ndarray) -> None:
+        self.timestamps = np.asarray(timestamps, dtype=float)
+
+    def forecast_rate(
+        self, recent_interarrivals: np.ndarray, now: float, horizon_s: float
+    ) -> float:
+        ts = self.timestamps
+        lo = int(np.searchsorted(ts, now, side="right"))
+        hi = int(np.searchsorted(ts, now + horizon_s, side="right"))
+        return (hi - lo) / horizon_s
+
+
+@dataclass(frozen=True)
+class PrewarmPlan:
+    """One tick's decision: the forecast and the resulting pool deltas."""
+
+    rate: float
+    target: int
+    provision: int
+    retire: int
+
+
+class PrewarmPolicy:
+    """Forecast → per-tier warm-container target → provision/retire deltas.
+
+    Pure planning over inputs the engine supplies each tick; the policy
+    holds only the frozen :class:`~repro.serving.config.PrewarmConfig`.
+    The target is Little's law on batches: arrivals at rate ``λ̂`` form
+    batches of ``B`` that each occupy a container for ``s(M, B)`` seconds,
+    so sustaining the forecast needs ``λ̂ · s / B`` concurrent containers;
+    ``headroom`` scales that up for burst insurance at provisioning cost.
+    """
+
+    def __init__(self, config) -> None:
+        self.config = config
+
+    def target_containers(
+        self, rate: float, batch_size: int, service_time: float
+    ) -> int:
+        if not (rate > 0.0 and math.isfinite(rate)):
+            return 0
+        return int(
+            math.ceil(self.config.headroom * rate * service_time / batch_size)
+        )
+
+    def plan(
+        self,
+        recent_interarrivals: np.ndarray,
+        now: float,
+        horizon_s: float,
+        batch_size: int,
+        service_time: float,
+        live: int,
+        idle: int,
+    ) -> PrewarmPlan:
+        """Plan one tick for the active tier.
+
+        ``live`` counts busy + warm containers at the tier, ``idle`` the
+        warm subset — surplus is retired only out of the idle containers
+        (and only when the config opts in).
+        """
+        cfg = self.config
+        rate = float(
+            cfg.forecaster.forecast_rate(recent_interarrivals, now, horizon_s)
+        )
+        if not math.isfinite(rate) or rate < 0.0:
+            rate = 0.0
+        target = self.target_containers(rate, batch_size, service_time)
+        provision = max(0, target - live)
+        if cfg.max_per_tick is not None:
+            provision = min(provision, cfg.max_per_tick)
+        retire = min(idle, max(0, live - target)) if cfg.retire else 0
+        return PrewarmPlan(
+            rate=rate, target=target, provision=provision, retire=retire
+        )

@@ -164,6 +164,14 @@ def render_dashboard(
             title="fleet",
         ))
 
+    prewarm = _prewarm_rows(by_type)
+    if prewarm:
+        sections.append(format_table(
+            ["scope", "ticks", "provisioned", "retired", "prewarm cost $"],
+            prewarm,
+            title="prewarming",
+        ))
+
     reliability = _reliability_rows(by_type, by_kind)
     if reliability:
         sections.append(format_table(
@@ -330,7 +338,10 @@ def _fleet_rows(by_type: dict) -> list[list]:
     per_endpoint: dict[str, dict[str, float]] = defaultdict(dict)
     for name, value in counters.items():
         parts = name.split(".")
-        if len(parts) == 3 and parts[0] == "serving":
+        # "prewarm" is the single-engine prewarming namespace
+        # (serving.prewarm.ticks, ...), not an endpoint — without the
+        # exclusion it would show up here as a phantom endpoint row.
+        if len(parts) == 3 and parts[0] == "serving" and parts[1] != "prewarm":
             per_endpoint[parts[1]][parts[2]] = value
     if not per_endpoint:
         return []
@@ -347,6 +358,36 @@ def _fleet_rows(by_type: dict) -> list[list]:
             int(metrics.get("reconfigurations", 0)),
         ]
         for endpoint, metrics in sorted(per_endpoint.items())
+    ]
+
+
+def _prewarm_rows(by_type: dict) -> list[list]:
+    """Predictive-prewarming scorecard: the provisioning-cost vs
+    cold-start-latency trade-off per scope. The single engine emits
+    ``serving.prewarm.<metric>``; fleet lanes emit
+    ``serving.<endpoint>.prewarm.<metric>``. Rows appear only when a
+    prewarming policy actually ticked."""
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    metrics_known = {"ticks", "provisioned", "retired", "cost"}
+    per_scope: dict[str, dict[str, float]] = defaultdict(dict)
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) == 3 and parts[:2] == ["serving", "prewarm"]:
+            per_scope["engine"][parts[2]] = value
+        elif (len(parts) == 4 and parts[0] == "serving"
+              and parts[2] == "prewarm" and parts[3] in metrics_known):
+            # The metric whitelist keeps the event-loop stage timers
+            # (serving.perf.prewarm.calls/seconds) out of this table.
+            per_scope[parts[1]][parts[3]] = value
+    return [
+        [
+            scope,
+            int(metrics.get("ticks", 0)),
+            int(metrics.get("provisioned", 0)),
+            int(metrics.get("retired", 0)),
+            f"{metrics.get('cost', 0.0):.6f}",
+        ]
+        for scope, metrics in sorted(per_scope.items())
     ]
 
 

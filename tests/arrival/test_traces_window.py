@@ -115,6 +115,26 @@ class TestWindows:
         with pytest.raises(ValueError):
             latest_window(np.ones(3), 0)
 
+    def test_latest_window_rejects_nan(self):
+        # Regression: the default pad is the sample *mean*, so one NaN
+        # inter-arrival used to poison the entire padded window (and every
+        # drift score computed from it) instead of failing loudly.
+        with pytest.raises(ValueError, match="non-finite"):
+            latest_window(np.array([1.0, np.nan, 2.0]), 8)
+
+    def test_latest_window_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            latest_window(np.array([np.inf, 1.0]), 2)
+
+    def test_latest_window_error_names_first_bad_index(self):
+        with pytest.raises(ValueError, match="index 1"):
+            latest_window(np.array([1.0, np.nan, np.nan]), 4)
+
+    def test_empty_sample_still_pads_with_zero(self):
+        # The finiteness check must not break the documented empty-sample
+        # fallback (no data -> all-zero window).
+        np.testing.assert_allclose(latest_window(np.array([]), 4), np.zeros(4))
+
     def test_sliding_windows(self):
         x = np.arange(6.0)
         w = sliding_windows(x, 3, stride=2)

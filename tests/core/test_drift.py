@@ -69,6 +69,47 @@ class TestWorkloadDriftDetector:
             assert 0.0 <= s <= 1.0
 
 
+class TestWindowLengthValidation:
+    """Regression: ``fit`` must record the window length it calibrated on,
+    and ``score`` must reject windows of any other length — the envelope's
+    per-feature quantiles are statistics *of that length* (a 32-sample CV²
+    and a 256-sample CV² are differently distributed), so scoring a
+    mismatched window silently miscalibrates the drift threshold."""
+
+    def test_fit_records_window_length(self):
+        detector = WorkloadDriftDetector().fit(TRAIN, window_length=L)
+        assert detector.window_length_ == L
+
+    def test_score_rejects_mismatched_window(self):
+        detector = WorkloadDriftDetector().fit(TRAIN, window_length=L)
+        with pytest.raises(ValueError, match="does not match"):
+            detector.score(np.ones(L // 2))
+        with pytest.raises(ValueError, match="does not match"):
+            detector.is_drifted(np.ones(2 * L))
+        # The fitted length still scores.
+        assert 0.0 <= detector.score(np.ones(L)) <= 1.0
+
+    def test_state_round_trips_window_length(self):
+        fitted = WorkloadDriftDetector().fit(TRAIN, window_length=L)
+        restored = WorkloadDriftDetector()
+        restored.set_state(fitted.get_state())
+        assert restored.window_length_ == L
+        with pytest.raises(ValueError, match="does not match"):
+            restored.score(np.ones(L // 2))
+
+    def test_old_state_without_window_length_still_scores(self):
+        # Snapshots written before the length was recorded lack the key:
+        # restore must not fail, and scoring falls back to unvalidated
+        # (the pre-fix behaviour) rather than rejecting every window.
+        fitted = WorkloadDriftDetector().fit(TRAIN, window_length=L)
+        state = fitted.get_state()
+        del state["window_length"]
+        restored = WorkloadDriftDetector()
+        restored.set_state(state)
+        assert restored.window_length_ is None
+        assert 0.0 <= restored.score(np.ones(L // 2)) <= 1.0
+
+
 class TestPredictionDrift:
     def test_triggers_on_large_error(self):
         assert prediction_drift(recent_error=0.3, baseline_error=0.05)

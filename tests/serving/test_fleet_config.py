@@ -81,6 +81,37 @@ class TestLoadAndBuild:
         assert seen_platforms == ["chat", "embed"]
         assert seen_choosers == ["batch"]  # "none" endpoints skipped
 
+    def test_prewarm_round_trips(self, tmp_path):
+        doc = valid_doc()
+        doc["endpoints"][0]["prewarm"] = {"interval_s": 0.5, "headroom": 2.0,
+                                          "window": 32, "retire": True}
+        cfg = load_fleet_config(write(tmp_path, doc))
+        pw = cfg.endpoints[0].prewarm
+        assert pw is not None
+        assert pw.interval_s == 0.5 and pw.headroom == 2.0
+        assert pw.window == 32 and pw.retire is True
+        assert pw.horizon_s is None and pw.max_per_tick is None
+        # JSON cannot name a fitted arrival model: always empirical.
+        assert type(pw.forecaster).__name__ == "EmpiricalRateForecaster"
+        assert cfg.endpoints[1].prewarm is None
+
+    def test_prewarm_defaults(self, tmp_path):
+        doc = valid_doc()
+        doc["endpoints"][1]["prewarm"] = {}
+        cfg = load_fleet_config(write(tmp_path, doc))
+        pw = cfg.endpoints[1].prewarm
+        assert pw.interval_s == 1.0 and pw.headroom == 1.0
+        assert pw.window == 256 and pw.retire is False
+
+    def test_build_threads_prewarm_to_spec(self, tmp_path):
+        doc = valid_doc()
+        doc["endpoints"][0]["prewarm"] = {"interval_s": 0.5}
+        cfg = load_fleet_config(write(tmp_path, doc))
+        engine = cfg.build()
+        by_name = {spec.name: spec for spec in engine.endpoints}
+        assert by_name["chat"].prewarm is cfg.endpoints[0].prewarm
+        assert by_name["embed"].prewarm is None
+
     def test_minimal_document(self, tmp_path):
         doc = {"endpoints": [{"name": "solo", "memory_mb": 1024,
                               "batch_size": 4, "timeout": 0.0}]}
@@ -191,6 +222,20 @@ class TestSchemaErrors:
         doc = valid_doc()
         doc["max_containers"] = 0
         self.reject(doc, "max_containers: must be >= 1")
+
+    def test_bad_prewarm(self):
+        doc = valid_doc()
+        doc["endpoints"][0]["prewarm"] = "fast"
+        self.reject(doc, r"endpoints\[0\]\.prewarm: must be an object")
+        doc["endpoints"][0]["prewarm"] = {"interval_s": 0}
+        self.reject(doc, r"endpoints\[0\]\.prewarm\.interval_s: must be > 0")
+        doc["endpoints"][0]["prewarm"] = {"retire": 1}
+        self.reject(doc, r"endpoints\[0\]\.prewarm\.retire: must be a boolean")
+        doc["endpoints"][0]["prewarm"] = {"window": 0}
+        self.reject(doc, r"endpoints\[0\]\.prewarm\.window: must be >= 1")
+        doc["endpoints"][0]["prewarm"] = {"cadence": 5}
+        self.reject(doc,
+                    r"endpoints\[0\]\.prewarm: unknown keys \['cadence'\]")
 
     def test_unknown_endpoint_key(self):
         doc = valid_doc()

@@ -125,6 +125,46 @@ class TestStateMachine:
         assert g.state == OPEN
         assert g.trips == 2
 
+    def test_open_windows_are_consumed_and_discarded(self):
+        # OPEN state: completed windows are consumed off the buffer but
+        # produce no transitions and leave no residue in the violation or
+        # probe streaks — the fallback is already deployed, so they carry
+        # no new signal.
+        g = guard(k=1, cooldown_s=100.0, window=4)
+        g.observe(violating(), 0.0, GOOD)
+        assert g.state == OPEN
+        assert g.observe(violating(4), 1.0, GOOD) == []
+        assert g.observe(compliant(4), 2.0, GOOD) == []
+        assert g.state == OPEN
+        assert g.violations == 0 and g.clean_probes == 0
+        # Consumed, not parked: the buffer must not replay OPEN-era windows
+        # into the half-open probe after the cooldown.
+        assert g._window_buf == []
+        actions = g.observe(np.empty(0), 200.0, GOOD)
+        assert [a for a, _ in actions] == ["probe"]
+        assert g.clean_probes == 0
+
+    def test_open_partial_window_carries_into_half_open(self):
+        # Only *complete* windows are discarded while OPEN; a buffered
+        # partial window keeps accumulating and scores once full.
+        g = guard(k=1, cooldown_s=1.0, window=4, probe_windows=1)
+        g.observe(violating(), 0.0, GOOD)
+        assert g.observe(compliant(3), 0.5, GOOD) == []  # 3 of 4 buffered
+        actions = g.observe(compliant(1), 2.0, GOOD)  # probe + window full
+        assert [a for a, _ in actions] == ["probe", "restored"]
+
+    def test_open_state_discard_comment_is_pinned(self):
+        # The OPEN-branch fall-through looks like a missing case; pin the
+        # comment that documents it as deliberate.
+        import inspect
+
+        from repro.serving import guardrail as guardrail_module
+
+        source = inspect.getsource(guardrail_module)
+        assert ("# OPEN: the fallback is already deployed; windows completed"
+                in source)
+        assert "carry no new signal" in source
+
     def test_fallback_precedence(self):
         explicit = BatchConfig(memory_mb=1024.0, batch_size=2, timeout=0.01)
         g = guard(fallback=explicit)

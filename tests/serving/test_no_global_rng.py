@@ -29,9 +29,11 @@ GLOBAL_RNG = re.compile(r"\bnp\.random\.(\w+)")
 
 def test_fleet_modules_are_in_scope():
     """The sweep must cover the PR-6 fleet layer — ``split_by_shares``
-    draws from an explicit generator, and only this glob keeps it so."""
+    draws from an explicit generator, and only this glob keeps it so —
+    and the PR-8 prewarming module, whose forecasters must stay
+    deterministic functions of the observed history."""
     names = {p.name for p in SERVING_DIR.glob("*.py")}
-    assert {"fleet.py", "fleet_config.py"} <= names
+    assert {"fleet.py", "fleet_config.py", "prewarm.py"} <= names
 
 
 def test_serving_layer_has_no_global_rng_calls():

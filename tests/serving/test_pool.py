@@ -5,9 +5,20 @@ import math
 import pytest
 
 from repro.serverless.service_profile import ColdStartModel
-from repro.serving.pool import WarmPool, WarmPoolConfig
+from repro.serving.pool import ReferenceWarmPool, WarmPool, WarmPoolConfig
 
 pytestmark = pytest.mark.serving
+
+
+def full_state(pool):
+    """Every internal observable: containers, both heaps, all counters."""
+    return (
+        {cid: (c.memory_mb, c.free_at) for cid, c in pool._containers.items()},
+        list(pool._idle_heap),
+        {tier: list(h) for tier, h in pool._warm_heaps.items()},
+        (pool.stats.cold_starts, pool.stats.warm_starts, pool.stats.expired,
+         pool.stats.evicted, pool.stats.prewarmed, pool.stats.retired),
+    )
 
 
 class TestWarmReuse:
@@ -90,6 +101,51 @@ class TestKeepAlive:
         assert pool.warm_containers(2.0) == 1
         assert pool.warm_containers(2.0, memory_mb=4096.0) == 0
         assert pool.live_containers(20.0) == 1  # the idle one expired
+
+
+class TestInspectionIsPure:
+    """Regression: ``live_containers``/``warm_containers`` used to run the
+    expiry sweep, so merely *observing* the pool off the event clock (the
+    prewarmer's polling, a dashboard probe) mutated containers, heaps, and
+    the ``expired`` counter. Inspection must be side-effect-free."""
+
+    @pytest.mark.parametrize("pool_cls", [WarmPool, ReferenceWarmPool])
+    def test_counts_leave_state_bit_identical(self, pool_cls):
+        pool = pool_cls(WarmPoolConfig(keep_alive_s=5.0))
+        a = pool.acquire(0.0, 2048.0)
+        b = pool.acquire(0.0, 4096.0)
+        pool.release(a.container_id, 1.0)
+        pool.release(b.container_id, 2.0)
+        before = full_state(pool)
+        # Far past every keep-alive: both idle containers are logically
+        # expired at t=100 and must be counted out — but not reclaimed.
+        assert pool.live_containers(100.0) == 0
+        assert pool.warm_containers(100.0) == 0
+        assert pool.live_containers(3.0) == 2
+        assert pool.warm_containers(3.0) == 2
+        assert pool.warm_containers(3.0, memory_mb=2048.0) == 1
+        assert full_state(pool) == before
+        # Reclamation still happens at the next mutating call.
+        pool.acquire(100.0, 2048.0)
+        assert pool.stats.expired == 2
+
+    @pytest.mark.parametrize("pool_cls", [WarmPool, ReferenceWarmPool])
+    def test_expiry_boundary_matches_the_sweep(self, pool_cls):
+        # The count uses the same float comparison as the sweep
+        # (now - free_at > keep): idle *exactly* keep_alive is still live.
+        pool = pool_cls(WarmPoolConfig(keep_alive_s=5.0))
+        lease = pool.acquire(0.0, 2048.0)
+        pool.release(lease.container_id, 1.0)
+        assert pool.live_containers(6.0) == 1
+        assert pool.warm_containers(6.0) == 1
+        assert pool.live_containers(6.0 + 1e-9) == 0
+
+    @pytest.mark.parametrize("pool_cls", [WarmPool, ReferenceWarmPool])
+    def test_busy_containers_are_live_at_any_horizon(self, pool_cls):
+        pool = pool_cls(WarmPoolConfig(keep_alive_s=1.0))
+        pool.acquire(0.0, 2048.0)  # stays busy (free_at = inf)
+        assert pool.live_containers(1e12) == 1
+        assert pool.warm_containers(1e12) == 0
 
 
 class TestCapacity:

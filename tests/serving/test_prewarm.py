@@ -1,0 +1,458 @@
+"""Predictive warm-pool prewarming (PR 8).
+
+Covers the full stack: the rate forecasters (windowed empirical, NHPP
+profile, MAP phase filtering, and the oracle), the Little's-law planning
+policy, the pool's ``prewarm``/``retire_idle`` primitives (heap pool ≡
+linear reference), the engine's periodic prewarm event (fast ≡ stepwise,
+checkpoint-safe, zero footprint when disabled), and the headline
+evaluation: on Alibaba-like on-off bursts, predictive prewarming cuts the
+cold-start rate by well over 30% versus reactive keep-alive at equal or
+lower all-in cost, with the oracle upper bound reported alongside.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrival.fitting import fit_map
+from repro.arrival.map_process import poisson_map
+from repro.arrival.mmpp import mmpp2_with_burstiness
+from repro.arrival.stats import interarrivals
+from repro.arrival.traces import alibaba_like
+from repro.batching.config import BatchConfig
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.service_profile import ColdStartModel
+from repro.serving import (
+    CheckpointError,
+    EmpiricalRateForecaster,
+    MAPRateForecaster,
+    NHPPRateForecaster,
+    OracleForecaster,
+    PrewarmConfig,
+    PrewarmPolicy,
+    ServingEngine,
+    WarmPoolConfig,
+    assert_serving_logs_equal,
+    run_with_crashes,
+)
+from repro.serving.pool import ReferenceWarmPool, WarmPool
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+pytestmark = [pytest.mark.serving, pytest.mark.prewarm]
+
+CONFIG = BatchConfig(memory_mb=2048.0, batch_size=8, timeout=0.05)
+
+
+def poisson_trace(seed=5, n=2000, lam=300.0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / lam, size=n))
+
+
+def build_engine(prewarm=None, keep_alive=2.0, seed=0):
+    platform = ServerlessPlatform(cold_start=ColdStartModel(), seed=seed)
+    return ServingEngine(
+        CONFIG,
+        platform=platform,
+        pool=WarmPoolConfig(keep_alive_s=keep_alive),
+        prewarm=prewarm,
+    )
+
+
+# --------------------------------------------------------------- forecasters
+class TestEmpiricalForecaster:
+    def test_steady_rate_recovered(self):
+        gaps = np.full(200, 0.01)  # 100 req/s
+        rate = EmpiricalRateForecaster().forecast_rate(gaps, 50.0, 1.0)
+        assert rate == pytest.approx(100.0)
+
+    def test_empty_history_is_zero(self):
+        assert EmpiricalRateForecaster().forecast_rate(np.empty(0), 0.0, 1.0) == 0.0
+
+    def test_degenerate_span_is_zero(self):
+        fc = EmpiricalRateForecaster()
+        assert fc.forecast_rate(np.zeros(10), 0.0, 1.0) == 0.0
+        assert fc.forecast_rate(np.array([np.inf, 1.0]), 0.0, 1.0) == 0.0
+
+
+class TestNHPPForecaster:
+    def test_constant_profile(self):
+        fc = NHPPRateForecaster(rate_fn=lambda t: np.full_like(t, 42.0))
+        assert fc.forecast_rate(np.empty(0), 10.0, 5.0) == pytest.approx(42.0)
+
+    def test_ramp_averages_over_horizon(self):
+        # λ(t) = t: the mean over [10, 20] is 15, not λ(now) = 10.
+        fc = NHPPRateForecaster(rate_fn=lambda t: np.asarray(t, dtype=float))
+        assert fc.forecast_rate(np.empty(0), 10.0, 10.0) == pytest.approx(15.0)
+
+
+class TestMAPForecaster:
+    def test_poisson_map_forecasts_its_rate(self):
+        fc = MAPRateForecaster(poisson_map(120.0))
+        gaps = np.diff(poisson_map(120.0).sample(duration=2.0, seed=1))
+        assert fc.forecast_rate(gaps, 2.0, 0.5) == pytest.approx(120.0, rel=1e-6)
+
+    def test_tracks_the_regime(self):
+        # MMPP(2) switching between a slow and a fast phase: a run of short
+        # gaps must forecast a much higher near-term rate than long gaps.
+        process = mmpp2_with_burstiness(100.0, 3.0, 6.0, duty=0.2)
+        fc = MAPRateForecaster(process)
+        burst = fc.forecast_rate(np.full(40, 1.0 / 400.0), 0.0, 0.25)
+        lull = fc.forecast_rate(np.full(40, 1.0), 0.0, 0.25)
+        assert burst > 2.0 * lull
+
+    def test_long_horizon_relaxes_to_stationary(self):
+        process = mmpp2_with_burstiness(100.0, 3.0, 6.0, duty=0.2)
+        fc = MAPRateForecaster(process, grid_points=64)
+        short = fc.forecast_rate(np.full(40, 1.0 / 400.0), 0.0, 0.1)
+        long = fc.forecast_rate(np.full(40, 1.0 / 400.0), 0.0, 100.0)
+        # Conditioned on the burst phase now, the mean rate decays toward
+        # the stationary 100 req/s as the horizon stretches.
+        assert short > long
+        assert long == pytest.approx(100.0, rel=0.1)
+
+    def test_skips_non_finite_gaps(self):
+        fc = MAPRateForecaster(poisson_map(50.0))
+        dirty = np.array([0.02, np.nan, 0.02, np.inf, 0.02, -1.0])
+        assert fc.forecast_rate(dirty, 1.0, 1.0) == pytest.approx(50.0, rel=1e-6)
+
+
+class TestOracleForecaster:
+    def test_counts_the_horizon_exactly(self):
+        ts = np.array([0.5, 1.5, 2.5, 3.5, 9.0])
+        fc = OracleForecaster(ts)
+        # (1.0, 4.0] holds 1.5, 2.5, 3.5 -> 3 arrivals / 3 s.
+        assert fc.forecast_rate(np.empty(0), 1.0, 3.0) == pytest.approx(1.0)
+
+    def test_boundaries_are_half_open(self):
+        fc = OracleForecaster(np.array([1.0, 2.0]))
+        # now itself excluded, now + horizon included.
+        assert fc.forecast_rate(np.empty(0), 1.0, 1.0) == pytest.approx(1.0)
+
+    def test_empty_future_is_zero(self):
+        fc = OracleForecaster(np.array([1.0]))
+        assert fc.forecast_rate(np.empty(0), 5.0, 2.0) == 0.0
+
+
+# -------------------------------------------------------------------- policy
+class TestPrewarmPolicy:
+    def policy(self, **kw):
+        kw.setdefault("forecaster", EmpiricalRateForecaster())
+        return PrewarmPolicy(PrewarmConfig(**kw))
+
+    def test_littles_law_target(self):
+        # 400 req/s * 0.02 s / B=8 = 1 container; headroom 3 -> 3.
+        p = self.policy(headroom=3.0)
+        assert p.target_containers(400.0, 8, 0.02) == 3
+
+    def test_zero_or_bad_rate_targets_zero(self):
+        p = self.policy()
+        assert p.target_containers(0.0, 8, 0.02) == 0
+        assert p.target_containers(math.nan, 8, 0.02) == 0
+        assert p.target_containers(math.inf, 8, 0.02) == 0
+
+    def test_plan_provisions_the_deficit(self):
+        # Gaps of 0.5 s are float-exact: rate 2.0, target 2*8/2 = 8.
+        p = self.policy()
+        plan = p.plan(np.full(100, 0.5), 60.0, 1.0,
+                      batch_size=2, service_time=8.0, live=3, idle=0)
+        assert plan.rate == pytest.approx(2.0)
+        assert plan.target == 8
+        assert plan.provision == 5  # the deficit over the 3 live
+        assert plan.retire == 0
+
+    def test_plan_caps_per_tick(self):
+        p = self.policy(max_per_tick=1)
+        plan = p.plan(np.full(100, 1.0 / 8000.0), 1.0, 1.0,
+                      batch_size=8, service_time=0.02, live=0, idle=0)
+        assert plan.target == 20
+        assert plan.provision == 1
+
+    def test_retire_only_when_enabled_and_only_idle(self):
+        gaps = np.full(100, 1.0)  # ~1 req/s -> target 1
+        on = self.policy(retire=True)
+        off = self.policy(retire=False)
+        args = dict(batch_size=8, service_time=8.0, live=5, idle=2)
+        assert on.plan(gaps, 200.0, 1.0, **args).retire == 2  # capped by idle
+        assert off.plan(gaps, 200.0, 1.0, **args).retire == 0
+
+    def test_surplus_never_provisions(self):
+        p = self.policy()
+        plan = p.plan(np.full(100, 1.0), 200.0, 1.0,
+                      batch_size=8, service_time=0.02, live=5, idle=5)
+        assert plan.provision == 0
+
+
+class TestPrewarmConfigValidation:
+    def test_rejects_bad_values(self):
+        fc = EmpiricalRateForecaster()
+        with pytest.raises(ValueError, match="forecaster"):
+            PrewarmConfig(forecaster=None)
+        with pytest.raises(ValueError, match="interval_s"):
+            PrewarmConfig(forecaster=fc, interval_s=0.0)
+        with pytest.raises(ValueError, match="horizon_s"):
+            PrewarmConfig(forecaster=fc, horizon_s=0.0)
+        with pytest.raises(ValueError, match="headroom"):
+            PrewarmConfig(forecaster=fc, headroom=0.0)
+        with pytest.raises(ValueError, match="max_per_tick"):
+            PrewarmConfig(forecaster=fc, max_per_tick=0)
+        with pytest.raises(ValueError, match="window"):
+            PrewarmConfig(forecaster=fc, window=0)
+
+    def test_fingerprint_is_scalar_and_names_the_forecaster(self):
+        cfg = PrewarmConfig(forecaster=EmpiricalRateForecaster(),
+                            interval_s=0.5, headroom=2.0)
+        fp = cfg.fingerprint()
+        assert fp[0] == "EmpiricalRateForecaster"
+        assert all(isinstance(v, (str, float, int, bool, type(None)))
+                   for v in fp)
+
+
+# ---------------------------------------------------------------------- pool
+def pool_state(pool):
+    return (
+        sorted((c.container_id, c.memory_mb, c.free_at)
+               for c in pool._containers.values()),
+        (pool.stats.cold_starts, pool.stats.warm_starts, pool.stats.expired,
+         pool.stats.evicted, pool.stats.prewarmed, pool.stats.retired),
+    )
+
+
+class TestPoolPrewarm:
+    @pytest.mark.parametrize("pool_cls", [WarmPool, ReferenceWarmPool])
+    def test_prewarmed_containers_grant_warm(self, pool_cls):
+        pool = pool_cls(WarmPoolConfig(keep_alive_s=10.0))
+        assert pool.prewarm(0.0, 2048.0, 2) == 2
+        assert pool.stats.prewarmed == 2
+        assert pool.warm_containers(0.0, 2048.0) == 2
+        lease = pool.acquire(1.0, 2048.0)
+        assert not lease.cold
+        assert pool.stats.cold_starts == 0
+
+    @pytest.mark.parametrize("pool_cls", [WarmPool, ReferenceWarmPool])
+    def test_prewarm_respects_capacity_and_never_evicts(self, pool_cls):
+        pool = pool_cls(WarmPoolConfig(max_containers=2, keep_alive_s=10.0))
+        a = pool.acquire(0.0, 4096.0)
+        pool.release(a.container_id, 0.5)  # idle, evictable by acquire
+        assert pool.prewarm(1.0, 2048.0, 5) == 1  # room for exactly one
+        assert len(pool._containers) == 2
+        assert a.container_id in pool._containers  # not cannibalized
+
+    @pytest.mark.parametrize("pool_cls", [WarmPool, ReferenceWarmPool])
+    def test_prewarmed_idle_expires_on_schedule(self, pool_cls):
+        pool = pool_cls(WarmPoolConfig(keep_alive_s=5.0))
+        pool.prewarm(0.0, 2048.0, 1)
+        assert pool.acquire(6.0, 2048.0).cold  # idle 6s > 5s: expired
+        assert pool.stats.expired == 1
+
+    @pytest.mark.parametrize("pool_cls", [WarmPool, ReferenceWarmPool])
+    def test_retire_idle_takes_coldest_first_and_spares_busy(self, pool_cls):
+        pool = pool_cls(WarmPoolConfig(keep_alive_s=100.0))
+        a = pool.acquire(0.0, 2048.0)
+        b = pool.acquire(0.0, 2048.0)
+        pool.acquire(0.0, 2048.0)  # stays busy
+        pool.release(a.container_id, 1.0)
+        pool.release(b.container_id, 2.0)
+        assert pool.retire_idle(3.0, 2048.0, 1) == 1
+        assert a.container_id not in pool._containers  # oldest idle first
+        assert b.container_id in pool._containers
+        assert pool.retire_idle(3.0, 2048.0, 5) == 1  # only one idle left
+        assert pool.stats.retired == 2
+        assert pool.live_containers(3.0) == 1  # the busy one is untouched
+
+    @pytest.mark.parametrize("pool_cls", [WarmPool, ReferenceWarmPool])
+    def test_retire_ignores_other_tiers(self, pool_cls):
+        pool = pool_cls(WarmPoolConfig(keep_alive_s=100.0))
+        lease = pool.acquire(0.0, 4096.0)
+        pool.release(lease.container_id, 1.0)
+        assert pool.retire_idle(2.0, 2048.0, 5) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heap_pool_matches_reference_under_churn(self, seed):
+        # Randomized acquire/release/prewarm/retire churn: the production
+        # heap pool and the linear-scan specification must stay
+        # bit-identical in containers and stats.
+        rng = np.random.default_rng(seed)
+        cfg = WarmPoolConfig(keep_alive_s=3.0, max_containers=12)
+        heap_pool, ref_pool = WarmPool(cfg), ReferenceWarmPool(cfg)
+        held_heap, held_ref = [], []
+        now = 0.0
+        tiers = (1024.0, 2048.0)
+        for _ in range(2000):
+            now += float(rng.exponential(0.3))
+            tier = tiers[int(rng.integers(2))]
+            roll = rng.random()
+            if roll < 0.4:
+                a = heap_pool.acquire(now, tier)
+                b = ref_pool.acquire(now, tier)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert (a.container_id, a.cold) == (b.container_id, b.cold)
+                    held_heap.append(a)
+                    held_ref.append(b)
+            elif roll < 0.6 and held_heap:
+                i = int(rng.integers(len(held_heap)))
+                heap_pool.release(held_heap.pop(i).container_id, now)
+                ref_pool.release(held_ref.pop(i).container_id, now)
+            elif roll < 0.8:
+                n = int(rng.integers(1, 4))
+                assert heap_pool.prewarm(now, tier, n) == \
+                    ref_pool.prewarm(now, tier, n)
+            else:
+                n = int(rng.integers(1, 4))
+                assert heap_pool.retire_idle(now, tier, n) == \
+                    ref_pool.retire_idle(now, tier, n)
+            assert pool_state(heap_pool) == pool_state(ref_pool)
+
+
+# -------------------------------------------------------------------- engine
+class TestEngineIntegration:
+    def prewarm_cfg(self, **kw):
+        kw.setdefault("forecaster", EmpiricalRateForecaster())
+        kw.setdefault("interval_s", 0.25)
+        kw.setdefault("headroom", 4.0)
+        kw.setdefault("window", 64)
+        return PrewarmConfig(**kw)
+
+    def test_run_reports_prewarm_scorecard(self):
+        ts = poisson_trace()
+        log = build_engine(prewarm=self.prewarm_cfg()).run(ts)
+        assert log.prewarm_ticks > 0
+        assert log.prewarmed_containers > 0
+        assert log.prewarm_cost > 0.0
+        assert log.total_cost_with_prewarm == pytest.approx(
+            log.total_cost + log.prewarm_cost
+        )
+
+    def test_disabled_leaves_zero_footprint(self):
+        # Defaults-off runs must look exactly like PR 7: no prewarm events
+        # in the trace, all scorecard fields zero, bit-identical reruns.
+        ts = poisson_trace()
+        a = build_engine().run(ts, record_trace=True)
+        b = build_engine().run(ts, record_trace=True)
+        assert_serving_logs_equal(a, b)
+        assert a.prewarm_ticks == 0
+        assert a.prewarmed_containers == 0
+        assert a.prewarm_retired == 0
+        assert a.prewarm_cost == 0.0
+        assert not any(ev[0] == "prewarm" for ev in a.event_trace)
+
+    def test_fast_path_matches_stepwise_with_prewarm(self):
+        # Telemetry forces the stepwise loop; without it the fast path
+        # runs. Both must dispatch the prewarm ticks identically.
+        ts = poisson_trace(seed=8)
+        cfg = self.prewarm_cfg(retire=True)
+        fast = build_engine(prewarm=cfg).run(ts, record_trace=True)
+        with use_registry(MetricsRegistry()):
+            slow = build_engine(prewarm=cfg).run(ts, record_trace=True)
+        assert_serving_logs_equal(fast, slow)
+        assert fast.prewarm_ticks == slow.prewarm_ticks > 0
+        assert any(ev[0] == "prewarm" for ev in fast.event_trace)
+
+    def test_prewarm_emits_telemetry_counters(self):
+        ts = poisson_trace()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            log = build_engine(prewarm=self.prewarm_cfg()).run(ts)
+        counters = {c["name"]: c["value"] for c in registry.records()
+                    if c.get("type") == "counter"}
+        assert counters["serving.prewarm.ticks"] == log.prewarm_ticks
+        assert counters["serving.prewarm.provisioned"] == log.prewarmed_containers
+        assert counters["serving.prewarm.cost"] == pytest.approx(log.prewarm_cost)
+
+    def test_retire_shows_up_in_the_log(self):
+        # A steady trace with generous keep-alive accumulates idle
+        # containers; retire=True reclaims them ahead of expiry.
+        ts = poisson_trace(seed=3)
+        cfg = self.prewarm_cfg(headroom=1.0, retire=True)
+        log = build_engine(prewarm=cfg, keep_alive=30.0).run(ts)
+        assert log.prewarm_retired > 0
+
+    def test_kill_anywhere_restore_is_bit_identical(self, tmp_path):
+        # The keystone reliability property must survive prewarming: a run
+        # killed at random points and restored from its checkpoint equals
+        # the uninterrupted run bit-for-bit.
+        ts = poisson_trace(seed=4, n=1200)
+        cfg = self.prewarm_cfg(retire=True)
+
+        def factory():
+            return build_engine(prewarm=cfg)
+
+        plain = factory().run(ts, record_trace=True)
+        crashed, kills = run_with_crashes(
+            factory, ts, tmp_path / "pw.ckpt", n_crashes=3, seed=1,
+            checkpoint_every=64, record_trace=True,
+        )
+        assert kills
+        assert_serving_logs_equal(plain, crashed)
+        assert crashed.prewarmed_containers == plain.prewarmed_containers
+
+    def test_checkpoint_fingerprint_guards_prewarm_config(self, tmp_path):
+        # A checkpoint written with prewarming on cannot be resumed by an
+        # engine with it off (or differently tuned) — the decision stream
+        # would silently diverge.
+        ts = poisson_trace(seed=6)
+        path = tmp_path / "fp.ckpt"
+        build_engine(prewarm=self.prewarm_cfg()).run(
+            ts, checkpoint_path=path, checkpoint_every=64
+        )
+        with pytest.raises(CheckpointError, match="prewarm"):
+            build_engine().restore(path)
+
+
+# ---------------------------------------------------------------- evaluation
+class TestAlibabaEvaluation:
+    """The headline claim, pinned: on on-off burst traffic, predictive
+    prewarming cuts the cold-start rate ≥ 30% versus reactive keep-alive
+    at equal or lower all-in cost (request-path spend + provisioning
+    spend), and the oracle bound shows most of the remaining gap is
+    forecasting error, not irreducible provisioning lag."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        trace = alibaba_like(seed=2, n_segments=8, segment_duration=30.0,
+                             base_rate=100.0)
+        cut = 2 * 30.0
+        at = int(np.searchsorted(trace.timestamps, cut))
+        return trace.timestamps[:at], trace.timestamps[at:]
+
+    def run(self, workload, forecaster=None):
+        history, serve_ts = workload
+        prewarm = None
+        if forecaster is not None:
+            prewarm = PrewarmConfig(forecaster=forecaster, interval_s=0.25,
+                                    headroom=4.0, window=64)
+        return build_engine(prewarm=prewarm).run(serve_ts, history=history)
+
+    def test_predictive_beats_reactive_with_oracle_bound(self, workload):
+        history, serve_ts = workload
+        reactive = self.run(workload)
+        empirical = self.run(workload, EmpiricalRateForecaster())
+        fitted, report = fit_map(interarrivals(history))
+        fitted_map = self.run(workload, MAPRateForecaster(fitted))
+        oracle = self.run(workload, OracleForecaster(serve_ts))
+
+        assert reactive.cold_start_rate > 0.02  # the problem exists
+
+        # >= 30% cold-start reduction for both predictive forecasters...
+        for log in (empirical, fitted_map):
+            reduction = 1.0 - log.cold_start_rate / reactive.cold_start_rate
+            assert reduction >= 0.30
+            # ...at equal or lower all-in cost (provisioning included).
+            assert log.total_cost_with_prewarm <= reactive.total_cost
+
+        # The fitted MAP knows the regime structure the windowed empirical
+        # rate can only chase; it must not do worse.
+        assert fitted_map.cold_start_rate <= empirical.cold_start_rate * 1.1
+
+        # Oracle bound: perfect forecasts nearly eliminate cold starts,
+        # showing the predictive gap is forecasting error, not lag.
+        assert oracle.cold_start_rate <= 0.2 * empirical.cold_start_rate
+        assert oracle.total_cost_with_prewarm <= reactive.total_cost
+
+    def test_prewarming_also_helps_the_tail(self, workload):
+        # Cold bursts at the front of each on-period are what blow up the
+        # p95; prewarming must shrink it, not merely relabel cold starts.
+        reactive = self.run(workload)
+        empirical = self.run(workload, EmpiricalRateForecaster())
+        assert empirical.p(95.0) <= reactive.p(95.0)
