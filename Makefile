@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-faults test-serving test-fleet test-chaos test-prewarm bench-smoke bench bench-perf bench-serving lint
+.PHONY: test test-faults test-serving test-fleet test-chaos test-prewarm test-gen bench-smoke bench bench-perf bench-serving lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
@@ -31,6 +31,12 @@ test-chaos:
 ## the Alibaba-like cold-start evaluation, and the oracle upper bound.
 test-prewarm:
 	$(PYTEST) -q -m prewarm
+
+## Token-streaming generation: the prefill/decode service model,
+## continuous batching vs the size/timeout buffer, goodput SLOs, and the
+## legacy bit-identity pin.
+test-gen:
+	$(PYTEST) -q -m gen
 
 ## Quick benchmark sanity check: the §IV-F decision-time speedup table.
 ## First run trains the shared workbench models; later runs load the cache.

@@ -1,7 +1,7 @@
 """Microbenchmarks of the live serving loop → ``BENCH_serving.json``.
 
 Three measurements anchor the serving-side speed pass (PR 7), plus a
-prewarm-overhead guard (PR 8):
+prewarm-overhead guard (PR 8) and a continuous-batching guard (PR 9):
 
 * **Engine** — the reference trace (60k Poisson arrivals through a finite
   keep-alive pool) on the optimized engine (fast drive loop, heap pool,
@@ -17,6 +17,11 @@ prewarm-overhead guard (PR 8):
 * **Prewarm** — the same reference trace with the predictive prewarmer
   ticking at 4 Hz vs prewarm-off. Acceptance bar: **≤ 50% overhead** —
   the forecaster and pool provisioning must not give back the speed pass.
+* **Generation** — continuous batching (token-streaming, every
+  prefill/decode iteration a heap event) vs the request-level engine on
+  the same arrivals. Acceptance bar: the *event-processing* rate stays
+  **≥ 0.15×** the request-level engine's — a collapse means the genstep
+  path fell off the fast drive loop.
 
 Every "before" implementation is the executable specification kept in the
 tree (``ReferenceWarmPool``, ``_drive_lanes_scan``, the stepwise
@@ -220,6 +225,54 @@ def test_prewarm_overhead_bounded():
     print(f"\nprewarm: {json.dumps(payload)}")
     assert overhead <= 0.5, (
         f"prewarming costs {100 * overhead:.0f}% of engine throughput"
+    )
+
+
+def test_generation_throughput_floor():
+    """PR 9 guard: continuous batching must stay in the fast lane.
+
+    Token streaming multiplies the event count — every prefill/decode
+    iteration is a heap event — so requests/sec inevitably drops, but the
+    *event-processing* rate must remain within a constant factor of the
+    request-level engine's. A collapse here would mean the genstep path
+    fell off the fast drive loop (e.g. per-iteration allocation or a
+    missed memoization), which is invisible to correctness tests."""
+    from repro.serving.config import GenerationConfig
+
+    ts = _reference_trace(n=20_000)
+    generation = GenerationConfig(dispatcher="continuous")
+
+    def run(gen):
+        return ServingEngine(
+            REFERENCE_CONFIG, platform=ServerlessPlatform(),
+            pool=REFERENCE_POOL, generation=gen,
+        ).run(ts)
+
+    (plain_s, plain), (gen_s, gen) = _best_of_pair(
+        lambda: run(None), lambda: run(generation)
+    )
+
+    assert gen.gen_decode_iterations > 0  # token streaming genuinely ran
+    plain_eps = plain.n_events / plain_s
+    gen_eps = gen.n_events / gen_s
+    ratio = gen_eps / plain_eps
+    payload = {
+        "n_requests": int(ts.size),
+        "plain_events": int(plain.n_events),
+        "gen_events": int(gen.n_events),
+        "gen_sessions": int(gen.gen_sessions),
+        "gen_tokens": int(gen.gen_tokens),
+        "plain_seconds": round(plain_s, 4),
+        "gen_seconds": round(gen_s, 4),
+        "events_per_sec_plain": round(plain_eps),
+        "events_per_sec_gen": round(gen_eps),
+        "events_per_sec_ratio": round(ratio, 2),
+    }
+    _merge_results("generation", payload)
+    print(f"\ngeneration: {json.dumps(payload)}")
+    assert ratio >= 0.15, (
+        f"continuous-batching loop processes events at only {ratio:.2f}x "
+        "the request-level engine's rate"
     )
 
 

@@ -10,6 +10,7 @@ from repro.batching.config import (
     config_grid,
     grid_features,
 )
+from repro.batching.continuous import ContinuousSession, GenRequest, StepResult
 from repro.batching.multiclass import (
     MultiClassConfig,
     MultiClassResult,
@@ -30,14 +31,17 @@ __all__ = [
     "Batch",
     "BatchConfig",
     "BatchingBuffer",
+    "ContinuousSession",
     "DEFAULT_BATCH_SIZES",
     "DEFAULT_MEMORIES",
     "DEFAULT_PERCENTILES",
     "DEFAULT_TIMEOUTS",
+    "GenRequest",
     "MultiClassConfig",
     "MultiClassResult",
     "RequestClass",
     "SimulationResult",
+    "StepResult",
     "config_grid",
     "form_batches",
     "grid_features",

@@ -20,7 +20,12 @@ Subcommands cover the full workflow without writing Python:
   and pool, under an optional shared container budget and cross-tenant
   scheduler. ``--prewarm {empirical,map,oracle}`` arms predictive
   warm-pool prewarming (:mod:`repro.serving.prewarm`): forecast the
-  near-future arrival rate and provision containers ahead of demand;
+  near-future arrival rate and provision containers ahead of demand.
+  ``--generation gen.json`` switches the workload to token-streaming
+  generation (:mod:`repro.serving.generation` has the schema): each
+  request carries sampled prompt/output token counts, batches run
+  prefill/decode iterations, and the summary reports goodput under
+  TTFT/TPOT SLOs;
 * ``report``   — render the ASCII telemetry dashboard from such a dump.
 """
 
@@ -117,6 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "described by this JSON config (endpoints split "
                             "the trace by their share weights); see "
                             "repro.serving.fleet_config for the schema")
+    p_srv.add_argument("--generation", metavar="PATH",
+                       help="token-streaming mode: serve the generation "
+                            "workload described by this JSON config "
+                            "(dispatcher, TTFT/TPOT SLOs, length model); "
+                            "see repro.serving.generation for the schema")
     p_srv.add_argument("--chooser", choices=["deepbat", "batch", "static"],
                        default="static")
     p_srv.add_argument("--model", help="surrogate checkpoint (deepbat only)")
@@ -401,12 +411,20 @@ def _validate_serve_args(args) -> None:
         raise ValueError("--restore needs --checkpoint PATH (the snapshot "
                          "to resume from)")
     if args.fleet:
-        for flag in ("checkpoint", "restore", "guardrail", "drift", "prewarm"):
+        for flag in ("checkpoint", "restore", "guardrail", "drift", "prewarm",
+                     "generation"):
             if getattr(args, flag):
                 raise ValueError(
                     f"--{flag} is not supported with --fleet (per-endpoint "
                     "reliability knobs belong in the fleet config file)"
                 )
+    if args.generation and (args.fault_rate > 0.0
+                            or args.fault_timeout is not None):
+        raise ValueError(
+            "--generation does not support fault injection "
+            "(--fault-rate/--fault-timeout): fault draws are keyed by "
+            "request-level batch index"
+        )
     if args.guardrail:
         if args.guardrail_window < 1:
             raise ValueError(f"--guardrail-window must be >= 1, "
@@ -460,6 +478,15 @@ def _cmd_serve(args) -> int:
                 pass
         except OSError as exc:
             print(f"error: cannot write {args.telemetry}: {exc}", file=sys.stderr)
+            return 2
+    generation_cfg = None
+    if args.generation:
+        from repro.serving import GenerationConfigError, load_generation_config
+
+        try:
+            generation_cfg = load_generation_config(args.generation)
+        except GenerationConfigError as exc:
+            print(f"error: invalid generation config: {exc}", file=sys.stderr)
             return 2
     trace = load_trace(args.trace)
     if not 0 <= args.start_segment < trace.n_segments:
@@ -567,6 +594,7 @@ def _cmd_serve(args) -> int:
             if args.guardrail else None
         ),
         prewarm=prewarm_cfg,
+        generation=generation_cfg,
     )
     registry = MetricsRegistry() if args.telemetry else None
     scope = use_registry(registry) if registry is not None else contextlib.nullcontext()
@@ -609,6 +637,20 @@ def _cmd_serve(args) -> int:
                  ["guardrail restores", log.guardrail_restores],
                  ["suppressed decisions", log.guardrail_suppressed],
                  ["breaker state", log.guardrail_state]]
+    if args.generation:
+        ttft_slo = generation_cfg.ttft_slo or args.slo
+        rows += [
+            ["dispatcher", generation_cfg.dispatcher],
+            ["goodput req/s", f"{log.goodput():.2f}"],
+            ["TTFT attainment", f"{100.0 * log.ttft_attainment():.1f}% "
+                                f"(SLO {ttft_slo * 1e3:.0f} ms)"],
+            ["p95 TTFT ms", f"{log.p_ttft(95.0) * 1e3:.1f}"],
+            ["p95 TPOT ms", f"{log.p_tpot(95.0) * 1e3:.2f}"],
+            ["sessions", log.gen_sessions],
+            ["iterations", f"{log.gen_prefill_iterations} prefill, "
+                           f"{log.gen_decode_iterations} decode"],
+            ["tokens generated", log.gen_tokens],
+        ]
     if args.prewarm:
         rows += [
             ["prewarm ticks", log.prewarm_ticks],

@@ -15,6 +15,7 @@ from repro.core.drift import (
 from repro.core.dataset import (
     SurrogateDataset,
     generate_dataset,
+    generate_generation_dataset,
     label_window,
     label_windows,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "estimate_gamma",
     "fine_tune",
     "generate_dataset",
+    "generate_generation_dataset",
     "label_window",
     "label_windows",
     "load_trained",

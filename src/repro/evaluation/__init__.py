@@ -12,7 +12,16 @@ from repro.evaluation.harness import (
     run_oracle,
     run_segment,
 )
-from repro.evaluation.metrics import cdf_percentile_mape, empirical_cdf, mape, vcr
+from repro.evaluation.metrics import (
+    cdf_percentile_mape,
+    empirical_cdf,
+    generation_goodput,
+    goodput,
+    mape,
+    nan_percentile,
+    slo_attainment,
+    vcr,
+)
 from repro.evaluation.plots import bar_chart, histogram, sparkline
 from repro.evaluation.reporting import format_series, format_table
 from repro.evaluation.workbench import Workbench, WorkbenchSettings, get_workbench
@@ -32,9 +41,13 @@ __all__ = [
     "empirical_cdf",
     "format_series",
     "format_table",
+    "generation_goodput",
     "get_workbench",
+    "goodput",
     "histogram",
     "mape",
+    "nan_percentile",
+    "slo_attainment",
     "sparkline",
     "run_experiment",
     "run_oracle",

@@ -1,5 +1,17 @@
-"""Evaluation metrics: the SLO Violation Count Ratio (Eq. 11), MAPE, and
-latency-CDF comparison utilities (Fig. 13)."""
+"""Evaluation metrics: the SLO Violation Count Ratio (Eq. 11), MAPE,
+latency-CDF comparison utilities (Fig. 13), and the goodput / SLO-attainment
+family for token-streaming generation.
+
+**Shed-request (NaN) semantics.** The serving runtime records a shed
+request's latency (and TTFT/TPOT) as NaN. Every helper in the goodput
+family treats NaN as an SLO **miss**: a shed request arrived, consumed
+admission capacity, and was not served within its objective, so it counts
+against attainment and goodput — it is never silently dropped. The one
+deliberate exception is :func:`nan_percentile`, which *excludes* NaN when
+summarizing the latency distribution of the requests that actually ran;
+pair it with :func:`slo_attainment` (which charges the shed) rather than
+using it alone as a service-quality number.
+"""
 
 from __future__ import annotations
 
@@ -42,6 +54,86 @@ def vcr(
         violations += int(np.percentile(tail, percentile) > slo)
         n_chunks += 1
     return float(violations / n_chunks * 100.0)
+
+
+def slo_attainment(latencies: np.ndarray, slo: float) -> float:
+    """Fraction of requests meeting ``latency <= slo``, in ``[0, 1]``.
+
+    NaN entries (shed requests) compare false against any SLO and so count
+    as misses — an all-shed log attains 0.0. An empty log has no requests
+    to judge and returns NaN (distinguishable from "every request missed").
+    """
+    if slo <= 0:
+        raise ValueError(f"slo must be > 0, got {slo}")
+    lat = np.asarray(latencies, dtype=float)
+    if lat.size == 0:
+        return float("nan")
+    # NaN <= slo is False: shed requests are misses by construction.
+    return float(np.count_nonzero(lat <= slo) / lat.size)
+
+
+def goodput(latencies: np.ndarray, slo: float, duration: float) -> float:
+    """Requests per second that met their SLO — the streaming headline.
+
+    Counts ``latency <= slo`` over the wall-clock ``duration``; NaN
+    entries (shed requests) count as misses, never as absent, so shedding
+    load can only ever *lower* goodput. An empty log yields 0.0 (zero good
+    requests per second is a statement, not an error).
+    """
+    if slo <= 0:
+        raise ValueError(f"slo must be > 0, got {slo}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    lat = np.asarray(latencies, dtype=float)
+    return float(np.count_nonzero(lat <= slo) / duration)
+
+
+def generation_goodput(
+    ttft: np.ndarray,
+    ttft_slo: float,
+    duration: float,
+    tpot: np.ndarray | None = None,
+    tpot_slo: float | None = None,
+) -> float:
+    """Goodput under token-streaming SLOs: requests/sec whose TTFT met
+    ``ttft_slo`` and — when a ``tpot_slo`` is given — whose per-token
+    decode pace met it too.
+
+    NaN TTFT (shed, or never scheduled) is a miss. NaN TPOT on a request
+    whose TTFT was met is **not** a miss: a one-token request has no
+    decode steps, so there is no pace to violate.
+    """
+    if ttft_slo <= 0:
+        raise ValueError(f"ttft_slo must be > 0, got {ttft_slo}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    ttft = np.asarray(ttft, dtype=float)
+    good = ttft <= ttft_slo
+    if tpot_slo is not None:
+        if tpot_slo <= 0:
+            raise ValueError(f"tpot_slo must be > 0, got {tpot_slo}")
+        if tpot is None:
+            raise ValueError("tpot_slo given without tpot values")
+        t = np.asarray(tpot, dtype=float)
+        # NaN > slo is False: requests without decode steps pass freely.
+        good &= ~(t > tpot_slo)
+    return float(np.count_nonzero(good) / duration)
+
+
+def nan_percentile(values: np.ndarray, percentile: float) -> float:
+    """Percentile over the finite entries of ``values``.
+
+    Shed requests (NaN) are *excluded* — this summarizes the distribution
+    of the requests that actually ran. That exclusion is exactly why a
+    percentile alone understates service quality under shedding: report it
+    next to :func:`slo_attainment` or :func:`goodput`, which charge the
+    shed. All-NaN (or empty) input returns NaN.
+    """
+    vals = np.asarray(values, dtype=float)
+    finite = vals[np.isfinite(vals)]
+    if finite.size == 0:
+        return float("nan")
+    return float(np.percentile(finite, percentile))
 
 
 def mape(predicted: np.ndarray, actual: np.ndarray, eps: float = 1e-8) -> float:

@@ -9,6 +9,11 @@ from repro.serverless.faults import (
     inject_faults,
     rejecting_starts,
 )
+from repro.serverless.generation import (
+    DEFAULT_TOKEN_PROFILE,
+    TokenLengthModel,
+    TokenServiceProfile,
+)
 from repro.serverless.platform import (
     BatchExecution,
     InvocationRecord,
@@ -36,6 +41,7 @@ __all__ = [
     "DEFAULT_GB_SECOND_PRICE",
     "DEFAULT_PROFILE",
     "DEFAULT_REQUEST_PRICE",
+    "DEFAULT_TOKEN_PROFILE",
     "MAX_MEMORY_MB",
     "MIN_MEMORY_MB",
     "VCPU_KNEE_MB",
@@ -48,6 +54,8 @@ __all__ = [
     "RetryPolicy",
     "ServerlessPlatform",
     "ServiceProfile",
+    "TokenLengthModel",
+    "TokenServiceProfile",
     "cost_per_million",
     "inject_faults",
     "rejecting_starts",

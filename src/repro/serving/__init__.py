@@ -25,6 +25,13 @@ PR 8 adds predictive warm-pool prewarming
 near-future arrival rate from the fitted arrival models and provisions or
 retires warm containers ahead of demand, with an oracle upper bound for
 honest evaluation.
+
+PR 9 adds the token-streaming generation workload: a prefill/decode
+service model (:mod:`repro.serverless.generation`), iteration-level
+continuous batching (:mod:`repro.batching.continuous`) wired into the
+engine via :class:`~repro.serving.config.GenerationConfig`, goodput and
+TTFT/TPOT SLOs on the log, and a validated JSON loader
+(:mod:`repro.serving.generation`).
 """
 
 from repro.serving.chaos import (
@@ -40,7 +47,12 @@ from repro.serving.checkpoint import (
     read_snapshot,
     write_snapshot,
 )
-from repro.serving.config import DriftConfig, PredictionDriftConfig, PrewarmConfig
+from repro.serving.config import (
+    DriftConfig,
+    GenerationConfig,
+    PredictionDriftConfig,
+    PrewarmConfig,
+)
 from repro.serving.engine import ServingEngine
 from repro.serving.fleet import (
     EndpointSpec,
@@ -51,6 +63,11 @@ from repro.serving.fleet import (
     split_by_shares,
 )
 from repro.serving.fleet_config import FleetConfigError, load_fleet_config
+from repro.serving.generation import (
+    GenerationConfigError,
+    load_generation_config,
+    validate_generation_config,
+)
 from repro.serving.guardrail import GuardrailConfig, SLOGuardrail
 from repro.serving.log import ServingDecision, ServingLog
 from repro.serving.pool import Lease, PoolStats, WarmPool, WarmPoolConfig
@@ -74,6 +91,8 @@ __all__ = [
     "FleetEngine",
     "FleetLog",
     "FleetScheduler",
+    "GenerationConfig",
+    "GenerationConfigError",
     "GuardrailConfig",
     "MAPRateForecaster",
     "NHPPRateForecaster",
@@ -97,8 +116,10 @@ __all__ = [
     "assert_serving_logs_equal",
     "journal_path",
     "load_fleet_config",
+    "load_generation_config",
     "split_by_shares",
     "read_snapshot",
     "run_with_crashes",
+    "validate_generation_config",
     "write_snapshot",
 ]

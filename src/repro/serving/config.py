@@ -15,7 +15,13 @@ engine and the fleet (:mod:`repro.serving.fleet`):
 * :class:`PrewarmConfig` — predictive warm-pool prewarming: which rate
   forecaster drives it, how often the policy ticks, how far ahead it
   looks, and the headroom / retire knobs (see
-  :mod:`repro.serving.prewarm`).
+  :mod:`repro.serving.prewarm`);
+* :class:`GenerationConfig` — the token-streaming workload: the
+  prefill/decode timing profile, the seeded output-length model, which
+  dispatcher forms batches (the size/timeout buffer or the
+  continuous-batching sessions of :mod:`repro.batching.continuous`),
+  and the TTFT/TPOT SLOs that define goodput (see
+  :mod:`repro.serving.generation`).
 
 They sit alongside the pre-existing groups
 :class:`~repro.serving.pool.WarmPoolConfig` and
@@ -30,8 +36,10 @@ through a deprecation shim on the engine; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
+
+from repro.serverless.generation import TokenLengthModel, TokenServiceProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     import numpy as np
@@ -163,4 +171,82 @@ class PrewarmConfig:
             self.max_per_tick,
             self.retire,
             self.window,
+        )
+
+
+#: Dispatcher strategies a :class:`GenerationConfig` may select.
+GENERATION_DISPATCHERS = ("buffer", "continuous")
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Token-streaming generation workload knobs.
+
+    * ``token_profile`` — the prefill/decode timing model
+      (:class:`~repro.serverless.generation.TokenServiceProfile`); its
+      ``ttft(M, B)`` is the request-level ``s(M, B)``, so the old engine
+      is the ``output_tokens == 1`` special case;
+    * ``length_model`` — seeded per-request ``(prompt, output)`` token
+      sampler (:class:`~repro.serverless.generation.TokenLengthModel`);
+    * ``dispatcher`` — ``"buffer"`` runs the existing size/timeout
+      :class:`~repro.batching.buffer.BatchingBuffer` with generation
+      timing (each batch holds its container for the *longest* decode);
+      ``"continuous"`` runs iteration-level sessions
+      (:class:`~repro.batching.continuous.ContinuousSession`) where
+      requests join and leave a running batch at token boundaries;
+    * ``max_batch_tokens`` — continuous-mode admission budget: a request
+      joins only while the running KV footprint (``prompt + output``
+      tokens per member) stays within it; ``None`` = size cap only;
+    * ``max_waiting`` — continuous-mode admission control: with the pool
+      exhausted, an arrival that would leave more than this many requests
+      waiting is shed; ``None`` = never shed;
+    * ``ttft_slo`` — the time-to-first-token objective that defines
+      goodput; ``None`` falls back to the engine's latency SLO;
+    * ``tpot_slo`` — optional per-output-token objective; a served
+      request counts toward goodput only if it meets both;
+    * ``seed`` — entropy for the per-request length sampling.
+    """
+
+    token_profile: TokenServiceProfile = field(
+        default_factory=TokenServiceProfile
+    )
+    length_model: TokenLengthModel = field(default_factory=TokenLengthModel)
+    dispatcher: str = "continuous"
+    max_batch_tokens: int | None = None
+    max_waiting: int | None = None
+    ttft_slo: float | None = None
+    tpot_slo: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dispatcher not in GENERATION_DISPATCHERS:
+            raise ValueError(
+                f"dispatcher must be one of {GENERATION_DISPATCHERS}, "
+                f"got {self.dispatcher!r}"
+            )
+        if self.max_batch_tokens is not None and self.max_batch_tokens < 1:
+            raise ValueError("max_batch_tokens must be >= 1 or None")
+        if self.max_waiting is not None and self.max_waiting < 0:
+            raise ValueError("max_waiting must be >= 0 or None")
+        if self.ttft_slo is not None and self.ttft_slo <= 0:
+            raise ValueError(f"ttft_slo must be > 0 or None, got {self.ttft_slo}")
+        if self.tpot_slo is not None and self.tpot_slo <= 0:
+            raise ValueError(f"tpot_slo must be > 0 or None, got {self.tpot_slo}")
+
+    def fingerprint(self) -> tuple:
+        """Scalar identity for checkpoint compatibility checks.
+
+        The profile and length model are frozen dataclasses of scalars,
+        so (unlike the prewarm forecaster) they compare by value and can
+        join the fingerprint directly.
+        """
+        return (
+            self.token_profile,
+            self.length_model,
+            self.dispatcher,
+            self.max_batch_tokens,
+            self.max_waiting,
+            self.ttft_slo,
+            self.tpot_slo,
+            self.seed,
         )

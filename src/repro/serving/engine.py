@@ -23,6 +23,9 @@ event                     what happens
 ``PrewarmTick``           the predictive prewarmer forecasts the near-future
                           arrival rate and provisions/retires warm
                           containers ahead of demand
+``GenStep``               a continuous-batching session reaches an iteration
+                          boundary: finished decodes leave, waiting requests
+                          join, the next prefill/decode step is planned
 ========================  ====================================================
 
 The engine adds the state the offline path cannot express — a warm-pool
@@ -67,12 +70,18 @@ import numpy as np
 
 from repro.batching.buffer import Batch, BatchingBuffer
 from repro.batching.config import BatchConfig
+from repro.batching.continuous import ContinuousSession, GenRequest
 from repro.core.drift import WorkloadDriftDetector, prediction_drift
 from repro.core.types import Decision
 from repro.evaluation.harness import Chooser, _resolve_sequence_length
 from repro.serverless.faults import inject_faults
 from repro.serverless.platform import ServerlessPlatform
-from repro.serving.config import DriftConfig, PredictionDriftConfig, PrewarmConfig
+from repro.serving.config import (
+    DriftConfig,
+    GenerationConfig,
+    PredictionDriftConfig,
+    PrewarmConfig,
+)
 from repro.serving.checkpoint import (
     CheckpointError,
     Journal,
@@ -109,6 +118,7 @@ _P_TIMER = 3
 _P_DECISION = 4
 _P_RETRAIN = 5
 _P_PREWARM = 6
+_P_GENSTEP = 7
 
 # Event-kind strings, interned once: every heap entry carries the same
 # string object, so the dispatch chain's ``==`` checks short-circuit on
@@ -122,6 +132,7 @@ _K_RECONFIGURE = sys.intern("reconfigure")
 _K_DECISION = sys.intern("decision")
 _K_RETRAIN = sys.intern("retrain")
 _K_PREWARM = sys.intern("prewarm")
+_K_GENSTEP = sys.intern("genstep")
 
 _INF = float("inf")
 
@@ -174,6 +185,15 @@ class _RunState:
     guardrail: SLOGuardrail | None = None
     clock: float = -np.inf
     events_processed: int = 0
+    # Generation mode (None/absent unless a GenerationConfig is set, so a
+    # defaults-off run's state — and old snapshots — are untouched).
+    prompt_tokens: np.ndarray | None = None
+    output_tokens: np.ndarray | None = None
+    ttft: np.ndarray | None = None
+    tpot: np.ndarray | None = None
+    gen_queue: deque | None = None
+    gen_sessions: dict | None = None
+    gen_session_meta: dict | None = None
     # Outputs.
     latencies: np.ndarray = None
     shed: np.ndarray = None
@@ -256,6 +276,20 @@ class ServingEngine:
         target, and provisions or retires containers ahead of demand.
         ``None`` (the default) changes nothing — runs stay bit-identical
         to the purely reactive pool.
+    generation:
+        Optional :class:`~repro.serving.config.GenerationConfig` switching
+        the workload to token-streaming generation: per-request
+        ``(prompt, output)`` token lengths from the seeded length model,
+        prefill/decode timing from the
+        :class:`~repro.serverless.generation.TokenServiceProfile`, and the
+        dispatcher it names — ``"buffer"`` keeps the size/timeout
+        :class:`BatchingBuffer` (each batch holds its container for the
+        longest decode), ``"continuous"`` runs iteration-level sessions
+        where requests join and leave a running batch at token boundaries
+        (:mod:`repro.batching.continuous`). The guardrail, when present,
+        watches TTFT windows against ``ttft_slo``. ``None`` (the default)
+        changes nothing — runs stay bit-identical to the request-level
+        engine. Incompatible with active fault injection.
     metrics_prefix:
         Namespace for the engine's telemetry (counters/histograms). The
         default ``"serving"`` keeps the historical names; the fleet runs
@@ -288,6 +322,7 @@ class ServingEngine:
         sequence_length: int | None = None,
         guardrail: GuardrailConfig | None = None,
         prewarm: PrewarmConfig | None = None,
+        generation: GenerationConfig | None = None,
         metrics_prefix: str = "serving",
         **deprecated_kwargs,
     ) -> None:
@@ -342,6 +377,30 @@ class ServingEngine:
         self.prewarm_config = prewarm
         self._prewarm_policy = (
             PrewarmPolicy(prewarm) if prewarm is not None else None
+        )
+        self.generation_config = generation
+        if generation is not None and self.platform.faults_active:
+            # Fault draws are a function of the *batch index* with a fixed
+            # draw count per batch; token-level sessions have no such index
+            # discipline, so combining the two would silently break the
+            # seeded-fault determinism contract. Refuse loudly instead.
+            raise ValueError(
+                "generation mode does not support fault injection; "
+                "use a platform without active faults"
+            )
+        # Hoisted mode flags: the hot loops branch once on these instead of
+        # re-deriving the dispatcher per event.
+        self._gen_continuous = (
+            generation is not None and generation.dispatcher == "continuous"
+        )
+        self._gen_buffer = (
+            generation is not None and generation.dispatcher == "buffer"
+        )
+        # The SLO that defines goodput (and feeds the guardrail) in
+        # generation mode is time-to-first-token, not end-to-end latency.
+        self._gen_ttft_slo = (
+            (generation.ttft_slo if generation.ttft_slo is not None else slo)
+            if generation is not None else None
         )
         self.metrics_prefix = metrics_prefix
         # Hot-path flags hoisted out of the event loop: with neither drift
@@ -506,7 +565,33 @@ class ServingEngine:
             },
         )
         if self.guardrail_config is not None:
-            st.guardrail = SLOGuardrail(config=self.guardrail_config, slo=self.slo)
+            # In generation mode the breaker watches TTFT windows: the
+            # user-facing promise for streaming is first-token time, not
+            # end-of-decode latency.
+            st.guardrail = SLOGuardrail(
+                config=self.guardrail_config,
+                slo=(self._gen_ttft_slo if self.generation_config is not None
+                     else self.slo),
+            )
+        gen = self.generation_config
+        if gen is not None:
+            # Like the prewarm counters: generation state exists only when
+            # the feature is on, so a defaults-off run's state (and its
+            # snapshots) match the request-level engine exactly.
+            st.prompt_tokens, st.output_tokens = gen.length_model.sample(
+                n, gen.seed
+            )
+            st.ttft = np.full(n, np.nan)
+            st.tpot = np.full(n, np.nan)
+            st.counters["gen_sessions"] = 0
+            st.counters["gen_prefill_iterations"] = 0
+            st.counters["gen_decode_iterations"] = 0
+            st.counters["gen_tokens"] = 0
+            st.counters["gen_shed"] = 0
+            if self._gen_continuous:
+                st.gen_queue = deque()
+                st.gen_sessions = {}
+                st.gen_session_meta = {}
         if n and self.chooser is not None and self.decision_interval_s:
             self._push(st, float(ts[0]) + self.decision_interval_s, _P_DECISION,
                        _K_DECISION, "interval")
@@ -623,6 +708,12 @@ class ServingEngine:
                 self.prewarm_config.fingerprint()
                 if self.prewarm_config is not None else None
             ),
+            # Same contract as prewarm: disabled → None, matching what
+            # pre-generation checkpoints yield via .get().
+            "generation": (
+                self.generation_config.fingerprint()
+                if self.generation_config is not None else None
+            ),
             "platform_seed": self.platform.seed,
             "platform_faults": self.platform.faults,
             "platform_retry": self.platform.retry_policy,
@@ -725,6 +816,7 @@ class ServingEngine:
         trace = st.trace
         drift_every = self.drift_check_every
         check_drift = self._drift_enabled
+        continuous = self._gen_continuous
         events = st.events_processed
         while True:
             if heap:
@@ -746,14 +838,20 @@ class ServingEngine:
                 if trace is not None:
                     trace.append(("arrival", t, ptr - 1))
                 before = len(heap)
-                for batch in buffer.observe(t):
-                    self._dispatch(st, ctx, batch, t)
-                deadline = buffer.next_deadline()
-                if deadline is not None and deadline not in timers:
-                    timers.add(deadline)
-                    heappush(heap, (deadline, _P_TIMER, st.seq, _K_TIMER,
-                                    deadline))
-                    st.seq += 1
+                if continuous:
+                    # Token-streaming arrivals bypass the buffer: they wait
+                    # in the generation queue and join a running session at
+                    # its next iteration boundary.
+                    self._gen_arrival(st, ctx, t, ptr - 1)
+                else:
+                    for batch in buffer.observe(t):
+                        self._dispatch(st, ctx, batch, t)
+                    deadline = buffer.next_deadline()
+                    if deadline is not None and deadline not in timers:
+                        timers.add(deadline)
+                        heappush(heap, (deadline, _P_TIMER, st.seq, _K_TIMER,
+                                        deadline))
+                        st.seq += 1
                 if check_drift and st.arrivals_seen % drift_every == 0:
                     self._check_drift(st, ctx, t)
                 events += 1
@@ -786,6 +884,8 @@ class ServingEngine:
                 self._on_retrain(st, ctx, now)
             elif kind == _K_PREWARM:
                 self._on_prewarm(st, ctx, now)
+            elif kind == _K_GENSTEP:
+                self._on_gen_step(st, ctx, now, item[4])
             events += 1
         st.events_processed = events
 
@@ -849,6 +949,11 @@ class ServingEngine:
         registry = ctx.registry
         if registry.enabled:
             registry.counter(f"{self.metrics_prefix}.requests").inc()
+        if self._gen_continuous:
+            self._gen_arrival(st, ctx, now, i)
+            if self._drift_enabled and st.arrivals_seen % self.drift_check_every == 0:
+                self._check_drift(st, ctx, now)
+            return
         released = st.buffer.observe(now)
         if released:
             timers = ctx.timers
@@ -882,6 +987,8 @@ class ServingEngine:
             self._on_retrain(st, ctx, now)
         elif kind == _K_PREWARM:
             self._on_prewarm(st, ctx, now)
+        elif kind == _K_GENSTEP:
+            self._on_gen_step(st, ctx, now, payload)
 
     # ------------------------------------------------------------- plumbing
     def _push(self, st: _RunState, time: float, priority: int, kind: str,
@@ -926,6 +1033,10 @@ class ServingEngine:
     def _start_batch(self, st: _RunState, ctx: _RunContext, batch: Batch,
                      memory_mb: float, cold_delay: float, cold: bool,
                      container_id: int, start: float) -> None:
+        if self._gen_buffer:
+            self._start_batch_gen(st, ctx, batch, memory_mb, cold_delay,
+                                  cold, container_id, start)
+            return
         size = batch.size
         if self.platform.faults_active:
             key = (memory_mb, size)
@@ -995,6 +1106,221 @@ class ServingEngine:
             self._emit(st, ctx, ("start", start, container_id, size, cold,
                                  memory_mb, completion))
 
+    def _start_batch_gen(self, st: _RunState, ctx: _RunContext, batch: Batch,
+                         memory_mb: float, cold_delay: float, cold: bool,
+                         container_id: int, start: float) -> None:
+        """Size/timeout batch under generation timing.
+
+        The batch prefills together (``ttft(M, B)``) and then decodes in
+        lockstep; each member's own completion lands after its output
+        length, but the container is held — and billed — until the
+        *longest* decode in the batch finishes. With every
+        ``output_tokens == 1`` this is exactly the request-level
+        :meth:`_start_batch`: same service time, same cost, same events.
+        """
+        gen = self.generation_config
+        size = batch.size
+        # ttft/tpot are pure functions of (M, B); reuse the service memo.
+        key = (memory_mb, size)
+        pair = ctx.service_cache.get(key)
+        if pair is None:
+            pair = (
+                float(gen.token_profile.ttft(memory_mb, size)),
+                float(gen.token_profile.tpot(memory_mb, size)),
+            )
+            ctx.service_cache[key] = pair
+        ttft, tpot = pair
+        i0 = batch.first_index
+        stop = i0 + size
+        out = st.output_tokens[i0:stop]
+        max_out = int(out.max())
+        duration = cold_delay + ttft + (max_out - 1) * tpot
+        completion = start + duration
+        cost = float(self.platform.pricing.invocation_cost(memory_mb, duration))
+        st.batches.append(batch.dispatch_time, start, size, cost, cold,
+                          memory_mb, 0)
+        first_token = start + cold_delay + ttft
+        st.ttft[i0:stop] = first_token - batch.arrival_times
+        st.latencies[i0:stop] = (
+            first_token + (out - 1) * tpot - batch.arrival_times
+        )
+        st.tpot[i0:stop] = np.where(out > 1, tpot, np.nan)
+        st.counters["gen_prefill_iterations"] += 1
+        st.counters["gen_decode_iterations"] += max_out - 1
+        st.counters["gen_tokens"] += int(out.sum())
+        self._push(st, completion, _P_COMPLETION, _K_COMPLETION,
+                   (container_id, i0, size))
+        registry = ctx.registry
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            registry.counter(f"{prefix}.batches").inc()
+            registry.counter(
+                f"{prefix}.cold_starts" if cold else f"{prefix}.warm_starts"
+            ).inc()
+            registry.histogram(f"{prefix}.queue_delay").observe(
+                start - batch.dispatch_time
+            )
+            registry.counter(f"{prefix}.gen.requests").inc(size)
+            registry.counter(f"{prefix}.gen.tokens").inc(int(out.sum()))
+            registry.histogram(f"{prefix}.ttft").observe_many(
+                st.ttft[i0:stop]
+            )
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("start", start, container_id, size, cold,
+                                 memory_mb, completion))
+
+    # ------------------------------------------------- continuous batching
+    def _gen_arrival(self, st: _RunState, ctx: _RunContext, now: float,
+                     i: int) -> None:
+        """A token-streaming arrival: queue it, and open a new session when
+        no running session could take it at its next boundary."""
+        gen = self.generation_config
+        req = GenRequest(
+            index=i, arrival=now,
+            prompt_tokens=int(st.prompt_tokens[i]),
+            output_tokens=int(st.output_tokens[i]),
+        )
+        registry = ctx.registry
+        if registry.enabled:
+            registry.counter(f"{self.metrics_prefix}.gen.requests").inc()
+        for sess in st.gen_sessions.values():
+            if sess.can_accept(req):
+                st.gen_queue.append(req)
+                return
+        lease = st.pool.acquire(now, st.active.memory_mb)
+        if lease is None:
+            if (
+                gen.max_waiting is not None
+                and len(st.gen_queue) >= gen.max_waiting
+            ):
+                # Admission control: a full pool plus a full wait queue
+                # sheds the arrival; it counts against goodput as a miss.
+                st.shed[i] = True
+                st.counters["gen_shed"] += 1
+                if registry.enabled:
+                    registry.counter(f"{self.metrics_prefix}.shed_requests").inc()
+                    registry.counter(f"{self.metrics_prefix}.gen.shed").inc()
+                    registry.record_event(ShedEvent(
+                        time=now, requests=1,
+                        queued_batches=len(st.gen_queue),
+                    ))
+                if st.trace is not None or ctx.journal is not None:
+                    self._emit(st, ctx, ("shed", now, 1))
+                return
+            st.gen_queue.append(req)
+            return
+        st.gen_queue.append(req)
+        self._open_session(st, ctx, lease, now)
+
+    def _open_session(self, st: _RunState, ctx: _RunContext, lease,
+                      now: float) -> None:
+        gen = self.generation_config
+        cid = lease.container_id
+        sess = ContinuousSession(
+            profile=gen.token_profile,
+            memory_mb=st.active.memory_mb,
+            batch_size=st.active.batch_size,
+            max_batch_tokens=gen.max_batch_tokens,
+        )
+        # The opening step admits from the (non-empty) queue and plans the
+        # first prefill; the cold start delays its boundary.
+        res = sess.step(st.gen_queue)
+        st.gen_sessions[cid] = sess
+        st.gen_session_meta[cid] = (now, lease.cold, lease.cold_delay)
+        st.counters["gen_sessions"] += 1
+        registry = ctx.registry
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            registry.counter(f"{prefix}.gen.sessions").inc()
+            registry.counter(f"{prefix}.gen.prefill_iterations").inc()
+            registry.counter(
+                f"{prefix}.cold_starts" if lease.cold else f"{prefix}.warm_starts"
+            ).inc()
+            if lease.cold:
+                registry.histogram(f"{prefix}.cold_delay").observe(
+                    lease.cold_delay
+                )
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("gen_session", now, cid, lease.cold,
+                                 sess.memory_mb))
+        self._push(st, now + lease.cold_delay + res.next_duration,
+                   _P_GENSTEP, _K_GENSTEP, cid)
+
+    def _on_gen_step(self, st: _RunState, ctx: _RunContext, now: float,
+                     cid: int) -> None:
+        """One iteration boundary of a continuous-batching session."""
+        if self.generation_config is None:
+            return  # a restored pre-generation heap cannot carry this kind
+        sess = st.gen_sessions.get(cid)
+        if sess is None:  # pragma: no cover - defensive
+            return
+        res = sess.step(st.gen_queue)
+        for req in res.prefilled:
+            st.ttft[req.index] = now - req.arrival
+        for req in res.finished:
+            latency = now - req.arrival
+            st.latencies[req.index] = latency
+            if req.output_tokens > 1:
+                st.tpot[req.index] = (
+                    (latency - st.ttft[req.index]) / (req.output_tokens - 1)
+                )
+            st.counters["gen_tokens"] += req.output_tokens
+        registry = ctx.registry
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            if res.prefilled:
+                registry.histogram(f"{prefix}.ttft").observe_many(
+                    st.ttft[[r.index for r in res.prefilled]]
+                )
+            if res.finished:
+                registry.histogram(f"{prefix}.latency").observe_many(
+                    st.latencies[[r.index for r in res.finished]]
+                )
+                registry.counter(f"{prefix}.gen.tokens").inc(
+                    sum(r.output_tokens for r in res.finished)
+                )
+            if res.next_kind == "prefill":
+                registry.counter(f"{prefix}.gen.prefill_iterations").inc()
+            elif res.next_kind == "decode":
+                registry.counter(f"{prefix}.gen.decode_iterations").inc()
+        if st.guardrail is not None and res.prefilled:
+            ttfts = st.ttft[[r.index for r in res.prefilled]]
+            for action, observed in st.guardrail.observe(ttfts, now,
+                                                         st.active):
+                self._on_guardrail_action(st, ctx, now, action, observed)
+        if res.next_duration is not None:
+            self._push(st, now + res.next_duration, _P_GENSTEP, _K_GENSTEP,
+                       cid)
+        else:
+            self._close_session(st, ctx, cid, now)
+
+    def _close_session(self, st: _RunState, ctx: _RunContext, cid: int,
+                       now: float) -> None:
+        """The session drained: bill the container hold, release it."""
+        sess = st.gen_sessions.pop(cid)
+        start, cold, _cold_delay = st.gen_session_meta.pop(cid)
+        duration = now - start
+        cost = float(
+            self.platform.pricing.invocation_cost(sess.memory_mb, duration)
+        )
+        # One batch row per session: the whole container hold, all the
+        # requests it served, one invocation fee — the continuous win the
+        # cost model surfaces.
+        st.batches.append(start, start, sess.n_served, cost, cold,
+                          sess.memory_mb, 0)
+        st.counters["gen_prefill_iterations"] += sess.n_prefills
+        st.counters["gen_decode_iterations"] += sess.n_decodes
+        st.pool.release(cid, now)
+        registry = ctx.registry
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            registry.counter(f"{prefix}.batches").inc()
+            registry.histogram(f"{prefix}.gen.session_seconds").observe(
+                duration
+            )
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("gen_release", now, cid, sess.n_served))
+
     def _dispatch(self, st: _RunState, ctx: _RunContext, batch: Batch,
                   now: float) -> None:
         memory_mb = st.active.memory_mb
@@ -1033,11 +1359,15 @@ class ServingEngine:
         if len(payload) == 3:
             container_id, i0, size = payload
             lat = st.latencies[i0:i0 + size]
+            # Generation mode breaks on TTFT windows, not end-of-decode
+            # latency — first-token time is the streaming SLO.
+            guard_obs = st.ttft[i0:i0 + size] if self._gen_buffer else lat
         else:
             # A pre-speed-pass snapshot's heap carries (id, indices-array)
             # payloads; honor them so old checkpoints keep restoring.
             container_id, indices = payload
             lat = st.latencies[indices]
+            guard_obs = lat
         st.pool.release(container_id, now)
         if self._track_latencies:
             st.recent_latencies.extend(lat.tolist())
@@ -1052,7 +1382,7 @@ class ServingEngine:
             self._dispatch(st, ctx, st.queue.popleft(), now)
         if st.guardrail is not None:
             for action, observed in st.guardrail.observe(
-                lat, now, st.active
+                guard_obs, now, st.active
             ):
                 self._on_guardrail_action(st, ctx, now, action, observed)
 
@@ -1382,4 +1712,20 @@ class ServingEngine:
             guardrail_state=(
                 st.guardrail.state if st.guardrail is not None else None
             ),
+            # getattr/.get throughout: state objects written before the
+            # generation fields existed must still finish cleanly.
+            ttft=getattr(st, "ttft", None),
+            tpot=getattr(st, "tpot", None),
+            prompt_tokens=getattr(st, "prompt_tokens", None),
+            output_tokens=getattr(st, "output_tokens", None),
+            ttft_slo=self._gen_ttft_slo,
+            tpot_slo=(
+                self.generation_config.tpot_slo
+                if self.generation_config is not None else None
+            ),
+            gen_sessions=st.counters.get("gen_sessions", 0),
+            gen_prefill_iterations=st.counters.get("gen_prefill_iterations", 0),
+            gen_decode_iterations=st.counters.get("gen_decode_iterations", 0),
+            gen_tokens=st.counters.get("gen_tokens", 0),
+            gen_shed=st.counters.get("gen_shed", 0),
         )

@@ -48,7 +48,12 @@ import numpy as np
 from repro.batching.config import BatchConfig
 from repro.batching.multiclass import RequestClass, optimize_multiclass
 from repro.serverless.platform import ServerlessPlatform
-from repro.serving.config import DriftConfig, PredictionDriftConfig, PrewarmConfig
+from repro.serving.config import (
+    DriftConfig,
+    GenerationConfig,
+    PredictionDriftConfig,
+    PrewarmConfig,
+)
 from repro.serving.engine import _P_DECISION, ServingEngine, _RunContext
 from repro.serving.guardrail import GuardrailConfig
 from repro.serving.log import ServingLog
@@ -75,8 +80,10 @@ class EndpointSpec:
       :meth:`FleetEngine.run` is given one array instead of per-endpoint
       streams (see :func:`split_by_shares`);
     * ``pool`` / ``drift`` / ``prediction`` / ``guardrail`` /
-      ``prewarm`` — the same grouped config dataclasses the single
-      engine takes.
+      ``prewarm`` / ``generation`` — the same grouped config dataclasses
+      the single engine takes (``generation`` turns the lane into a
+      token-streaming endpoint; lanes mix freely, so one fleet can serve
+      a chat endpoint continuously batched next to request-level lanes).
     """
 
     name: str
@@ -93,6 +100,7 @@ class EndpointSpec:
     prediction: PredictionDriftConfig | None = None
     guardrail: GuardrailConfig | None = None
     prewarm: PrewarmConfig | None = None
+    generation: GenerationConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -448,6 +456,7 @@ class FleetEngine:
                 prediction=spec.prediction,
                 guardrail=spec.guardrail,
                 prewarm=spec.prewarm,
+                generation=spec.generation,
                 metrics_prefix=f"serving.{spec.name}",
             )
             eng.fleet_budget = budget

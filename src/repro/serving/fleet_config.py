@@ -39,8 +39,12 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.batching.config import BatchConfig
-from repro.serving.config import PrewarmConfig
+from repro.serving.config import GenerationConfig, PrewarmConfig
 from repro.serving.fleet import EndpointSpec, FleetEngine, FleetScheduler
+from repro.serving.generation import (
+    GenerationConfigError,
+    validate_generation_config,
+)
 from repro.serving.pool import WarmPoolConfig
 from repro.serving.prewarm import EmpiricalRateForecaster
 
@@ -57,7 +61,7 @@ _SCHEDULER_KEYS = {"interval_s", "min_history"}
 _ENDPOINT_KEYS = {
     "name", "memory_mb", "batch_size", "timeout", "slo", "percentile",
     "share", "chooser", "decision_interval_s", "keep_alive_s",
-    "max_containers", "max_queued_batches", "prewarm",
+    "max_containers", "max_queued_batches", "prewarm", "generation",
 }
 _PREWARM_KEYS = {
     "interval_s", "horizon_s", "headroom", "max_per_tick", "retire", "window",
@@ -85,6 +89,10 @@ class EndpointConfig:
     #: windowed empirical forecaster; programmatic :class:`EndpointSpec`
     #: construction can pass any forecaster.
     prewarm: PrewarmConfig | None = None
+    #: Built from the endpoint's ``generation`` object (the schema lives
+    #: in :mod:`repro.serving.generation`); makes this endpoint serve the
+    #: token-streaming workload instead of single-response requests.
+    generation: GenerationConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -134,6 +142,7 @@ class FleetConfig:
                     max_queued_batches=ep.max_queued_batches,
                 ),
                 prewarm=ep.prewarm,
+                generation=ep.generation,
             ))
         scheduler = (
             FleetScheduler(min_history=self.scheduler_min_history)
@@ -221,6 +230,15 @@ def _prewarm(obj, path: str) -> PrewarmConfig:
     )
 
 
+def _generation(obj, path: str) -> GenerationConfig:
+    # The generation schema lives next to its config; re-label its error
+    # so fleet callers see a single exception type with the full path.
+    try:
+        return validate_generation_config(obj, path)
+    except GenerationConfigError as exc:
+        raise FleetConfigError(str(exc)) from exc
+
+
 def _endpoint(obj, path: str) -> EndpointConfig:
     if not isinstance(obj, dict):
         _fail(path, f"must be an object, got {type(obj).__name__}")
@@ -261,6 +279,10 @@ def _endpoint(obj, path: str) -> EndpointConfig:
         prewarm=(
             _prewarm(obj["prewarm"], f"{path}.prewarm")
             if obj.get("prewarm") is not None else None
+        ),
+        generation=(
+            _generation(obj["generation"], f"{path}.generation")
+            if obj.get("generation") is not None else None
         ),
     )
 

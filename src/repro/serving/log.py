@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.batching.config import BatchConfig
 from repro.evaluation.harness import ExperimentLog, SegmentOutcome
-from repro.evaluation.metrics import vcr as _vcr
+from repro.evaluation.metrics import (
+    generation_goodput as _generation_goodput,
+    goodput as _goodput,
+    nan_percentile as _nan_percentile,
+    slo_attainment as _slo_attainment,
+    vcr as _vcr,
+)
 
 
 class BatchColumns:
@@ -169,6 +175,20 @@ class ServingLog:
     #: Final breaker state ("closed" | "open" | "half-open"), None when the
     #: guardrail was not enabled.
     guardrail_state: str | None = None
+    # Token-streaming generation (PR 9); all None/zero when the feature is
+    # off. Per-request arrays are NaN for shed requests, and ``tpot`` is
+    # also NaN for one-token requests (no decode steps to pace).
+    ttft: np.ndarray | None = None
+    tpot: np.ndarray | None = None
+    prompt_tokens: np.ndarray | None = None
+    output_tokens: np.ndarray | None = None
+    ttft_slo: float | None = None
+    tpot_slo: float | None = None
+    gen_sessions: int = 0
+    gen_prefill_iterations: int = 0
+    gen_decode_iterations: int = 0
+    gen_tokens: int = 0
+    gen_shed: int = 0
 
     # ------------------------------------------------------------ request view
     @property
@@ -198,6 +218,55 @@ class ServingLog:
         """SLO Violation Count Ratio over the served requests (Eq. 11)."""
         length = self.sequence_length if sequence_length is None else sequence_length
         return _vcr(self.served_latencies(), self.slo, length, percentile)
+
+    # ------------------------------------------------------ generation view
+    @property
+    def is_generation(self) -> bool:
+        """Whether this log came from a token-streaming run."""
+        return self.ttft is not None
+
+    def p_ttft(self, percentile: float) -> float:
+        """TTFT percentile over the requests that actually ran (shed NaN
+        excluded — pair with :meth:`ttft_attainment`, which charges them)."""
+        if self.ttft is None:
+            raise ValueError("not a generation log: no TTFT was recorded")
+        return _nan_percentile(self.ttft, percentile)
+
+    def p_tpot(self, percentile: float) -> float:
+        """TPOT percentile over requests that decoded at least one token."""
+        if self.tpot is None:
+            raise ValueError("not a generation log: no TPOT was recorded")
+        return _nan_percentile(self.tpot, percentile)
+
+    def ttft_attainment(self) -> float:
+        """Fraction of *all* requests whose TTFT met the SLO; shed requests
+        (NaN TTFT) count as misses. NaN on an empty log."""
+        if self.ttft is None:
+            raise ValueError("not a generation log: no TTFT was recorded")
+        slo = self.ttft_slo if self.ttft_slo is not None else self.slo
+        return _slo_attainment(self.ttft, slo)
+
+    def goodput(self, duration: float | None = None) -> float:
+        """Requests/sec that met their SLO — the streaming headline metric.
+
+        Generation runs judge TTFT against ``ttft_slo`` (and decode pace
+        against ``tpot_slo`` when set); request-level runs judge end-to-end
+        latency against ``slo``. Shed requests count as misses either way.
+        ``duration`` defaults to the arrival span; a log with fewer than
+        two arrivals has no span and returns NaN unless one is given.
+        """
+        if duration is None:
+            if self.n_requests < 2:
+                return float("nan")
+            duration = float(self.arrival_times.max() - self.arrival_times.min())
+            if duration <= 0:
+                return float("nan")
+        if self.ttft is not None:
+            slo = self.ttft_slo if self.ttft_slo is not None else self.slo
+            return _generation_goodput(self.ttft, slo, duration,
+                                       tpot=self.tpot,
+                                       tpot_slo=self.tpot_slo)
+        return _goodput(self.latencies, self.slo, duration)
 
     # ------------------------------------------------------------- cost & pool
     @property

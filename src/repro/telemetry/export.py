@@ -172,6 +172,15 @@ def render_dashboard(
             title="prewarming",
         ))
 
+    generation = _generation_rows(by_type)
+    if generation:
+        sections.append(format_table(
+            ["scope", "requests", "sessions", "prefills", "decodes",
+             "tokens", "shed"],
+            generation,
+            title="generation",
+        ))
+
     reliability = _reliability_rows(by_type, by_kind)
     if reliability:
         sections.append(format_table(
@@ -338,10 +347,12 @@ def _fleet_rows(by_type: dict) -> list[list]:
     per_endpoint: dict[str, dict[str, float]] = defaultdict(dict)
     for name, value in counters.items():
         parts = name.split(".")
-        # "prewarm" is the single-engine prewarming namespace
-        # (serving.prewarm.ticks, ...), not an endpoint — without the
-        # exclusion it would show up here as a phantom endpoint row.
-        if len(parts) == 3 and parts[0] == "serving" and parts[1] != "prewarm":
+        # "prewarm" and "gen" are single-engine namespaces
+        # (serving.prewarm.ticks, serving.gen.requests, ...), not
+        # endpoints — without the exclusion they would show up here as
+        # phantom endpoint rows.
+        if (len(parts) == 3 and parts[0] == "serving"
+                and parts[1] not in ("prewarm", "gen")):
             per_endpoint[parts[1]][parts[2]] = value
     if not per_endpoint:
         return []
@@ -386,6 +397,39 @@ def _prewarm_rows(by_type: dict) -> list[list]:
             int(metrics.get("provisioned", 0)),
             int(metrics.get("retired", 0)),
             f"{metrics.get('cost', 0.0):.6f}",
+        ]
+        for scope, metrics in sorted(per_scope.items())
+    ]
+
+
+def _generation_rows(by_type: dict) -> list[list]:
+    """Token-streaming scorecard per scope from the ``gen.*`` counters.
+
+    The single engine emits ``serving.gen.<metric>``; fleet lanes emit
+    ``serving.<endpoint>.gen.<metric>``. Rows appear only when a
+    generation workload actually ran."""
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    metrics_known = {
+        "requests", "sessions", "prefill_iterations", "decode_iterations",
+        "tokens", "shed",
+    }
+    per_scope: dict[str, dict[str, float]] = defaultdict(dict)
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) == 3 and parts[:2] == ["serving", "gen"]:
+            per_scope["engine"][parts[2]] = value
+        elif (len(parts) == 4 and parts[0] == "serving"
+              and parts[2] == "gen" and parts[3] in metrics_known):
+            per_scope[parts[1]][parts[3]] = value
+    return [
+        [
+            scope,
+            int(metrics.get("requests", 0)),
+            int(metrics.get("sessions", 0)),
+            int(metrics.get("prefill_iterations", 0)),
+            int(metrics.get("decode_iterations", 0)),
+            int(metrics.get("tokens", 0)),
+            int(metrics.get("shed", 0)),
         ]
         for scope, metrics in sorted(per_scope.items())
     ]

@@ -1,11 +1,23 @@
-"""Tests for VCR (Eq. 11), MAPE, and CDF utilities."""
+"""Tests for VCR (Eq. 11), MAPE, CDF utilities, and the goodput/SLO
+metrics (PR 9) — including the shed/NaN contract: NaN latency or TTFT is
+always a *miss*, never an absence, while NaN TPOT (a one-token request
+with no decode pace) passes the TPOT SLO freely."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.evaluation.metrics import cdf_percentile_mape, empirical_cdf, mape, vcr
+from repro.evaluation.metrics import (
+    cdf_percentile_mape,
+    empirical_cdf,
+    generation_goodput,
+    goodput,
+    mape,
+    nan_percentile,
+    slo_attainment,
+    vcr,
+)
 
 
 class TestVcr:
@@ -90,6 +102,104 @@ class TestVcrTailRemainder:
             lat = np.full(n, 0.01)
             lat[-1] = 10.0  # drags every chunk's p95 over the SLO
             assert vcr(lat, slo=0.1, sequence_length=10) > 0.0
+
+
+class TestSloAttainment:
+    def test_basic_fraction(self):
+        lat = np.array([0.01, 0.05, 0.2, 0.3])
+        assert slo_attainment(lat, slo=0.1) == 0.5
+
+    def test_nan_is_a_miss_not_an_absence(self):
+        """The shed contract: dropping requests can never raise attainment."""
+        lat = np.array([0.01, np.nan, 0.01, np.nan])
+        assert slo_attainment(lat, slo=0.1) == 0.5
+
+    def test_all_shed_attains_zero(self):
+        assert slo_attainment(np.full(8, np.nan), slo=0.1) == 0.0
+
+    def test_empty_log_is_nan_not_zero(self):
+        # "No requests to judge" must stay distinguishable from "every
+        # request missed".
+        assert np.isnan(slo_attainment(np.empty(0), slo=0.1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slo_attainment(np.ones(3), slo=0.0)
+
+
+class TestGoodput:
+    def test_counts_good_requests_per_second(self):
+        lat = np.array([0.01, 0.05, 0.2, 0.3])
+        assert goodput(lat, slo=0.1, duration=2.0) == 1.0
+
+    def test_nan_is_a_miss(self):
+        lat = np.array([0.01, np.nan, np.nan, np.nan])
+        assert goodput(lat, slo=0.1, duration=1.0) == 1.0
+
+    def test_empty_log_is_zero(self):
+        # Zero good requests per second is a statement, not an error.
+        assert goodput(np.empty(0), slo=0.1, duration=5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            goodput(np.ones(3), slo=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            goodput(np.ones(3), slo=0.1, duration=0.0)
+
+
+class TestGenerationGoodput:
+    def test_ttft_only(self):
+        ttft = np.array([0.01, 0.2, 0.03, np.nan])
+        assert generation_goodput(ttft, ttft_slo=0.05, duration=2.0) == 1.0
+
+    def test_tpot_slo_filters_slow_decoders(self):
+        ttft = np.array([0.01, 0.01, 0.01])
+        tpot = np.array([0.001, 0.5, 0.002])
+        assert generation_goodput(ttft, ttft_slo=0.05, duration=1.0,
+                                  tpot=tpot, tpot_slo=0.01) == 2.0
+
+    def test_nan_tpot_passes_freely(self):
+        """One-token requests have no decode pace — NaN TPOT must not be
+        charged as a TPOT miss when the TTFT was met."""
+        ttft = np.array([0.01, 0.01])
+        tpot = np.array([np.nan, 0.5])
+        assert generation_goodput(ttft, ttft_slo=0.05, duration=1.0,
+                                  tpot=tpot, tpot_slo=0.01) == 1.0
+
+    def test_nan_ttft_is_still_a_miss(self):
+        ttft = np.array([np.nan, np.nan])
+        tpot = np.array([np.nan, np.nan])
+        assert generation_goodput(ttft, ttft_slo=0.05, duration=1.0,
+                                  tpot=tpot, tpot_slo=0.01) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generation_goodput(np.ones(2), ttft_slo=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            generation_goodput(np.ones(2), ttft_slo=0.1, duration=0.0)
+        with pytest.raises(ValueError):
+            generation_goodput(np.ones(2), ttft_slo=0.1, duration=1.0,
+                               tpot=np.ones(2), tpot_slo=0.0)
+        with pytest.raises(ValueError, match="without tpot values"):
+            generation_goodput(np.ones(2), ttft_slo=0.1, duration=1.0,
+                               tpot_slo=0.01)
+
+
+class TestNanPercentile:
+    def test_excludes_nan(self):
+        vals = np.array([1.0, 2.0, 3.0, np.nan])
+        assert nan_percentile(vals, 50.0) == 2.0
+
+    def test_matches_plain_percentile_without_nan(self):
+        rng = np.random.default_rng(2)
+        vals = rng.exponential(size=500)
+        assert nan_percentile(vals, 95.0) == pytest.approx(
+            float(np.percentile(vals, 95.0))
+        )
+
+    def test_all_nan_and_empty_are_nan(self):
+        assert np.isnan(nan_percentile(np.full(4, np.nan), 50.0))
+        assert np.isnan(nan_percentile(np.empty(0), 50.0))
 
 
 class TestMape:

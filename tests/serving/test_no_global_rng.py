@@ -16,8 +16,16 @@ import pytest
 
 pytestmark = pytest.mark.serving
 
-SERVING_DIR = (
-    Path(__file__).resolve().parents[2] / "src" / "repro" / "serving"
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+SERVING_DIR = SRC / "serving"
+
+#: Modules outside ``serving/`` that the engine's determinism guarantees
+#: lean on just as hard: the continuous-batching state machine and the
+#: token length/timing models (PR 9). Their randomness must be explicit
+#: per-request SeedSequence children, never global state.
+EXTRA_FILES = (
+    SRC / "batching" / "continuous.py",
+    SRC / "serverless" / "generation.py",
 )
 
 #: Explicit-generator constructors that are allowed through.
@@ -31,15 +39,19 @@ def test_fleet_modules_are_in_scope():
     """The sweep must cover the PR-6 fleet layer — ``split_by_shares``
     draws from an explicit generator, and only this glob keeps it so —
     and the PR-8 prewarming module, whose forecasters must stay
-    deterministic functions of the observed history."""
+    deterministic functions of the observed history — and the PR-9
+    generation config schema (``serving/generation.py``) rides along in
+    the same glob."""
     names = {p.name for p in SERVING_DIR.glob("*.py")}
-    assert {"fleet.py", "fleet_config.py", "prewarm.py"} <= names
+    assert {"fleet.py", "fleet_config.py", "prewarm.py", "generation.py"} <= names
+    for extra in EXTRA_FILES:
+        assert extra.is_file(), f"missing {extra}"
 
 
 def test_serving_layer_has_no_global_rng_calls():
     assert SERVING_DIR.is_dir(), f"missing {SERVING_DIR}"
     offenders = []
-    for path in sorted(SERVING_DIR.glob("*.py")):
+    for path in sorted(SERVING_DIR.glob("*.py")) + list(EXTRA_FILES):
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
             for match in GLOBAL_RNG.finditer(line):
                 if match.group(1) not in ALLOWED:

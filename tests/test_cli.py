@@ -487,3 +487,69 @@ class TestReportCommand:
 
     def test_missing_file(self, tmp_path):
         assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+
+
+@pytest.mark.gen
+class TestServeGeneration:
+    @pytest.fixture()
+    def gen_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "gen.json"
+        path.write_text(json.dumps({
+            "dispatcher": "continuous",
+            "ttft_slo": 0.05,
+            "length_model": {"prompt_mean": 64, "output_mean": 8},
+        }))
+        return path
+
+    def test_generation_run_reports_token_metrics(self, trace_path, gen_path,
+                                                  capsys):
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--generation", str(gen_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dispatcher" in out and "continuous" in out
+        assert "goodput req/s" in out
+        assert "TTFT attainment" in out
+        assert "p95 TTFT ms" in out and "p95 TPOT ms" in out
+        assert "tokens generated" in out
+
+    def test_generation_telemetry_dashboard_section(self, trace_path,
+                                                    gen_path, tmp_path,
+                                                    capsys):
+        dump = tmp_path / "telemetry.jsonl"
+        assert main(["serve", "--trace", str(trace_path),
+                     "--generation", str(gen_path),
+                     "--telemetry", str(dump)]) == 0
+        names = {r["name"] for r in read_jsonl(dump) if r["type"] == "counter"}
+        assert "serving.gen.requests" in names
+        assert "serving.gen.tokens" in names
+        capsys.readouterr()
+        assert main(["report", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "generation" in out and "tokens" in out
+
+    def test_invalid_generation_config_exits_2(self, trace_path, tmp_path,
+                                               capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"ttft_slo": -1}')
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--generation", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "invalid generation config" in err
+        assert "generation.ttft_slo" in err
+
+    def test_generation_rejects_fleet_and_faults(self, trace_path, gen_path,
+                                                 tmp_path, capsys):
+        fleet = tmp_path / "fleet.json"
+        fleet.write_text('{"endpoints": []}')
+        assert main(["serve", "--trace", str(trace_path),
+                     "--fleet", str(fleet),
+                     "--generation", str(gen_path)]) == 2
+        assert main(["serve", "--trace", str(trace_path),
+                     "--generation", str(gen_path),
+                     "--fault-rate", "0.1"]) == 2
+        err = capsys.readouterr().err
+        assert "fault injection" in err
