@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-faults test-serving test-fleet test-chaos test-prewarm test-gen bench-smoke bench bench-perf bench-serving lint
+.PHONY: test test-faults test-serving test-fleet test-chaos test-prewarm test-gen test-outage bench-smoke bench bench-perf bench-serving lint
 
 ## Tier-1: the fast unit/integration suite (excludes the `bench` marker).
 test:
@@ -37,6 +37,11 @@ test-prewarm:
 ## legacy bit-identity pin.
 test-gen:
 	$(PYTEST) -q -m gen
+
+## Correlated outages + graceful degradation: outage windows, container
+## crashes, stragglers, cold-start backoff, hedging, brownout, failover.
+test-outage:
+	$(PYTEST) -q -m outage
 
 ## Quick benchmark sanity check: the §IV-F decision-time speedup table.
 ## First run trains the shared workbench models; later runs load the cache.

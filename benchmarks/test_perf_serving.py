@@ -22,6 +22,9 @@ prewarm-overhead guard (PR 8) and a continuous-batching guard (PR 9):
   the same arrivals. Acceptance bar: the *event-processing* rate stays
   **≥ 0.15×** the request-level engine's — a collapse means the genstep
   path fell off the fast drive loop.
+* **Outage** — a run passing disabled outage/degradation configs (PR 10)
+  vs one passing none. Acceptance bar: bit-identical outputs and **≤ 10%
+  overhead** — the defaults-off fault layer must stay free.
 
 Every "before" implementation is the executable specification kept in the
 tree (``ReferenceWarmPool``, ``_drive_lanes_scan``, the stepwise
@@ -273,6 +276,73 @@ def test_generation_throughput_floor():
     assert ratio >= 0.15, (
         f"continuous-batching loop processes events at only {ratio:.2f}x "
         "the request-level engine's rate"
+    )
+
+
+def test_outage_disabled_overhead_bounded():
+    """PR 10 guard: the defaults-off fault layer must cost nothing.
+
+    Disabled outage/degradation configs are normalized to ``None`` at
+    construction, so a run that passes them must stay on the exact same
+    data plane as one that never heard of the feature — bit-identical
+    outputs and at most measurement noise in wall-clock. A regression here
+    means a hot-path branch started keying off non-``None`` state. An
+    enabled full-stack run is also timed, informationally."""
+    from repro.serverless.faults import RetryPolicy
+    from repro.serverless.outages import (
+        CrashHazard, OutageModel, OutageWindow, StragglerModel,
+    )
+    from repro.serving.degrade import DegradeConfig, HedgeConfig
+
+    ts = _reference_trace()
+
+    def run(outages, degrade):
+        return ServingEngine(
+            REFERENCE_CONFIG, platform=ServerlessPlatform(),
+            pool=REFERENCE_POOL, outages=outages, degrade=degrade,
+        ).run(ts)
+
+    (off_s, off), (disabled_s, disabled) = _best_of_pair(
+        lambda: run(None, None),
+        lambda: run(OutageModel(), DegradeConfig()),
+    )
+    _assert_logs_identical(off, disabled)
+
+    horizon = float(ts[-1])
+    enabled = OutageModel(
+        windows=(OutageWindow(horizon / 3, horizon / 2),),
+        crash=CrashHazard(rate=0.002, outage_rate=0.02),
+        straggler=StragglerModel(rate=0.1, slowdown=3.0),
+        seed=5,
+    )
+    stack = DegradeConfig(
+        backoff=RetryPolicy(max_attempts=3, base_backoff_s=0.05,
+                            max_total_delay_s=2.0),
+        hedge=HedgeConfig(percentile=95.0, multiplier=1.5),
+    )
+    t0 = time.perf_counter()
+    full = run(enabled, stack)
+    enabled_s = time.perf_counter() - t0
+
+    overhead = disabled_s / off_s - 1.0
+    payload = {
+        "n_requests": int(ts.size),
+        "off_seconds": round(off_s, 4),
+        "disabled_seconds": round(disabled_s, 4),
+        "disabled_overhead_pct": round(100.0 * overhead, 1),
+        "requests_per_sec_off": round(ts.size / off_s),
+        "requests_per_sec_disabled": round(ts.size / disabled_s),
+        "enabled_seconds": round(enabled_s, 4),
+        "enabled_events_per_sec": round(full.n_events / enabled_s),
+        "enabled_crashes": int(full.crashed_containers),
+        "enabled_hedges": int(full.hedges),
+        "enabled_cold_retries": int(full.cold_retries),
+    }
+    _merge_results("outage", payload)
+    print(f"\noutage: {json.dumps(payload)}")
+    assert overhead <= 0.1, (
+        f"disabled outage/degrade configs cost {100 * overhead:.0f}% of "
+        "engine throughput — the defaults-off path is no longer free"
     )
 
 

@@ -32,6 +32,8 @@ class RequestClass:
     timestamps: np.ndarray
     slo: float
     percentile: float = 95.0
+    #: Brownout tier: higher sheds later under fleet-wide overload.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         ts = np.asarray(self.timestamps, dtype=float)

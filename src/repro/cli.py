@@ -25,7 +25,11 @@ Subcommands cover the full workflow without writing Python:
   generation (:mod:`repro.serving.generation` has the schema): each
   request carries sampled prompt/output token counts, batches run
   prefill/decode iterations, and the summary reports goodput under
-  TTFT/TPOT SLOs;
+  TTFT/TPOT SLOs. ``--outages outages.json`` arms the correlated
+  infrastructure-fault layer (:mod:`repro.serving.degrade` has the
+  schema): outage windows deny cold starts, containers crash mid-batch,
+  stragglers stretch service times, and the configured degradation stack
+  (cold-start backoff, request hedging) answers;
 * ``report``   — render the ASCII telemetry dashboard from such a dump.
 """
 
@@ -127,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "workload described by this JSON config "
                             "(dispatcher, TTFT/TPOT SLOs, length model); "
                             "see repro.serving.generation for the schema")
+    p_srv.add_argument("--outages", metavar="PATH",
+                       help="infrastructure-fault mode: outage windows, "
+                            "container crashes, stragglers, and the "
+                            "graceful-degradation stack (cold-start "
+                            "backoff, hedging) described by this JSON "
+                            "config; see repro.serving.degrade for the "
+                            "schema")
     p_srv.add_argument("--chooser", choices=["deepbat", "batch", "static"],
                        default="static")
     p_srv.add_argument("--model", help="surrogate checkpoint (deepbat only)")
@@ -412,7 +423,7 @@ def _validate_serve_args(args) -> None:
                          "to resume from)")
     if args.fleet:
         for flag in ("checkpoint", "restore", "guardrail", "drift", "prewarm",
-                     "generation"):
+                     "generation", "outages"):
             if getattr(args, flag):
                 raise ValueError(
                     f"--{flag} is not supported with --fleet (per-endpoint "
@@ -424,6 +435,11 @@ def _validate_serve_args(args) -> None:
             "--generation does not support fault injection "
             "(--fault-rate/--fault-timeout): fault draws are keyed by "
             "request-level batch index"
+        )
+    if args.generation and args.outages:
+        raise ValueError(
+            "--outages is not supported with --generation: crash and "
+            "straggler draws are keyed by request-level batch index"
         )
     if args.guardrail:
         if args.guardrail_window < 1:
@@ -487,6 +503,15 @@ def _cmd_serve(args) -> int:
             generation_cfg = load_generation_config(args.generation)
         except GenerationConfigError as exc:
             print(f"error: invalid generation config: {exc}", file=sys.stderr)
+            return 2
+    outage_cfg = degrade_cfg = None
+    if args.outages:
+        from repro.serving import OutageConfigError, load_outage_config
+
+        try:
+            outage_cfg, degrade_cfg = load_outage_config(args.outages)
+        except OutageConfigError as exc:
+            print(f"error: invalid outage config: {exc}", file=sys.stderr)
             return 2
     trace = load_trace(args.trace)
     if not 0 <= args.start_segment < trace.n_segments:
@@ -595,6 +620,8 @@ def _cmd_serve(args) -> int:
         ),
         prewarm=prewarm_cfg,
         generation=generation_cfg,
+        outages=outage_cfg,
+        degrade=degrade_cfg,
     )
     registry = MetricsRegistry() if args.telemetry else None
     scope = use_registry(registry) if registry is not None else contextlib.nullcontext()
@@ -658,6 +685,19 @@ def _cmd_serve(args) -> int:
                                      f"({log.prewarm_retired} retired)"],
             ["all-in cost $/1M req",
              f"{log.total_cost_with_prewarm / max(log.n_served, 1) * 1e6:.4f}"],
+        ]
+    if args.outages:
+        rows += [
+            ["outage windows", len(outage_cfg.windows)],
+            ["cold starts denied", log.outage_denied],
+            ["container crashes", f"{log.crashed_containers} "
+                                  f"({log.crash_requeued} requests requeued)"],
+            ["straggler batches", log.straggler_batches],
+            ["cold-start retries", f"{log.cold_retries} "
+                                   f"({log.cold_retry_exhausted} exhausted)"],
+            ["hedges", f"{log.hedges} ({log.hedge_wins} won, "
+                       f"{log.hedge_denied} denied)"],
+            ["hedge cost $", f"{log.hedge_cost:.6f}"],
         ]
     if args.checkpoint:
         rows += [["checkpoints written", log.checkpoints]]
@@ -787,6 +827,22 @@ def _cmd_serve_fleet(args) -> int:
         title=f"{trace.name}: fleet of {len(fleet_cfg.endpoints)} endpoints, "
               f"{budget}, segments {args.start_segment}:{trace.n_segments}",
     ))
+    degraded = [ep.name for ep in fleet_cfg.endpoints
+                if ep.outages is not None or ep.degrade is not None]
+    if degraded or fleet_cfg.brownout or fleet_cfg.failover:
+        deg_rows = [
+            [ep.name, log[ep.name].outage_denied,
+             log[ep.name].crashed_containers, log[ep.name].cold_retries,
+             log[ep.name].hedges, log[ep.name].brownout_shed,
+             log[ep.name].failover_batches]
+            for ep in fleet_cfg.endpoints
+        ]
+        print(format_table(
+            ["endpoint", "denied", "crashes", "retries", "hedges",
+             "brownout", "failover"],
+            deg_rows,
+            title="graceful degradation",
+        ))
     if registry is not None:
         n = write_jsonl(registry, args.telemetry)
         print(f"wrote {n} telemetry records to {args.telemetry}")

@@ -44,12 +44,20 @@ class RetryPolicy:
     ``base_backoff_s * multiplier**(k-1)``, stretched by a multiplicative
     jitter drawn uniformly from ``[1, 1 + jitter]`` — drawn from the
     generator the caller supplies, never from global state.
+
+    ``max_total_delay_s`` optionally budgets the *cumulative* backoff: a
+    retry whose jittered backoffs would sum past the budget is not taken
+    (the invocation gives up instead), so retrying cannot push a request
+    past its deadline. The backoff matrix is still drawn in full — draw
+    counts never depend on the budget — and ``None`` (the default) leaves
+    every outcome bit-identical to a policy without the field.
     """
 
     max_attempts: int = 3
     base_backoff_s: float = 0.05
     multiplier: float = 2.0
     jitter: float = 0.1
+    max_total_delay_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -60,6 +68,10 @@ class RetryPolicy:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
         if self.jitter < 0:
             raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.max_total_delay_s is not None and self.max_total_delay_s <= 0:
+            raise ValueError(
+                f"max_total_delay_s must be > 0 or None, got {self.max_total_delay_s}"
+            )
 
     def backoff(self, retry_index: int, rng: np.random.Generator) -> float:
         """Backoff (seconds) before 0-based retry ``retry_index``."""
@@ -190,6 +202,17 @@ def inject_faults(
     first_success = np.argmax(succeeded, axis=0)  # 0 when none succeeded
     attempts = np.where(any_success, first_success + 1, cap)
     failed = ~any_success
+
+    if retry.max_total_delay_s is not None:
+        # Retry k is affordable only while the cumulative jittered backoff
+        # through it fits the budget (monotone, so the count of affordable
+        # rows + the free first attempt caps the attempt number). Applied
+        # after the draws, so generator consumption is budget-independent.
+        allowed = 1 + (
+            np.cumsum(backoffs, axis=0) <= retry.max_total_delay_s
+        ).sum(axis=0)
+        failed = failed | (attempts > allowed)
+        attempts = np.minimum(attempts, allowed)
 
     # Extra latency: each failed prior attempt ran `run` then backed off;
     # the final attempt runs `run` on failure (cut short or crashed) and

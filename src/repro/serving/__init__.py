@@ -32,6 +32,14 @@ continuous batching (:mod:`repro.batching.continuous`) wired into the
 engine via :class:`~repro.serving.config.GenerationConfig`, goodput and
 TTFT/TPOT SLOs on the log, and a validated JSON loader
 (:mod:`repro.serving.generation`).
+
+PR 10 adds correlated infrastructure faults and the graceful-degradation
+stack: seeded outage windows, mid-batch container crashes, and straggler
+containers (:mod:`repro.serverless.outages`) threaded through the engine
+as first-class events, answered by cold-start retry with capped backoff,
+percentile-delay request hedging, fleet-level brownout (priority
+shedding), and queue failover to compatible endpoints
+(:mod:`repro.serving.degrade`).
 """
 
 from repro.serving.chaos import (
@@ -52,6 +60,16 @@ from repro.serving.config import (
     GenerationConfig,
     PredictionDriftConfig,
     PrewarmConfig,
+)
+from repro.serving.degrade import (
+    BrownoutConfig,
+    DegradeConfig,
+    FailoverConfig,
+    HedgeConfig,
+    OutageConfigError,
+    load_outage_config,
+    validate_fleet_degrade,
+    validate_outage_config,
 )
 from repro.serving.engine import ServingEngine
 from repro.serving.fleet import (
@@ -82,10 +100,13 @@ from repro.serving.prewarm import (
 )
 
 __all__ = [
+    "BrownoutConfig",
     "CheckpointError",
+    "DegradeConfig",
     "DriftConfig",
     "EmpiricalRateForecaster",
     "EndpointSpec",
+    "FailoverConfig",
     "FleetBudget",
     "FleetConfigError",
     "FleetEngine",
@@ -94,6 +115,8 @@ __all__ = [
     "GenerationConfig",
     "GenerationConfigError",
     "GuardrailConfig",
+    "HedgeConfig",
+    "OutageConfigError",
     "MAPRateForecaster",
     "NHPPRateForecaster",
     "OracleForecaster",
@@ -117,9 +140,12 @@ __all__ = [
     "journal_path",
     "load_fleet_config",
     "load_generation_config",
+    "load_outage_config",
     "split_by_shares",
     "read_snapshot",
     "run_with_crashes",
+    "validate_fleet_degrade",
     "validate_generation_config",
+    "validate_outage_config",
     "write_snapshot",
 ]

@@ -130,6 +130,17 @@ def assert_serving_logs_equal(
         x, y = getattr(a, name), getattr(b, name)
         if x.shape != y.shape or not np.array_equal(x, y, equal_nan=True):
             raise AssertionError(f"ServingLog.{name} differs: {x!r} != {y!r}")
+    optional_array_fields = ("hedged", "failed_over")
+    for name in optional_array_fields:
+        x, y = getattr(a, name), getattr(b, name)
+        if (x is None) != (y is None):
+            raise AssertionError(
+                f"ServingLog.{name} present in one log only"
+            )
+        if x is not None and (
+            x.shape != y.shape or not np.array_equal(x, y)
+        ):
+            raise AssertionError(f"ServingLog.{name} differs: {x!r} != {y!r}")
     scalar_fields = (
         "name", "trace", "slo", "reconfigurations", "drift_triggers",
         "prediction_drift_triggers", "retrains", "shed_batches",
@@ -137,6 +148,10 @@ def assert_serving_logs_equal(
         "evicted_containers", "n_retries", "n_failed", "sequence_length",
         "n_events", "guardrail_trips", "guardrail_restores",
         "guardrail_probes", "guardrail_suppressed", "guardrail_state",
+        "outage_denied", "crashed_containers", "crash_requeued",
+        "straggler_batches", "cold_retries", "cold_retry_exhausted",
+        "hedges", "hedge_wins", "hedge_denied", "hedge_cost",
+        "brownout_shed", "failover_batches",
     )
     for name in scalar_fields:
         x, y = getattr(a, name), getattr(b, name)

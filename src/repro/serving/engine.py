@@ -75,6 +75,7 @@ from repro.core.drift import WorkloadDriftDetector, prediction_drift
 from repro.core.types import Decision
 from repro.evaluation.harness import Chooser, _resolve_sequence_length
 from repro.serverless.faults import inject_faults
+from repro.serverless.outages import OutageModel
 from repro.serverless.platform import ServerlessPlatform
 from repro.serving.config import (
     DriftConfig,
@@ -92,6 +93,7 @@ from repro.serving.checkpoint import (
     read_snapshot,
     write_snapshot,
 )
+from repro.serving.degrade import DegradeConfig
 from repro.serving.guardrail import OPEN, GuardrailConfig, SLOGuardrail
 from repro.serving.log import BatchColumns, ServingDecision, ServingLog
 from repro.serving.pool import WarmPool, WarmPoolConfig
@@ -119,6 +121,12 @@ _P_DECISION = 4
 _P_RETRAIN = 5
 _P_PREWARM = 6
 _P_GENSTEP = 7
+# PR 10 (outages & degradation): a crash vacates its container like a
+# completion, so it ranks with completions; cold-start retries and hedge
+# checks are background work that defers to everything else at an instant.
+_P_CRASH = _P_COMPLETION
+_P_COLD_RETRY = 8
+_P_HEDGE = 9
 
 # Event-kind strings, interned once: every heap entry carries the same
 # string object, so the dispatch chain's ``==`` checks short-circuit on
@@ -133,6 +141,9 @@ _K_DECISION = sys.intern("decision")
 _K_RETRAIN = sys.intern("retrain")
 _K_PREWARM = sys.intern("prewarm")
 _K_GENSTEP = sys.intern("genstep")
+_K_CRASH = sys.intern("crash")
+_K_COLD_RETRY = sys.intern("cold_retry")
+_K_HEDGE = sys.intern("hedge")
 
 _INF = float("inf")
 
@@ -194,6 +205,13 @@ class _RunState:
     gen_queue: deque | None = None
     gen_sessions: dict | None = None
     gen_session_meta: dict | None = None
+    # Infrastructure faults & degradation (PR 10); None/absent unless an
+    # OutageModel/DegradeConfig needs them, so a defaults-off run's state —
+    # and old snapshots — are untouched.
+    inflight: dict | None = None
+    hedge_obs: deque | None = None
+    hedged: np.ndarray | None = None
+    failed_over: np.ndarray | None = None
     # Outputs.
     latencies: np.ndarray = None
     shed: np.ndarray = None
@@ -224,6 +242,9 @@ class _RunContext:
     service_cache: dict = field(default_factory=dict)
     #: ``(memory_mb, size, cold_delay) -> (service_time, cost)``.
     cost_cache: dict = field(default_factory=dict)
+    #: ``container_id -> straggler slowdown`` — a pure function of the
+    #: outage model's seed and the id, so restores rebuild it exactly.
+    straggler_cache: dict = field(default_factory=dict)
 
 
 class ServingEngine:
@@ -290,6 +311,24 @@ class ServingEngine:
         watches TTFT windows against ``ttft_slo``. ``None`` (the default)
         changes nothing — runs stay bit-identical to the request-level
         engine. Incompatible with active fault injection.
+    outages:
+        Optional :class:`~repro.serverless.outages.OutageModel` enabling
+        the infrastructure-fault layer: scheduled outage windows during
+        which the pool denies cold-start provisioning
+        (capacity-unavailable), a per-batch container-crash hazard whose
+        victims fail mid-batch and re-enter the queue, and a seeded
+        straggler model stretching a slow container's service times.
+        ``None`` (and a disabled model, which is treated identically)
+        changes nothing — runs stay bit-identical to the fault-free tree.
+        Incompatible with generation mode (like fault injection).
+    degrade:
+        Optional :class:`~repro.serving.degrade.DegradeConfig` enabling
+        the graceful-degradation stack on top of the fault layer: a
+        cold-start retry policy (capacity-denied dispatches back off with
+        capped exponential delays instead of parking in the queue) and
+        request hedging (a batch in flight past a percentile of recent
+        batch durations gets a duplicate dispatch; first completion wins
+        the latency, both bill). ``None`` changes nothing.
     metrics_prefix:
         Namespace for the engine's telemetry (counters/histograms). The
         default ``"serving"`` keeps the historical names; the fleet runs
@@ -305,6 +344,12 @@ class ServingEngine:
     change. Mixing a grouped config with flat kwargs of the same group is
     ambiguous and raises ``ValueError``.
     """
+
+    #: Fleet-failover wiring, set per lane by ``FleetEngine.run`` (the
+    #: donor pools a foreign completion releases into). The base engine
+    #: never fails over.
+    _failover_enabled = False
+    _donor_pools: list | None = None
 
     def __init__(
         self,
@@ -323,6 +368,8 @@ class ServingEngine:
         guardrail: GuardrailConfig | None = None,
         prewarm: PrewarmConfig | None = None,
         generation: GenerationConfig | None = None,
+        outages: OutageModel | None = None,
+        degrade: DegradeConfig | None = None,
         metrics_prefix: str = "serving",
         **deprecated_kwargs,
     ) -> None:
@@ -379,6 +426,25 @@ class ServingEngine:
             PrewarmPolicy(prewarm) if prewarm is not None else None
         )
         self.generation_config = generation
+        # Disabled configs are normalized to None — "disabled" and "absent"
+        # are one state, so fingerprints, state layout, and the defaults-off
+        # bit-identity contract all collapse to the None checks below.
+        self.outage_config = (
+            outages if outages is not None and outages.enabled else None
+        )
+        self.degrade_config = (
+            degrade if degrade is not None and degrade.enabled else None
+        )
+        if generation is not None and (
+            self.outage_config is not None or self.degrade_config is not None
+        ):
+            # Crash/hedge draws are a function of the *batch index* with a
+            # fixed draw count per batch; token-level sessions have no such
+            # index discipline (same reasoning as fault injection below).
+            raise ValueError(
+                "generation mode does not support outages or degradation; "
+                "drop the outages/degrade configs"
+            )
         if generation is not None and self.platform.faults_active:
             # Fault draws are a function of the *batch index* with a fixed
             # draw count per batch; token-level sessions have no such index
@@ -401,6 +467,26 @@ class ServingEngine:
         self._gen_ttft_slo = (
             (generation.ttft_slo if generation.ttft_slo is not None else slo)
             if generation is not None else None
+        )
+        # Hoisted outage/degrade flags: the data plane branches once on
+        # these per batch instead of unpacking the configs per event.
+        oc = self.outage_config
+        dc = self.degrade_config
+        self._crash_hazard = (
+            oc is not None and oc.crash is not None and oc.crash.enabled
+        )
+        self._straggler = (
+            oc is not None and oc.straggler is not None
+            and oc.straggler.enabled
+        )
+        self._outage_windows = oc is not None and bool(oc.windows)
+        self._hedge = dc.hedge if dc is not None else None
+        self._backoff = dc.backoff if dc is not None else None
+        # _degrade_mode routes _start_batch through the fault-layer variant;
+        # a windows-only model keeps the plain path (windows affect only
+        # pool admission and the cold-start backoff).
+        self._degrade_mode = (
+            self._crash_hazard or self._straggler or self._hedge is not None
         )
         self.metrics_prefix = metrics_prefix
         # Hot-path flags hoisted out of the event loop: with neither drift
@@ -592,6 +678,29 @@ class ServingEngine:
                 st.gen_queue = deque()
                 st.gen_sessions = {}
                 st.gen_session_meta = {}
+        if self.outage_config is not None or self.degrade_config is not None:
+            # Like the prewarm/generation counters: degradation state
+            # exists only when the fault layer or the stack is on, so a
+            # defaults-off run's state (and snapshots) are untouched.
+            st.counters["crashed_containers"] = 0
+            st.counters["crash_requeued"] = 0
+            st.counters["straggler_batches"] = 0
+            st.counters["cold_retries"] = 0
+            st.counters["cold_retry_exhausted"] = 0
+            st.counters["hedges"] = 0
+            st.counters["hedge_wins"] = 0
+            st.counters["hedge_denied"] = 0
+            st.counters["hedge_cost"] = 0.0
+        if self._crash_hazard or self._hedge is not None:
+            # container_id -> (expected completion, Batch) of the primary
+            # dispatch; a crash or hedge check looks its victim up here.
+            st.inflight = {}
+        if self._hedge is not None:
+            st.hedge_obs = deque(maxlen=self._hedge.window)
+            st.hedged = np.zeros(n, dtype=bool)
+        if self._failover_enabled:
+            st.failed_over = np.zeros(n, dtype=bool)
+            st.counters["failover_batches"] = 0
         if n and self.chooser is not None and self.decision_interval_s:
             self._push(st, float(ts[0]) + self.decision_interval_s, _P_DECISION,
                        _K_DECISION, "interval")
@@ -607,7 +716,8 @@ class ServingEngine:
 
     def _make_pool(self) -> WarmPool:
         """Pool factory; the fleet overrides it to share a container budget."""
-        return WarmPool(self.pool_config, self.platform.cold_start)
+        return WarmPool(self.pool_config, self.platform.cold_start,
+                        outage=self.outage_config)
 
     # --------------------------------------------------------------- restore
     def restore(
@@ -713,6 +823,17 @@ class ServingEngine:
             "generation": (
                 self.generation_config.fingerprint()
                 if self.generation_config is not None else None
+            ),
+            # Same contract again: a disabled (= normalized-away) outage
+            # model or degradation stack fingerprints as None, matching
+            # what pre-PR-10 checkpoints yield via .get().
+            "outages": (
+                self.outage_config.fingerprint()
+                if self.outage_config is not None else None
+            ),
+            "degrade": (
+                self.degrade_config.fingerprint()
+                if self.degrade_config is not None else None
             ),
             "platform_seed": self.platform.seed,
             "platform_faults": self.platform.faults,
@@ -886,6 +1007,12 @@ class ServingEngine:
                 self._on_prewarm(st, ctx, now)
             elif kind == _K_GENSTEP:
                 self._on_gen_step(st, ctx, now, item[4])
+            elif kind == _K_CRASH:
+                self._on_crash(st, ctx, now, item[4])
+            elif kind == _K_COLD_RETRY:
+                self._on_cold_retry(st, ctx, now, item[4])
+            elif kind == _K_HEDGE:
+                self._on_hedge(st, ctx, now, item[4])
             events += 1
         st.events_processed = events
 
@@ -989,6 +1116,12 @@ class ServingEngine:
             self._on_prewarm(st, ctx, now)
         elif kind == _K_GENSTEP:
             self._on_gen_step(st, ctx, now, payload)
+        elif kind == _K_CRASH:
+            self._on_crash(st, ctx, now, payload)
+        elif kind == _K_COLD_RETRY:
+            self._on_cold_retry(st, ctx, now, payload)
+        elif kind == _K_HEDGE:
+            self._on_hedge(st, ctx, now, payload)
 
     # ------------------------------------------------------------- plumbing
     def _push(self, st: _RunState, time: float, priority: int, kind: str,
@@ -1036,6 +1169,10 @@ class ServingEngine:
         if self._gen_buffer:
             self._start_batch_gen(st, ctx, batch, memory_mb, cold_delay,
                                   cold, container_id, start)
+            return
+        if self._degrade_mode:
+            self._start_batch_outage(st, ctx, batch, memory_mb, cold_delay,
+                                     cold, container_id, start)
             return
         size = batch.size
         if self.platform.faults_active:
@@ -1105,6 +1242,348 @@ class ServingEngine:
         if st.trace is not None or ctx.journal is not None:
             self._emit(st, ctx, ("start", start, container_id, size, cold,
                                  memory_mb, completion))
+
+    def _straggler_factor(self, ctx: _RunContext, container_id: int) -> float:
+        """Memoized per-container slowdown (1.0 when stragglers are off)."""
+        if not self._straggler:
+            return 1.0
+        factor = ctx.straggler_cache.get(container_id)
+        if factor is None:
+            factor = self.outage_config.straggler_factor(container_id)
+            ctx.straggler_cache[container_id] = factor
+        return factor
+
+    def _start_batch_outage(self, st: _RunState, ctx: _RunContext,
+                            batch: Batch, memory_mb: float, cold_delay: float,
+                            cold: bool, container_id: int,
+                            start: float) -> None:
+        """Request-level batch start under the infrastructure-fault layer.
+
+        Semantics of :meth:`_start_batch` plus three hazards, each drawn
+        with fixed counts from per-batch generator children so outcomes
+        are a function of the batch row index, never of event order:
+
+        * the container's straggler factor stretches the clean service
+          time (drawn from ``(seed, container_id)``, not from the stream);
+        * per-attempt request faults run on the stretched duration,
+          exactly as on the plain fault path;
+        * the crash hazard (child key ``(row, 1)``, two draws: the coin
+          and the crash point) may kill the container partway through —
+          the batch bills its partial run, its requests re-enter the
+          queue at the crash, and no completion event is pushed.
+
+        Non-crashed dispatches register in ``st.inflight`` and, with
+        hedging on, schedule a hedge check at the percentile delay.
+        """
+        size = batch.size
+        row = len(st.batches)
+        key = (memory_mb, size)
+        service = ctx.service_cache.get(key)
+        if service is None:
+            service = float(
+                self.platform.profile.service_time(memory_mb, size)
+            )
+            ctx.service_cache[key] = service
+        slowdown = self._straggler_factor(ctx, container_id)
+        if slowdown != 1.0:
+            st.counters["straggler_batches"] += 1
+        eff_service = service * slowdown
+        if self.platform.faults_active:
+            rng = self.platform.spawn_rng(row)
+            outcome = inject_faults(
+                np.asarray([cold_delay + eff_service]), memory_mb,
+                self.platform.pricing,
+                self.platform.faults, self.platform.retry_policy, rng,
+            )
+            fault_delay = float(outcome.fault_delays[0])
+            cost = float(outcome.costs[0])
+            retries = int(outcome.attempts[0]) - 1
+            batch_failed = bool(outcome.failed[0])
+        else:
+            fault_delay = 0.0
+            cost = float(self.platform.pricing.invocation_cost(
+                memory_mb, cold_delay + eff_service
+            ))
+            retries = 0
+            batch_failed = False
+        duration = cold_delay + eff_service + fault_delay
+        completion = start + duration
+        registry = ctx.registry
+        if self._crash_hazard:
+            u = self.platform.spawn_rng(row, 1).random(2)
+            if float(u[0]) < self.outage_config.crash_probability(start):
+                # The container dies a uniform fraction into the run: bill
+                # the partial invocation, requeue the requests at the
+                # crash. No completion, no latency, no hedge.
+                crash_time = start + float(u[1]) * duration
+                partial = float(self.platform.pricing.invocation_cost(
+                    memory_mb, crash_time - start
+                ))
+                st.batches.append(batch.dispatch_time, start, size, partial,
+                                  cold, memory_mb, 0)
+                self._push(st, crash_time, _P_CRASH, _K_CRASH,
+                           (container_id, batch))
+                if registry.enabled:
+                    prefix = self.metrics_prefix
+                    registry.counter(f"{prefix}.batches").inc()
+                    registry.counter(
+                        f"{prefix}.cold_starts" if cold
+                        else f"{prefix}.warm_starts"
+                    ).inc()
+                if st.trace is not None or ctx.journal is not None:
+                    self._emit(st, ctx, ("start", start, container_id, size,
+                                         cold, memory_mb, completion))
+                return
+        st.batches.append(batch.dispatch_time, start, size, cost, cold,
+                          memory_mb, retries)
+        if retries:
+            st.counters["n_retries"] += retries
+        i0 = batch.first_index
+        stop = i0 + size
+        st.latencies[i0:stop] = completion - batch.arrival_times
+        if batch_failed:
+            st.failed[i0:stop] = True
+            st.counters["n_failed"] += size
+        if st.inflight is not None:
+            st.inflight[container_id] = (completion, batch)
+        hedge = self._hedge
+        if hedge is not None:
+            obs = st.hedge_obs
+            if len(obs) >= hedge.min_observations:
+                delay = hedge.multiplier * float(
+                    np.percentile(obs, hedge.percentile)
+                )
+                hedge_at = start + delay
+                if hedge_at < completion:
+                    self._push(st, hedge_at, _P_HEDGE, _K_HEDGE,
+                               container_id)
+            # The current batch joins the window only after the delay is
+            # computed: a hedge judges against *previous* dispatches.
+            obs.append(duration)
+        self._push(st, completion, _P_COMPLETION, _K_COMPLETION,
+                   (container_id, i0, size))
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            registry.counter(f"{prefix}.batches").inc()
+            registry.counter(
+                f"{prefix}.cold_starts" if cold else f"{prefix}.warm_starts"
+            ).inc()
+            registry.histogram(f"{prefix}.queue_delay").observe(
+                start - batch.dispatch_time
+            )
+            if slowdown != 1.0:
+                registry.counter(f"{prefix}.outage.straggler_batches").inc()
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("start", start, container_id, size, cold,
+                                 memory_mb, completion))
+
+    def _start_batch_foreign(self, st: _RunState, ctx: _RunContext,
+                             batch: Batch, memory_mb: float, lease,
+                             now: float, donor: int,
+                             slowdown: float) -> None:
+        """Run one failed-over batch on a donor lane's container.
+
+        The owner keeps the accounting — latencies, fault draws (its own
+        batch-row generator children), billing — while the donor's pool
+        hosts the container; the completion payload carries the donor
+        index so the release goes back to the right pool. Failed-over
+        batches are never crash-checked or hedged (they are already the
+        recovery path), but the donor container's straggler factor
+        (computed by the donor's engine and passed in) does apply.
+        """
+        size = batch.size
+        key = (memory_mb, size)
+        service = ctx.service_cache.get(key)
+        if service is None:
+            service = float(
+                self.platform.profile.service_time(memory_mb, size)
+            )
+            ctx.service_cache[key] = service
+        eff_service = service * slowdown
+        cold_delay = lease.cold_delay
+        if self.platform.faults_active:
+            rng = self.platform.spawn_rng(len(st.batches))
+            outcome = inject_faults(
+                np.asarray([cold_delay + eff_service]), memory_mb,
+                self.platform.pricing,
+                self.platform.faults, self.platform.retry_policy, rng,
+            )
+            fault_delay = float(outcome.fault_delays[0])
+            cost = float(outcome.costs[0])
+            retries = int(outcome.attempts[0]) - 1
+            batch_failed = bool(outcome.failed[0])
+        else:
+            fault_delay = 0.0
+            cost = float(self.platform.pricing.invocation_cost(
+                memory_mb, cold_delay + eff_service
+            ))
+            retries = 0
+            batch_failed = False
+        completion = now + cold_delay + eff_service + fault_delay
+        st.batches.append(batch.dispatch_time, now, size, cost, lease.cold,
+                          memory_mb, retries)
+        if retries:
+            st.counters["n_retries"] += retries
+        i0 = batch.first_index
+        stop = i0 + size
+        st.latencies[i0:stop] = completion - batch.arrival_times
+        if batch_failed:
+            st.failed[i0:stop] = True
+            st.counters["n_failed"] += size
+        if st.failed_over is not None:
+            st.failed_over[i0:stop] = True
+        st.counters["failover_batches"] = (
+            st.counters.get("failover_batches", 0) + 1
+        )
+        self._push(st, completion, _P_COMPLETION, _K_COMPLETION,
+                   (lease.container_id, i0, size, donor))
+        registry = ctx.registry
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            registry.counter(f"{prefix}.batches").inc()
+            registry.counter(f"{prefix}.degrade.failover").inc()
+            registry.counter(
+                f"{prefix}.cold_starts" if lease.cold
+                else f"{prefix}.warm_starts"
+            ).inc()
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("failover", now, donor, lease.container_id,
+                                 size))
+
+    def _on_crash(self, st: _RunState, ctx: _RunContext, now: float,
+                  payload) -> None:
+        """A container died mid-batch: it leaves the pool immediately
+        (freeing any fleet-shared budget), and the batch re-enters the
+        dispatch path — a fresh batch row, hence fresh fault/crash draws."""
+        if self.outage_config is None:
+            return  # a restored pre-outage heap cannot carry this kind
+        container_id, batch = payload
+        if st.inflight is not None:
+            st.inflight.pop(container_id, None)
+        st.pool.kill(container_id)
+        st.counters["crashed_containers"] += 1
+        st.counters["crash_requeued"] += batch.size
+        registry = ctx.registry
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            registry.counter(f"{prefix}.outage.crashes").inc()
+            registry.counter(f"{prefix}.outage.crash_requeued").inc(
+                batch.size
+            )
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("crash", now, container_id, batch.size))
+        self._dispatch(st, ctx, batch, now)
+
+    def _on_cold_retry(self, st: _RunState, ctx: _RunContext, now: float,
+                       payload) -> None:
+        """One fired cold-start backoff: retry the acquire; on another
+        denial take the next scheduled backoff, and after the last one
+        fall back to the ordinary queue-or-shed admission path."""
+        if self.degrade_config is None:
+            return  # a restored pre-degrade heap cannot carry this kind
+        batch, attempt, sched = payload
+        memory_mb = st.active.memory_mb
+        lease = st.pool.acquire(now, memory_mb)
+        registry = ctx.registry
+        if lease is not None:
+            if registry.enabled and lease.cold:
+                registry.histogram(
+                    f"{self.metrics_prefix}.cold_delay"
+                ).observe(lease.cold_delay)
+            self._start_batch(st, ctx, batch, memory_mb, lease.cold_delay,
+                              lease.cold, lease.container_id, start=now)
+            return
+        if attempt < len(sched):
+            st.counters["cold_retries"] += 1
+            if registry.enabled:
+                registry.counter(
+                    f"{self.metrics_prefix}.degrade.cold_retries"
+                ).inc()
+            if st.trace is not None or ctx.journal is not None:
+                self._emit(st, ctx, ("cold_retry", now, batch.size,
+                                     attempt + 1))
+            self._push(st, now + sched[attempt], _P_COLD_RETRY, _K_COLD_RETRY,
+                       (batch, attempt + 1, sched))
+            return
+        st.counters["cold_retry_exhausted"] += 1
+        if registry.enabled:
+            registry.counter(
+                f"{self.metrics_prefix}.degrade.retry_exhausted"
+            ).inc()
+        self._enqueue_or_shed(st, ctx, batch, now)
+
+    def _on_hedge(self, st: _RunState, ctx: _RunContext, now: float,
+                  container_id: int) -> None:
+        """The hedge delay elapsed and the primary is still in flight:
+        dispatch a duplicate to a fresh container. The first completion
+        wins the latency; both invocations bill (the hedging economics).
+        The duplicate is never crash-checked, fault-injected, or itself
+        hedged — it is the recovery path — but its own container's
+        straggler factor applies.
+        """
+        hedge = self._hedge
+        if hedge is None:
+            return  # a restored pre-degrade heap cannot carry this kind
+        rec = st.inflight.get(container_id) if st.inflight is not None else None
+        if rec is None:
+            return  # completed (or crashed) before the hedge fired
+        completion, batch = rec
+        memory_mb = st.active.memory_mb
+        lease = st.pool.acquire(now, memory_mb)
+        registry = ctx.registry
+        if lease is None:
+            # No capacity for speculation — the primary keeps running.
+            st.counters["hedge_denied"] += 1
+            if registry.enabled:
+                registry.counter(
+                    f"{self.metrics_prefix}.degrade.hedge_denied"
+                ).inc()
+            return
+        size = batch.size
+        key = (memory_mb, size)
+        service = ctx.service_cache.get(key)
+        if service is None:
+            service = float(
+                self.platform.profile.service_time(memory_mb, size)
+            )
+            ctx.service_cache[key] = service
+        slowdown = self._straggler_factor(ctx, lease.container_id)
+        duration = lease.cold_delay + service * slowdown
+        dup_completion = now + duration
+        cost = float(self.platform.pricing.invocation_cost(
+            memory_mb, duration
+        ))
+        st.batches.append(batch.dispatch_time, now, size, cost, lease.cold,
+                          memory_mb, 0)
+        st.counters["hedges"] += 1
+        st.counters["hedge_cost"] += cost
+        i0 = batch.first_index
+        stop = i0 + size
+        st.hedged[i0:stop] = True
+        if dup_completion < completion:
+            # The duplicate wins: overwrite the primary's latencies (and
+            # clear any fault verdict — the winning attempt is clean).
+            st.latencies[i0:stop] = dup_completion - batch.arrival_times
+            st.failed[i0:stop] = False
+            st.counters["hedge_wins"] += 1
+        # Size-0 completion payload: release the duplicate's container at
+        # its own finish time without re-touching any request slice.
+        self._push(st, dup_completion, _P_COMPLETION, _K_COMPLETION,
+                   (lease.container_id, i0, 0))
+        if registry.enabled:
+            prefix = self.metrics_prefix
+            registry.counter(f"{prefix}.batches").inc()
+            registry.counter(f"{prefix}.degrade.hedges").inc()
+            registry.counter(f"{prefix}.degrade.hedge_cost").inc(cost)
+            if dup_completion < completion:
+                registry.counter(f"{prefix}.degrade.hedge_wins").inc()
+            registry.counter(
+                f"{prefix}.cold_starts" if lease.cold
+                else f"{prefix}.warm_starts"
+            ).inc()
+        if st.trace is not None or ctx.journal is not None:
+            self._emit(st, ctx, ("hedge", now, container_id,
+                                 lease.container_id, size))
 
     def _start_batch_gen(self, st: _RunState, ctx: _RunContext, batch: Batch,
                          memory_mb: float, cold_delay: float, cold: bool,
@@ -1334,6 +1813,41 @@ class ServingEngine:
             self._start_batch(st, ctx, batch, memory_mb, lease.cold_delay,
                               lease.cold, lease.container_id, start=now)
             return
+        backoff = self._backoff
+        if (backoff is not None and st.pool.outage is not None
+                and st.pool.outage.active(now)):
+            # Capacity-unavailable during an outage window: retry the cold
+            # start on a capped exponential backoff schedule instead of
+            # parking in the queue. The whole jittered schedule is drawn
+            # up front from a per-batch generator child (key: first request
+            # index) so draws are order-independent and checkpoint-safe.
+            rng = self.platform.spawn_rng(batch.first_index, 2)
+            sched = backoff.backoff_matrix(1, rng)[:, 0]
+            if backoff.max_total_delay_s is not None:
+                keep = int(
+                    (np.cumsum(sched) <= backoff.max_total_delay_s).sum()
+                )
+                sched = sched[:keep]
+            if sched.size:
+                st.counters["cold_retries"] += 1
+                if registry.enabled:
+                    registry.counter(
+                        f"{self.metrics_prefix}.degrade.cold_retries"
+                    ).inc()
+                if st.trace is not None or ctx.journal is not None:
+                    self._emit(st, ctx, ("cold_retry", now, batch.size, 1))
+                self._push(st, now + float(sched[0]), _P_COLD_RETRY,
+                           _K_COLD_RETRY,
+                           (batch, 1, tuple(float(x) for x in sched)))
+                return
+        self._enqueue_or_shed(st, ctx, batch, now)
+
+    def _enqueue_or_shed(self, st: _RunState, ctx: _RunContext, batch: Batch,
+                         now: float) -> None:
+        """No capacity (and no retry budget left): queue, or shed at the
+        queue cap. The tail of the historical ``_dispatch``, split out so
+        the cold-retry path can fall back to it after exhaustion."""
+        registry = ctx.registry
         limit = self.pool_config.max_queued_batches
         if limit is not None and len(st.queue) >= limit:
             st.shed[batch.first_index:batch.first_index + batch.size] = True
@@ -1356,19 +1870,33 @@ class ServingEngine:
 
     def _on_completion(self, st: _RunState, ctx: _RunContext, now: float,
                        payload) -> None:
+        foreign = None
         if len(payload) == 3:
             container_id, i0, size = payload
             lat = st.latencies[i0:i0 + size]
             # Generation mode breaks on TTFT windows, not end-of-decode
             # latency — first-token time is the streaming SLO.
             guard_obs = st.ttft[i0:i0 + size] if self._gen_buffer else lat
+        elif len(payload) == 4:
+            # Failed-over batch: the donor lane's pool hosted the
+            # container, so release goes there, and this lane's own queue
+            # is left to the fleet's drain pass (popping it here would
+            # reorder admissions).
+            container_id, i0, size, foreign = payload
+            lat = st.latencies[i0:i0 + size]
+            guard_obs = lat
         else:
             # A pre-speed-pass snapshot's heap carries (id, indices-array)
             # payloads; honor them so old checkpoints keep restoring.
             container_id, indices = payload
             lat = st.latencies[indices]
             guard_obs = lat
-        st.pool.release(container_id, now)
+        if st.inflight is not None:
+            st.inflight.pop(container_id, None)
+        if foreign is None:
+            st.pool.release(container_id, now)
+        else:
+            self._donor_pools[foreign].release(container_id, now)
         if self._track_latencies:
             st.recent_latencies.extend(lat.tolist())
         registry = ctx.registry
@@ -1378,7 +1906,7 @@ class ServingEngine:
             )
         if st.trace is not None or ctx.journal is not None:
             self._emit(st, ctx, ("completion", now, container_id))
-        if st.queue:
+        if foreign is None and st.queue:
             self._dispatch(st, ctx, st.queue.popleft(), now)
         if st.guardrail is not None:
             for action, observed in st.guardrail.observe(
@@ -1728,4 +2256,18 @@ class ServingEngine:
             gen_decode_iterations=st.counters.get("gen_decode_iterations", 0),
             gen_tokens=st.counters.get("gen_tokens", 0),
             gen_shed=st.counters.get("gen_shed", 0),
+            outage_denied=getattr(stats, "outage_denied", 0),
+            crashed_containers=st.counters.get("crashed_containers", 0),
+            crash_requeued=st.counters.get("crash_requeued", 0),
+            straggler_batches=st.counters.get("straggler_batches", 0),
+            cold_retries=st.counters.get("cold_retries", 0),
+            cold_retry_exhausted=st.counters.get("cold_retry_exhausted", 0),
+            hedges=st.counters.get("hedges", 0),
+            hedge_wins=st.counters.get("hedge_wins", 0),
+            hedge_denied=st.counters.get("hedge_denied", 0),
+            hedge_cost=st.counters.get("hedge_cost", 0.0),
+            brownout_shed=st.counters.get("brownout_shed", 0),
+            failover_batches=st.counters.get("failover_batches", 0),
+            hedged=getattr(st, "hedged", None),
+            failed_over=getattr(st, "failed_over", None),
         )

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.batching.config import BatchConfig
 from repro.batching.multiclass import RequestClass, optimize_multiclass
+from repro.serverless.outages import OutageModel
 from repro.serverless.platform import ServerlessPlatform
 from repro.serving.config import (
     DriftConfig,
@@ -54,10 +55,12 @@ from repro.serving.config import (
     PredictionDriftConfig,
     PrewarmConfig,
 )
+from repro.serving.degrade import BrownoutConfig, DegradeConfig, FailoverConfig
 from repro.serving.engine import _P_DECISION, ServingEngine, _RunContext
 from repro.serving.guardrail import GuardrailConfig
 from repro.serving.log import ServingLog
 from repro.serving.pool import WarmPool, WarmPoolConfig
+from repro.telemetry.events import ShedEvent
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.timing import stage_timers
 from repro.utils.validation import check_sorted
@@ -83,7 +86,13 @@ class EndpointSpec:
       ``prewarm`` / ``generation`` — the same grouped config dataclasses
       the single engine takes (``generation`` turns the lane into a
       token-streaming endpoint; lanes mix freely, so one fleet can serve
-      a chat endpoint continuously batched next to request-level lanes).
+      a chat endpoint continuously batched next to request-level lanes);
+    * ``priority`` — the brownout tier (PR 10): under fleet-wide
+      overload, lower tiers shed first, and the failover pass serves
+      higher tiers first;
+    * ``outages`` / ``degrade`` — the lane's infrastructure-fault model
+      and graceful-degradation stack, exactly the single engine's
+      ``ServingEngine(outages=..., degrade=...)`` knobs.
     """
 
     name: str
@@ -101,6 +110,9 @@ class EndpointSpec:
     guardrail: GuardrailConfig | None = None
     prewarm: PrewarmConfig | None = None
     generation: GenerationConfig | None = None
+    priority: int = 0
+    outages: OutageModel | None = None
+    degrade: DegradeConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -213,8 +225,9 @@ class BudgetedWarmPool(WarmPool):
         config: WarmPoolConfig | None,
         cold_start,
         budget: FleetBudget,
+        outage=None,
     ) -> None:
-        super().__init__(config, cold_start)
+        super().__init__(config, cold_start, outage=outage)
         self.budget = budget
         budget.register(self)
 
@@ -235,7 +248,8 @@ class _LaneEngine(ServingEngine):
         if self.fleet_budget is None:
             return super()._make_pool()
         return BudgetedWarmPool(
-            self.pool_config, self.platform.cold_start, self.fleet_budget
+            self.pool_config, self.platform.cold_start, self.fleet_budget,
+            outage=self.outage_config,
         )
 
 
@@ -301,7 +315,8 @@ class FleetScheduler:
             hist = np.asarray(histories[e.name], dtype=float)
             ts = np.concatenate([[0.0], np.cumsum(hist)])
             classes.append(RequestClass(
-                name=e.name, timestamps=ts, slo=e.slo, percentile=e.percentile
+                name=e.name, timestamps=ts, slo=e.slo,
+                percentile=e.percentile, priority=e.priority,
             ))
             platforms[e.name] = self._planning_platform(
                 e.platform if e.platform is not None else ServerlessPlatform()
@@ -375,6 +390,19 @@ class FleetEngine:
         abstains, lanes fall back to their own choosers.
     scheduler_interval_s:
         Cadence of fleet decision ticks (required with a scheduler).
+    brownout:
+        Optional :class:`~repro.serving.degrade.BrownoutConfig` (PR 10):
+        when the total queued-batch backlog across all lanes exceeds its
+        cap, the newest queued batch of the lowest-priority backlogged
+        lane is shed until the backlog fits — controlled load shedding
+        that starves the cheap tier to keep the premium tier inside SLO.
+    failover:
+        Optional :class:`~repro.serving.degrade.FailoverConfig` (PR 10):
+        after every fleet step, a starved lane (queue at least
+        ``min_queue`` deep) drains batches onto idle compatible donors —
+        lanes at the same memory tier with empty queues — highest
+        priority first. The owner keeps the accounting; the donor hosts
+        the container.
     """
 
     def __init__(
@@ -384,6 +412,8 @@ class FleetEngine:
         scheduler: FleetScheduler | None = None,
         scheduler_interval_s: float | None = None,
         split_seed: int = 0,
+        brownout: BrownoutConfig | None = None,
+        failover: FailoverConfig | None = None,
     ) -> None:
         if not endpoints:
             raise ValueError("endpoints must be non-empty")
@@ -405,6 +435,8 @@ class FleetEngine:
         self.scheduler = scheduler
         self.scheduler_interval_s = scheduler_interval_s
         self.split_seed = split_seed
+        self.brownout = brownout
+        self.failover = failover
 
     # ----------------------------------------------------------------- run
     def run(
@@ -457,9 +489,14 @@ class FleetEngine:
                 guardrail=spec.guardrail,
                 prewarm=spec.prewarm,
                 generation=spec.generation,
+                outages=spec.outages,
+                degrade=spec.degrade,
                 metrics_prefix=f"serving.{spec.name}",
             )
             eng.fleet_budget = budget
+            # Set before _init_state so the lane allocates its
+            # failed_over mask and counter.
+            eng._failover_enabled = self.failover is not None
             ts = check_sorted(streams[spec.name], f"traffic[{spec.name!r}]")
             history = histories.get(spec.name) if histories else None
             st = eng._init_state(
@@ -471,6 +508,12 @@ class FleetEngine:
                 timers=stage_timers(f"{eng.metrics_prefix}.perf"),
             )
             lanes.append((eng, st, ctx))
+        if self.failover is not None:
+            # Donor releases route through the owner lane's completion
+            # handler, which needs every lane's pool by index.
+            pools = [st.pool for _eng, st, _ctx in lanes]
+            for eng, _st, _ctx in lanes:
+                eng._donor_pools = pools
 
         first_arrivals = [
             float(st.ts[0]) for _, st, _ in lanes if st.n
@@ -514,6 +557,8 @@ class FleetEngine:
         pinned by the fleet equivalence tests.
         """
         fleet_decisions = 0
+        degrading = (budget is not None or self.failover is not None
+                     or self.brownout is not None)
         stamps = [0] * len(lanes)
         lane_heap: list[tuple[float, int, int, int]] = []
 
@@ -557,11 +602,21 @@ class FleetEngine:
             eng, st, ctx = lanes[i]
             eng._step(st, ctx)
             st.events_processed += 1
-            if budget is not None:
+            if degrading:
                 # A completion (or eviction headroom) in one lane can
                 # unblock batches queued in another; the lanes' own
-                # completion handlers only drain their own queues.
-                changed = self._drain_queues(lanes, float(st.clock))
+                # completion handlers only drain their own queues. The
+                # failover and brownout passes run on the same cadence:
+                # after every fleet step, on the stepped lane's clock.
+                now = float(st.clock)
+                changed = (
+                    self._drain_queues(lanes, now)
+                    if budget is not None else set()
+                )
+                if self.failover is not None:
+                    changed |= self._failover_pass(lanes, now)
+                if self.brownout is not None:
+                    changed |= self._brownout_pass(lanes, now)
                 changed.add(i)
                 for j in changed:
                     rekey(j)
@@ -597,8 +652,13 @@ class FleetEngine:
             eng, st, ctx = lanes[best[1]]
             eng._step(st, ctx)
             st.events_processed += 1
+            now = float(st.clock)
             if budget is not None:
-                self._drain_queues(lanes, float(st.clock))
+                self._drain_queues(lanes, now)
+            if self.failover is not None:
+                self._failover_pass(lanes, now)
+            if self.brownout is not None:
+                self._brownout_pass(lanes, now)
         return fleet_decisions
 
     def _scheduler_tick(self, lanes, now: float) -> int:
@@ -646,4 +706,84 @@ class FleetEngine:
                     lease.cold, lease.container_id, start=now,
                 )
                 changed.add(lane)
+        return changed
+
+    def _failover_pass(self, lanes, now: float) -> set[int]:
+        """Drain starved lanes onto idle compatible donor lanes.
+
+        Owners (queue at least ``min_queue`` deep) are served highest
+        priority first (ties: lane order); donors are lanes at the same
+        active memory tier with an empty queue of their own, tried in
+        lane order. The owner keeps all accounting — its latencies, its
+        fault draws, its bill — while the donor's pool hosts the
+        container (see ``ServingEngine._start_batch_foreign``). Returns
+        the owner lanes that dispatched (their event heap changed).
+        """
+        min_queue = self.failover.min_queue
+        changed: set[int] = set()
+        owners = sorted(
+            (i for i, (_eng, st, _ctx) in enumerate(lanes)
+             if len(st.queue) >= min_queue),
+            key=lambda i: (-self.endpoints[i].priority, i),
+        )
+        for o in owners:
+            o_eng, o_st, o_ctx = lanes[o]
+            memory_mb = o_st.active.memory_mb
+            for d, (d_eng, d_st, d_ctx) in enumerate(lanes):
+                if d == o or d_st.queue:
+                    continue
+                if d_st.active.memory_mb != memory_mb:
+                    continue
+                while o_st.queue:
+                    lease = d_st.pool.acquire(now, memory_mb)
+                    if lease is None:
+                        break
+                    batch = o_st.queue.popleft()
+                    o_eng._start_batch_foreign(
+                        o_st, o_ctx, batch, memory_mb, lease, now, d,
+                        d_eng._straggler_factor(d_ctx, lease.container_id),
+                    )
+                    changed.add(o)
+                if not o_st.queue:
+                    break
+        return changed
+
+    def _brownout_pass(self, lanes, now: float) -> set[int]:
+        """Shed the fleet's backlog down to the brownout cap.
+
+        While the total queued-batch count exceeds ``max_total_queued``,
+        drop the *newest* queued batch (LIFO — the oldest waiters keep
+        their place) from the lowest-priority backlogged lane (ties:
+        later lane first). Shedding never changes a lane's event heap, so
+        the returned set only matters for bookkeeping symmetry.
+        """
+        cap = self.brownout.max_total_queued
+        total = sum(len(st.queue) for _eng, st, _ctx in lanes)
+        changed: set[int] = set()
+        while total > cap:
+            victim = max(
+                (i for i, (_eng, st, _ctx) in enumerate(lanes) if st.queue),
+                key=lambda i: (-self.endpoints[i].priority, i),
+            )
+            eng, st, ctx = lanes[victim]
+            batch = st.queue.pop()
+            i0 = batch.first_index
+            st.shed[i0:i0 + batch.size] = True
+            st.counters["brownout_shed"] = (
+                st.counters.get("brownout_shed", 0) + batch.size
+            )
+            registry = ctx.registry
+            if registry.enabled:
+                prefix = eng.metrics_prefix
+                registry.counter(f"{prefix}.degrade.brownout_shed").inc(
+                    batch.size
+                )
+                registry.record_event(ShedEvent(
+                    time=now, requests=batch.size,
+                    queued_batches=len(st.queue),
+                ))
+            if st.trace is not None or ctx.journal is not None:
+                eng._emit(st, ctx, ("brownout_shed", now, batch.size))
+            changed.add(victim)
+            total -= 1
         return changed

@@ -39,7 +39,16 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.batching.config import BatchConfig
+from repro.serverless.outages import OutageModel
 from repro.serving.config import GenerationConfig, PrewarmConfig
+from repro.serving.degrade import (
+    BrownoutConfig,
+    DegradeConfig,
+    FailoverConfig,
+    OutageConfigError,
+    validate_fleet_degrade,
+    validate_outage_config,
+)
 from repro.serving.fleet import EndpointSpec, FleetEngine, FleetScheduler
 from repro.serving.generation import (
     GenerationConfigError,
@@ -56,12 +65,14 @@ class FleetConfigError(ValueError):
 #: Recognized chooser names (resolved by the caller's ``chooser_factory``).
 CHOOSERS = ("none", "batch", "deepbat")
 
-_TOP_KEYS = {"endpoints", "max_containers", "scheduler", "split_seed"}
+_TOP_KEYS = {"endpoints", "max_containers", "scheduler", "split_seed",
+             "degrade"}
 _SCHEDULER_KEYS = {"interval_s", "min_history"}
 _ENDPOINT_KEYS = {
     "name", "memory_mb", "batch_size", "timeout", "slo", "percentile",
     "share", "chooser", "decision_interval_s", "keep_alive_s",
     "max_containers", "max_queued_batches", "prewarm", "generation",
+    "priority", "outages",
 }
 _PREWARM_KEYS = {
     "interval_s", "horizon_s", "headroom", "max_per_tick", "retire", "window",
@@ -93,6 +104,13 @@ class EndpointConfig:
     #: in :mod:`repro.serving.generation`); makes this endpoint serve the
     #: token-streaming workload instead of single-response requests.
     generation: GenerationConfig | None = None
+    #: Brownout/failover tier: lower sheds first, higher fails over first.
+    priority: int = 0
+    #: Built from the endpoint's ``outages`` object (the schema lives in
+    #: :mod:`repro.serving.degrade`): the lane's infrastructure-fault
+    #: model plus its per-engine degradation stack.
+    outages: OutageModel | None = None
+    degrade: DegradeConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -104,6 +122,8 @@ class FleetConfig:
     scheduler_interval_s: float | None = None
     scheduler_min_history: int = 32
     split_seed: int = 0
+    brownout: BrownoutConfig | None = None
+    failover: FailoverConfig | None = None
 
     def build(
         self,
@@ -143,6 +163,9 @@ class FleetConfig:
                 ),
                 prewarm=ep.prewarm,
                 generation=ep.generation,
+                priority=ep.priority,
+                outages=ep.outages,
+                degrade=ep.degrade,
             ))
         scheduler = (
             FleetScheduler(min_history=self.scheduler_min_history)
@@ -154,6 +177,8 @@ class FleetConfig:
             scheduler=scheduler,
             scheduler_interval_s=self.scheduler_interval_s,
             split_seed=self.split_seed,
+            brownout=self.brownout,
+            failover=self.failover,
         )
 
 
@@ -239,6 +264,14 @@ def _generation(obj, path: str) -> GenerationConfig:
         raise FleetConfigError(str(exc)) from exc
 
 
+def _outages(obj, path: str) -> tuple[OutageModel, DegradeConfig | None]:
+    # Same re-labeling for the outage schema (repro.serving.degrade).
+    try:
+        return validate_outage_config(obj, path)
+    except OutageConfigError as exc:
+        raise FleetConfigError(str(exc)) from exc
+
+
 def _endpoint(obj, path: str) -> EndpointConfig:
     if not isinstance(obj, dict):
         _fail(path, f"must be an object, got {type(obj).__name__}")
@@ -258,6 +291,11 @@ def _endpoint(obj, path: str) -> EndpointConfig:
         _fail(f"{path}.share", f"must be <= 1, got {share:g}")
     keep_alive = _number(obj, "keep_alive_s", path, default=math.inf,
                          minimum=0.0)
+    outages = degrade = None
+    if obj.get("outages") is not None:
+        outages, degrade = _outages(obj["outages"], f"{path}.outages")
+        if not outages.enabled:
+            outages = None
     return EndpointConfig(
         name=name,
         memory_mb=_number(obj, "memory_mb", path, required=True,
@@ -284,6 +322,9 @@ def _endpoint(obj, path: str) -> EndpointConfig:
             _generation(obj["generation"], f"{path}.generation")
             if obj.get("generation") is not None else None
         ),
+        priority=_integer(obj, "priority", path, default=0),
+        outages=outages,
+        degrade=degrade,
     )
 
 
@@ -323,6 +364,13 @@ def validate_fleet_config(doc) -> FleetConfig:
                                      required=True, minimum=0.0, strict=True)
         scheduler_min_history = _integer(sched, "min_history", "scheduler",
                                          default=32, minimum=1)
+    brownout = failover = None
+    if doc.get("degrade") is not None:
+        try:
+            brownout, failover = validate_fleet_degrade(doc["degrade"],
+                                                        "degrade")
+        except OutageConfigError as exc:
+            raise FleetConfigError(str(exc)) from exc
     return FleetConfig(
         endpoints=endpoints,
         max_containers=_integer(doc, "max_containers", "fleet config",
@@ -331,6 +379,8 @@ def validate_fleet_config(doc) -> FleetConfig:
         scheduler_min_history=scheduler_min_history,
         split_seed=_integer(doc, "split_seed", "fleet config", default=0,
                             minimum=0),
+        brownout=brownout,
+        failover=failover,
     )
 
 

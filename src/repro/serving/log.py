@@ -189,6 +189,30 @@ class ServingLog:
     gen_decode_iterations: int = 0
     gen_tokens: int = 0
     gen_shed: int = 0
+    # Infrastructure outages + graceful degradation (PR 10); all zero/None
+    # when the features are off.
+    #: Cold starts denied because an outage window was open.
+    outage_denied: int = 0
+    crashed_containers: int = 0
+    #: Requests that re-entered the queue after their container crashed.
+    crash_requeued: int = 0
+    straggler_batches: int = 0
+    #: Cold-start retries scheduled by the backoff policy during outages.
+    cold_retries: int = 0
+    cold_retry_exhausted: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_denied: int = 0
+    #: Spend on hedge duplicates (already included in ``total_cost``).
+    hedge_cost: float = 0.0
+    #: Requests shed by the fleet brownout controller.
+    brownout_shed: int = 0
+    #: Batches served on a donor lane's container via fleet failover.
+    failover_batches: int = 0
+    #: Per-request masks: True where a hedge duplicate was dispatched /
+    #: where the batch ran on a donor lane. None when the feature is off.
+    hedged: np.ndarray | None = None
+    failed_over: np.ndarray | None = None
 
     # ------------------------------------------------------------ request view
     @property

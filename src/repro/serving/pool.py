@@ -44,6 +44,7 @@ import math
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
+from repro.serverless.outages import OutageModel
 from repro.serverless.service_profile import ColdStartModel
 
 
@@ -85,7 +86,12 @@ class _Container:
 
 @dataclass
 class PoolStats:
-    """Lifetime counters the serving log reports."""
+    """Lifetime counters the serving log reports.
+
+    ``crashed`` and ``outage_denied`` (PR 10) default to 0 as class
+    attributes, so stats objects pickled before the fields existed
+    restore cleanly.
+    """
 
     cold_starts: int = 0
     warm_starts: int = 0
@@ -93,6 +99,8 @@ class PoolStats:
     evicted: int = 0
     prewarmed: int = 0
     retired: int = 0
+    crashed: int = 0
+    outage_denied: int = 0
 
     @property
     def cold_start_rate(self) -> float:
@@ -146,10 +154,16 @@ class WarmPool:
         self,
         config: WarmPoolConfig | None = None,
         cold_start: ColdStartModel | None = None,
+        outage: OutageModel | None = None,
     ) -> None:
         self.config = config if config is not None else WarmPoolConfig()
         self.cold_start = cold_start
         self.stats = PoolStats()
+        # Outage windows deny *provisioning* only: warm reuse keeps
+        # working, cold starts (and prewarming) fail capacity-unavailable.
+        # A model without windows is normalized away, so the window-free
+        # crash/straggler configs add no per-acquire work here.
+        self.outage = outage if outage is not None and outage.windows else None
         self._containers: dict[int, _Container] = {}
         self._next_id = 0
         self._idle_heap: list[tuple[float, int]] = []
@@ -241,6 +255,13 @@ class WarmPool:
             self.stats.warm_starts += 1
             return Lease(cid, cold=False, cold_delay=0.0)
 
+        if self.outage is not None and self.outage.active(now):
+            # Capacity crunch: no warm container matched and the platform
+            # cannot provision (nor evict-to-provision) until the window
+            # closes. The caller backs off, queues, or sheds.
+            self.stats.outage_denied += 1
+            return None
+
         cap = self.config.max_containers
         if cap is not None and len(containers) >= cap:
             # Evict an idle container of another tier to make room (a
@@ -282,6 +303,20 @@ class WarmPool:
         """
         return True
 
+    def kill(self, container_id: int) -> None:
+        """Remove a crashed container immediately.
+
+        The container leaves the pool (and any fleet-shared budget, which
+        counts ``len(_containers)``) the moment it dies — not at its next
+        keep-alive sweep — so replacement capacity can provision right
+        away. A crashed container is mid-invocation (``free_at == inf``),
+        so no idle/warm heap entry can refer to it; stale entries from
+        earlier idle spells self-invalidate lazily as usual. Shared by
+        both pool implementations.
+        """
+        if self._containers.pop(container_id, None) is not None:
+            self.stats.crashed += 1
+
     def release(self, container_id: int, now: float) -> None:
         """Mark a container idle (its invocation — retries included —
         finished at ``now``); the keep-alive clock starts here."""
@@ -310,6 +345,11 @@ class WarmPool:
         if n <= 0:
             return 0
         self._expire(now)
+        if self.outage is not None and self.outage.active(now):
+            # Speculative provisioning hits the same capacity wall as a
+            # demand-driven cold start.
+            self.stats.outage_denied += 1
+            return 0
         containers = self._containers
         cap = self.config.max_containers
         provisioned = 0
@@ -392,6 +432,10 @@ class ReferenceWarmPool(WarmPool):
             chosen.free_at = math.inf
             self.stats.warm_starts += 1
             return Lease(chosen.container_id, cold=False, cold_delay=0.0)
+
+        if self.outage is not None and self.outage.active(now):
+            self.stats.outage_denied += 1
+            return None
 
         cap = self.config.max_containers
         if cap is not None and len(self._containers) >= cap:

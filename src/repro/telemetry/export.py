@@ -181,6 +181,15 @@ def render_dashboard(
             title="generation",
         ))
 
+    degradation = _degradation_rows(by_type)
+    if degradation:
+        sections.append(format_table(
+            ["scope", "crashes", "requeued", "stragglers", "retries",
+             "hedges", "wins", "brownout", "failover"],
+            degradation,
+            title="degradation",
+        ))
+
     reliability = _reliability_rows(by_type, by_kind)
     if reliability:
         sections.append(format_table(
@@ -352,7 +361,7 @@ def _fleet_rows(by_type: dict) -> list[list]:
         # endpoints — without the exclusion they would show up here as
         # phantom endpoint rows.
         if (len(parts) == 3 and parts[0] == "serving"
-                and parts[1] not in ("prewarm", "gen")):
+                and parts[1] not in ("prewarm", "gen", "outage", "degrade")):
             per_endpoint[parts[1]][parts[2]] = value
     if not per_endpoint:
         return []
@@ -430,6 +439,46 @@ def _generation_rows(by_type: dict) -> list[list]:
             int(metrics.get("decode_iterations", 0)),
             int(metrics.get("tokens", 0)),
             int(metrics.get("shed", 0)),
+        ]
+        for scope, metrics in sorted(per_scope.items())
+    ]
+
+
+def _degradation_rows(by_type: dict) -> list[list]:
+    """Infrastructure-fault + graceful-degradation scorecard per scope.
+
+    The single engine emits ``serving.outage.<metric>`` and
+    ``serving.degrade.<metric>``; fleet lanes emit
+    ``serving.<endpoint>.outage.<metric>`` / ``....degrade.<metric>``.
+    Rows appear only when the fault layer or a degradation policy
+    actually fired."""
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    metrics_known = {
+        "crashes", "crash_requeued", "straggler_batches", "cold_retries",
+        "retry_exhausted", "hedges", "hedge_wins", "hedge_denied",
+        "hedge_cost", "brownout_shed", "failover",
+    }
+    per_scope: dict[str, dict[str, float]] = defaultdict(dict)
+    for name, value in counters.items():
+        parts = name.split(".")
+        if (len(parts) == 3 and parts[0] == "serving"
+                and parts[1] in ("outage", "degrade")):
+            per_scope["engine"][parts[2]] = value
+        elif (len(parts) == 4 and parts[0] == "serving"
+              and parts[2] in ("outage", "degrade")
+              and parts[3] in metrics_known):
+            per_scope[parts[1]][parts[3]] = value
+    return [
+        [
+            scope,
+            int(metrics.get("crashes", 0)),
+            int(metrics.get("crash_requeued", 0)),
+            int(metrics.get("straggler_batches", 0)),
+            int(metrics.get("cold_retries", 0)),
+            int(metrics.get("hedges", 0)),
+            int(metrics.get("hedge_wins", 0)),
+            int(metrics.get("brownout_shed", 0)),
+            int(metrics.get("failover", 0)),
         ]
         for scope, metrics in sorted(per_scope.items())
     ]

@@ -197,6 +197,81 @@ class TestInjectFaults:
             assert after == rng2.random()
 
 
+class TestRetryBudget:
+    """PR 10 satellite: ``RetryPolicy.max_total_delay_s`` budgets the
+    cumulative backoff without touching generator consumption."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_total_delay_s"):
+            RetryPolicy(max_total_delay_s=0.0)
+        with pytest.raises(ValueError, match="max_total_delay_s"):
+            RetryPolicy(max_total_delay_s=-1.0)
+        RetryPolicy(max_total_delay_s=None)  # unset stays legal
+
+    def test_unset_budget_is_bit_identical_to_the_legacy_policy(self):
+        d = np.full(300, 0.1)
+        model = FaultModel(failure_rate=0.4)
+        legacy = RetryPolicy(max_attempts=4, base_backoff_s=0.05)
+        explicit = RetryPolicy(max_attempts=4, base_backoff_s=0.05,
+                               max_total_delay_s=None)
+        a = inject_faults(d, 1024.0, PRICING, model, legacy,
+                          np.random.default_rng(2))
+        b = inject_faults(d, 1024.0, PRICING, model, explicit,
+                          np.random.default_rng(2))
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+        np.testing.assert_array_equal(a.failed, b.failed)
+        np.testing.assert_array_equal(a.fault_delays, b.fault_delays)
+        np.testing.assert_array_equal(a.costs, b.costs)
+
+    def test_a_roomy_budget_changes_nothing(self):
+        d = np.full(300, 0.1)
+        model = FaultModel(failure_rate=0.4)
+        base = RetryPolicy(max_attempts=4, base_backoff_s=0.05)
+        roomy = RetryPolicy(max_attempts=4, base_backoff_s=0.05,
+                            max_total_delay_s=1e9)
+        a = inject_faults(d, 1024.0, PRICING, model, base,
+                          np.random.default_rng(2))
+        b = inject_faults(d, 1024.0, PRICING, model, roomy,
+                          np.random.default_rng(2))
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+        np.testing.assert_array_equal(a.failed, b.failed)
+
+    def test_tight_budget_caps_attempts_and_fails_the_rest(self):
+        # jitter=0 makes the schedule exact: backoffs 0.1, 0.2, 0.4.
+        # A 0.15 s budget affords only the first retry, so every batch is
+        # capped at two attempts; needing a third is a failure.
+        d = np.full(2000, 0.01)
+        model = FaultModel(failure_rate=0.6)
+        tight = RetryPolicy(max_attempts=4, base_backoff_s=0.1,
+                            jitter=0.0, max_total_delay_s=0.15)
+        free = RetryPolicy(max_attempts=4, base_backoff_s=0.1, jitter=0.0)
+        a = inject_faults(d, 1024.0, PRICING, model, tight,
+                          np.random.default_rng(7))
+        b = inject_faults(d, 1024.0, PRICING, model, free,
+                          np.random.default_rng(7))
+        assert a.attempts.max() == 2
+        np.testing.assert_array_equal(a.failed, b.attempts > 2)
+        # Batches the budget never touched are identical to the free run.
+        short = b.attempts <= 2
+        np.testing.assert_array_equal(a.attempts[short], b.attempts[short])
+        np.testing.assert_array_equal(a.fault_delays[short],
+                                      b.fault_delays[short])
+
+    def test_budget_does_not_change_rng_consumption(self):
+        d = np.full(50, 0.1)
+        model = FaultModel(failure_rate=0.5)
+        for budget in (None, 0.01, 1e9):
+            rng = np.random.default_rng(9)
+            inject_faults(d, 1024.0, PRICING, model,
+                          RetryPolicy(max_attempts=3, base_backoff_s=0.05,
+                                      max_total_delay_s=budget), rng)
+            after = rng.random()
+            rng2 = np.random.default_rng(9)
+            rng2.random((3, 50))  # failure table
+            rng2.random((2, 50))  # jitter matrix
+            assert after == rng2.random()
+
+
 class TestRejectingStarts:
     def test_no_contention_no_rejections(self):
         starts, rejections = rejecting_starts(

@@ -26,6 +26,7 @@ SERVING_DIR = SRC / "serving"
 EXTRA_FILES = (
     SRC / "batching" / "continuous.py",
     SRC / "serverless" / "generation.py",
+    SRC / "serverless" / "outages.py",
 )
 
 #: Explicit-generator constructors that are allowed through.
@@ -41,9 +42,12 @@ def test_fleet_modules_are_in_scope():
     and the PR-8 prewarming module, whose forecasters must stay
     deterministic functions of the observed history — and the PR-9
     generation config schema (``serving/generation.py``) rides along in
-    the same glob."""
+    the same glob — as does the PR-10 degradation stack
+    (``serving/degrade.py``), whose backoff schedules and hedge delays
+    must come from engine-owned generators only."""
     names = {p.name for p in SERVING_DIR.glob("*.py")}
-    assert {"fleet.py", "fleet_config.py", "prewarm.py", "generation.py"} <= names
+    assert {"fleet.py", "fleet_config.py", "prewarm.py", "generation.py",
+            "degrade.py"} <= names
     for extra in EXTRA_FILES:
         assert extra.is_file(), f"missing {extra}"
 

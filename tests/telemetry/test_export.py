@@ -129,6 +129,32 @@ class TestReliabilitySection:
         assert "reliability" not in render_dashboard(populated_registry())
 
 
+class TestDegradationSection:
+    def test_renders_engine_and_fleet_scopes(self):
+        reg = MetricsRegistry()
+        # Single-engine namespace: serving.<outage|degrade>.<metric>.
+        reg.counter("serving.outage.crashes").inc(4)
+        reg.counter("serving.outage.crash_requeued").inc(9)
+        reg.counter("serving.outage.straggler_batches").inc(36)
+        reg.counter("serving.degrade.cold_retries").inc(106)
+        reg.counter("serving.degrade.hedges").inc(14)
+        reg.counter("serving.degrade.hedge_wins").inc(5)
+        # Fleet-lane namespace: serving.<endpoint>.<outage|degrade>.<metric>.
+        reg.counter("serving.gold.degrade.failover").inc(141)
+        reg.counter("serving.gold.degrade.brownout_shed").inc(37)
+        text = render_dashboard(reg)
+        assert "degradation" in text
+        assert "engine" in text and "gold" in text
+        assert "141" in text and "106" in text
+
+    def test_absent_without_degradation_metrics(self):
+        assert "degradation" not in render_dashboard(populated_registry())
+        # Plain serving counters don't open the section either.
+        reg = MetricsRegistry()
+        reg.counter("serving.batches").inc(10)
+        assert "degradation" not in render_dashboard(reg)
+
+
 class TestPerformanceSection:
     def test_renders_simcore_throughput(self):
         reg = MetricsRegistry()
